@@ -1,0 +1,141 @@
+// E2 — Theorem 1: consistency checking is NP-hard. The exact checker's cost
+// explodes on the subset-sum reduction family while the approximate §3.2
+// algorithm stays polynomial (and, per Figure 1(b), incomplete). Shape to
+// check: exact nodes/time grow super-polynomially in k; approximate time
+// stays flat; the Figure-1(b) contradiction is refuted only by the exact
+// checker.
+
+#include <benchmark/benchmark.h>
+
+#include "granmine/constraint/exact.h"
+#include "granmine/constraint/propagation.h"
+#include "granmine/constraint/subset_sum.h"
+#include "granmine/granularity/system.h"
+#include "granmine/paper/figures.h"
+
+namespace granmine {
+namespace {
+
+// Pairwise coprime numbers keep the calendar-aligned reduction faithful.
+const std::vector<std::int64_t>& CoprimeNumbers() {
+  static const std::vector<std::int64_t> kNumbers = {2, 3, 5, 7, 11, 13};
+  return kNumbers;
+}
+
+SubsetSumInstance HardInstance(int k) {
+  SubsetSumInstance instance;
+  std::int64_t sum = 0;
+  for (int i = 0; i < k; ++i) {
+    instance.numbers.push_back(CoprimeNumbers()[i]);
+    sum += CoprimeNumbers()[i];
+  }
+  // UNSAT but inside the reachable interval [0, sum]: missing the target by
+  // exactly 1 requires leaving out a subset summing to 1, impossible with
+  // every number >= 2 — so the checker must search exhaustively (the STP
+  // relaxation alone cannot refute it).
+  instance.target = sum - 1;
+  return instance;
+}
+
+void BM_ExactSubsetSum(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  GranularitySystem system;
+  const Granularity* month = system.AddUniform("month", 30);
+  SubsetSumInstance instance = HardInstance(k);
+  auto reduction = BuildSubsetSumStructure(&system, month, instance);
+  if (!reduction.ok()) {
+    state.SkipWithError("reduction failed");
+    return;
+  }
+  ExactOptions options;
+  options.max_nodes = 2'000'000'000;
+  ExactConsistencyChecker checker(&system.tables(), &system.coverage(),
+                                  options);
+  std::uint64_t nodes = 0;
+  for (auto _ : state) {
+    Result<ExactResult> result = checker.Check(reduction->structure);
+    benchmark::DoNotOptimize(result);
+    if (result.ok()) nodes += result->nodes_explored;
+  }
+  state.counters["search_nodes"] = benchmark::Counter(
+      static_cast<double>(nodes), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_ExactSubsetSum)
+    ->DenseRange(2, 6)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ApproximateSubsetSum(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  GranularitySystem system;
+  const Granularity* month = system.AddUniform("month", 30);
+  auto reduction = BuildSubsetSumStructure(&system, month, HardInstance(k));
+  if (!reduction.ok()) {
+    state.SkipWithError("reduction failed");
+    return;
+  }
+  ConstraintPropagator propagator(&system.tables(), &system.coverage());
+  benchmark::DoNotOptimize(propagator.Propagate(reduction->structure));
+  std::int64_t refuted = 0;
+  for (auto _ : state) {
+    Result<PropagationResult> result =
+        propagator.Propagate(reduction->structure);
+    benchmark::DoNotOptimize(result);
+    if (result.ok() && !result->consistent) ++refuted;
+  }
+  // The approximate algorithm typically cannot refute these instances —
+  // that incompleteness is the point (reported as a counter).
+  state.counters["refuted"] = benchmark::Counter(
+      static_cast<double>(refuted), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_ApproximateSubsetSum)
+    ->DenseRange(2, 6)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Figure1bExactRefutation(benchmark::State& state) {
+  auto system = GranularitySystem::GregorianDays();
+  auto structure = BuildFigure1b(*system);
+  if (!structure.ok()) {
+    state.SkipWithError("figure 1(b) failed");
+    return;
+  }
+  const Granularity* month = system->Find("month");
+  (void)structure->AddConstraint(0, 2, Tcg::Of(1, 11, month));
+  ExactConsistencyChecker checker(&system->tables(), &system->coverage());
+  // Warm the caches.
+  benchmark::DoNotOptimize(checker.Check(*structure));
+  std::int64_t refuted = 0;
+  for (auto _ : state) {
+    Result<ExactResult> result = checker.Check(*structure);
+    if (result.ok() && !result->consistent) ++refuted;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["refuted"] = benchmark::Counter(
+      static_cast<double>(refuted), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_Figure1bExactRefutation)->Unit(benchmark::kMillisecond);
+
+void BM_Figure1bApproximateMiss(benchmark::State& state) {
+  auto system = GranularitySystem::GregorianDays();
+  auto structure = BuildFigure1b(*system);
+  if (!structure.ok()) {
+    state.SkipWithError("figure 1(b) failed");
+    return;
+  }
+  (void)structure->AddConstraint(0, 2, Tcg::Of(1, 11, system->Find("month")));
+  ConstraintPropagator propagator(&system->tables(), &system->coverage());
+  benchmark::DoNotOptimize(propagator.Propagate(*structure));
+  std::int64_t refuted = 0;
+  for (auto _ : state) {
+    Result<PropagationResult> result = propagator.Propagate(*structure);
+    if (result.ok() && !result->consistent) ++refuted;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["refuted"] = benchmark::Counter(
+      static_cast<double>(refuted), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_Figure1bApproximateMiss)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace granmine
+
+BENCHMARK_MAIN();

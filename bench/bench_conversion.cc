@@ -1,0 +1,136 @@
+// E7 — the Appendix-A.1 (Figure 3) conversion algorithm: cost of converting
+// constraints between granularity pairs, and tightness of the emitted
+// bounds: the paper's rule vs. the provably tight mingap-based variant vs.
+// the true tightest bound obtained by exhaustive enumeration on a toy
+// calendar. Shape to check: paper >= tight >= truth, usually equal, with the
+// documented slack cases (e.g., [0,0]year -> [0,12]month vs. truth 11).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "granmine/constraint/convert_constraint.h"
+#include "granmine/granularity/system.h"
+
+namespace granmine {
+namespace {
+
+void BM_ConvertPair(benchmark::State& state, const char* source_name,
+                    const char* target_name) {
+  auto system = GranularitySystem::Gregorian();
+  const Granularity* source = system->Find(source_name);
+  const Granularity* target = system->Find(target_name);
+  // Warm the table caches once; then the steady-state cost is measured.
+  benchmark::DoNotOptimize(
+      ConvertBounds(system->tables(), *source, *target, Bounds::Of(0, 8)));
+  std::int64_t n = 0;
+  for (auto _ : state) {
+    Bounds converted = ConvertBounds(system->tables(), *source, *target,
+                                     Bounds::Of(0, (n++ % 16) + 1));
+    benchmark::DoNotOptimize(converted);
+  }
+}
+BENCHMARK_CAPTURE(BM_ConvertPair, bday_to_hour, "b-day", "hour");
+BENCHMARK_CAPTURE(BM_ConvertPair, week_to_day, "week", "day");
+BENCHMARK_CAPTURE(BM_ConvertPair, month_to_day, "month", "day");
+BENCHMARK_CAPTURE(BM_ConvertPair, year_to_month, "year", "month");
+BENCHMARK_CAPTURE(BM_ConvertPair, bweek_to_bday, "b-week", "b-day");
+
+// True tightest upper bound on tickdiff_target over all pairs satisfying
+// tickdiff_source <= n, by enumeration over one joint period of a toy
+// calendar.
+std::int64_t TightestByEnumeration(const Granularity& source,
+                                   const Granularity& target, std::int64_t n,
+                                   TimePoint horizon) {
+  std::int64_t best = 0;
+  for (TimePoint t1 = 0; t1 < horizon; ++t1) {
+    std::optional<Tick> z1s = source.TickContaining(t1);
+    std::optional<Tick> z1t = target.TickContaining(t1);
+    if (!z1s.has_value() || !z1t.has_value()) continue;
+    for (TimePoint t2 = t1; t2 < 3 * horizon; ++t2) {
+      std::optional<Tick> z2s = source.TickContaining(t2);
+      std::optional<Tick> z2t = target.TickContaining(t2);
+      if (!z2s.has_value() || !z2t.has_value()) continue;
+      if (*z2s - *z1s > n) break;
+      best = std::max(best, *z2t - *z1t);
+    }
+  }
+  return best;
+}
+
+void BM_ConversionTightness(benchmark::State& state) {
+  // Toy calendar: unit, a 3-wide type, a 7-wide type, and a gapped type.
+  GranularitySystem toy;
+  const Granularity* three = toy.AddUniform("three", 3);
+  const Granularity* seven = toy.AddUniform("seven", 7);
+  const Granularity* gapped =
+      toy.AddSynthetic("gapped", 5, {TimeSpan::Of(0, 3)});
+  // Sparse single-instant ticks (every 10 / every 20 instants): converting
+  // the coarser into the finer is feasible (nested supports) and is a case
+  // where the paper's minsize-based bound is strictly looser than the tight
+  // mingap-based one (e.g., n=1: paper emits 3, tight emits the true 2).
+  const Granularity* sparse10 =
+      toy.AddSynthetic("sparse10", 10, {TimeSpan::Of(0, 0)});
+  const Granularity* sparse20 =
+      toy.AddSynthetic("sparse20", 20, {TimeSpan::Of(0, 0)});
+  struct Pair {
+    const Granularity* source;
+    const Granularity* target;
+  };
+  const Pair pairs[] = {{three, seven},   {seven, three},
+                        {gapped, three},  {three, gapped},
+                        {gapped, seven},  {sparse20, sparse10}};
+  double paper_slack = 0, tight_slack = 0;
+  std::int64_t cases = 0, unsound = 0;
+  for (auto _ : state) {
+    paper_slack = tight_slack = 0;
+    cases = unsound = 0;
+    for (const Pair& pair : pairs) {
+      if (!SupportCovers(*pair.target, *pair.source)) continue;
+      for (std::int64_t n = 0; n <= 6; ++n) {
+        std::int64_t truth =
+            TightestByEnumeration(*pair.source, *pair.target, n, 35);
+        std::int64_t paper = ConvertUpperBound(
+            toy.tables(), *pair.source, *pair.target, n,
+            ConversionRule::kPaper);
+        std::int64_t tight = ConvertUpperBound(
+            toy.tables(), *pair.source, *pair.target, n,
+            ConversionRule::kTight);
+        if (paper < truth || tight < truth) ++unsound;  // must stay 0
+        paper_slack += static_cast<double>(paper - truth);
+        tight_slack += static_cast<double>(tight - truth);
+        ++cases;
+      }
+    }
+    benchmark::DoNotOptimize(paper_slack);
+  }
+  state.counters["avg_paper_slack"] =
+      paper_slack / static_cast<double>(cases);
+  state.counters["avg_tight_slack"] =
+      tight_slack / static_cast<double>(cases);
+  state.counters["unsound"] = static_cast<double>(unsound);
+}
+BENCHMARK(BM_ConversionTightness)->Unit(benchmark::kMillisecond);
+
+// The paper's worked slack case: [0,0]year converts to [0,12]month while
+// the tightest per-structure bound is 11 — reported as counters.
+void BM_YearToMonthSlack(benchmark::State& state) {
+  auto system = GranularitySystem::GregorianDays();
+  const Granularity* year = system->Find("year");
+  const Granularity* month = system->Find("month");
+  std::int64_t emitted = 0;
+  for (auto _ : state) {
+    Bounds converted = ConvertBounds(system->tables(), *year, *month,
+                                     Bounds::Of(0, 0));
+    benchmark::DoNotOptimize(converted);
+    emitted = converted.hi;
+  }
+  state.counters["emitted_hi"] = static_cast<double>(emitted);
+  state.counters["true_hi"] = 11.0;
+}
+BENCHMARK(BM_YearToMonthSlack);
+
+}  // namespace
+}  // namespace granmine
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// E0 (infrastructure microbenchmark, not a paper claim): costs of the
+// granularity primitives every algorithm sits on — tick lookups, hulls,
+// Appendix-A.1 table queries (cold vs. memoized) and support coverage.
+// Useful for spotting regressions in the substrate.
+
+#include <benchmark/benchmark.h>
+
+#include "granmine/common/random.h"
+#include "granmine/granularity/convert.h"
+#include "granmine/granularity/system.h"
+
+namespace granmine {
+namespace {
+
+const GranularitySystem& System() {
+  static GranularitySystem* system = GranularitySystem::Gregorian().release();
+  return *system;
+}
+
+void BM_TickContaining(benchmark::State& state, const char* name) {
+  const Granularity* g = System().Find(name);
+  Rng rng(1);
+  std::vector<TimePoint> instants;
+  for (int i = 0; i < 1024; ++i) {
+    instants.push_back(rng.Uniform(0, 40LL * 366 * 86400));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g->TickContaining(instants[i++ & 1023]));
+  }
+}
+BENCHMARK_CAPTURE(BM_TickContaining, second, "second");
+BENCHMARK_CAPTURE(BM_TickContaining, day, "day");
+BENCHMARK_CAPTURE(BM_TickContaining, month, "month");
+BENCHMARK_CAPTURE(BM_TickContaining, b_day, "b-day");
+BENCHMARK_CAPTURE(BM_TickContaining, b_month, "b-month");
+
+void BM_TickHull(benchmark::State& state, const char* name) {
+  const Granularity* g = System().Find(name);
+  Rng rng(2);
+  std::vector<Tick> ticks;
+  for (int i = 0; i < 1024; ++i) ticks.push_back(rng.Uniform(1, 4000));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g->TickHull(ticks[i++ & 1023]));
+  }
+}
+BENCHMARK_CAPTURE(BM_TickHull, month, "month");
+BENCHMARK_CAPTURE(BM_TickHull, b_day, "b-day");
+BENCHMARK_CAPTURE(BM_TickHull, b_month, "b-month");
+
+void BM_TableQueryCold(benchmark::State& state, const char* name) {
+  // Rebuild the system each iteration so every table query recomputes. The
+  // untimed rebuild dominates wall time, so pin the iteration count instead
+  // of letting the framework chase a time target.
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto fresh = GranularitySystem::Gregorian();
+    const Granularity* g = fresh->Find(name);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(fresh->tables().MaxSize(*g, 6));
+  }
+}
+BENCHMARK_CAPTURE(BM_TableQueryCold, b_day, "b-day")
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(30);
+BENCHMARK_CAPTURE(BM_TableQueryCold, month, "month")
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(30);
+
+void BM_TableQueryWarm(benchmark::State& state, const char* name) {
+  const Granularity* g = System().Find(name);
+  benchmark::DoNotOptimize(System().tables().MaxSize(*g, 6));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(System().tables().MaxSize(*g, 6));
+  }
+}
+BENCHMARK_CAPTURE(BM_TableQueryWarm, b_day, "b-day");
+BENCHMARK_CAPTURE(BM_TableQueryWarm, month, "month");
+
+void BM_SupportCoverage(benchmark::State& state) {
+  const Granularity* b_week = System().Find("b-week");
+  const Granularity* b_day = System().Find("b-day");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SupportCovers(*b_day, *b_week));
+  }
+}
+BENCHMARK(BM_SupportCoverage)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace granmine
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// E1 — Theorem 2: the approximate propagation algorithm is polynomial,
+// O(n^5 |M|^2 w). Series: wall time and fixpoint iterations as each of the
+// three parameters grows while the others stay fixed. The *shape* to check
+// against the paper: polynomial growth (no blow-up), iterations bounded.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "granmine/constraint/propagation.h"
+#include "granmine/granularity/system.h"
+
+namespace granmine {
+namespace {
+
+const GranularitySystem& System() {
+  static GranularitySystem* system =
+      GranularitySystem::GregorianDays().release();
+  return *system;
+}
+
+std::vector<const Granularity*> GranularitySet(int m) {
+  static const char* kNames[] = {"day", "week", "month", "b-day", "year",
+                                 "b-week"};
+  std::vector<const Granularity*> out;
+  for (int i = 0; i < m; ++i) out.push_back(System().Find(kNames[i]));
+  return out;
+}
+
+void RunPropagation(benchmark::State& state, int variables, int m,
+                    std::int64_t width) {
+  Rng rng(42);
+  std::vector<const Granularity*> granularities = GranularitySet(m);
+  std::vector<EventStructure> structures;
+  for (int i = 0; i < 8; ++i) {
+    structures.push_back(bench::RandomRootedStructure(
+        rng, variables, granularities, /*max_lo=*/2, width));
+  }
+  ConstraintPropagator propagator(&System().tables(), &System().coverage());
+  // Warm the table caches so the timing reflects the algorithm.
+  for (const EventStructure& s : structures) {
+    benchmark::DoNotOptimize(propagator.Propagate(s));
+  }
+  std::int64_t iterations_total = 0;
+  std::size_t which = 0;
+  for (auto _ : state) {
+    Result<PropagationResult> result =
+        propagator.Propagate(structures[which++ % structures.size()]);
+    benchmark::DoNotOptimize(result);
+    if (result.ok()) iterations_total += result->iterations;
+  }
+  state.counters["fixpoint_iters"] = benchmark::Counter(
+      static_cast<double>(iterations_total), benchmark::Counter::kAvgIterations);
+}
+
+void BM_Propagation_Variables(benchmark::State& state) {
+  RunPropagation(state, static_cast<int>(state.range(0)), 3, 8);
+}
+BENCHMARK(BM_Propagation_Variables)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Propagation_Granularities(benchmark::State& state) {
+  RunPropagation(state, 12, static_cast<int>(state.range(0)), 8);
+}
+BENCHMARK(BM_Propagation_Granularities)
+    ->DenseRange(1, 6)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Propagation_Range(benchmark::State& state) {
+  RunPropagation(state, 12, 3, state.range(0));
+}
+BENCHMARK(BM_Propagation_Range)
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace granmine
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// E3 — Theorem 3: the TAG for a complex event type is constructible in
+// polynomial time. Series: construction wall time, product-state count and
+// chain count p as the structure grows (variables; fan-out shape).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "granmine/granularity/system.h"
+#include "granmine/tag/builder.h"
+
+namespace granmine {
+namespace {
+
+const GranularitySystem& System() {
+  static GranularitySystem* system =
+      GranularitySystem::GregorianDays().release();
+  return *system;
+}
+
+void BM_TagBuild_Variables(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<const Granularity*> granularities = {
+      System().Find("day"), System().Find("week"), System().Find("month")};
+  std::vector<EventStructure> structures;
+  for (int i = 0; i < 8; ++i) {
+    structures.push_back(bench::RandomRootedStructure(
+        rng, static_cast<int>(state.range(0)), granularities, 2, 8,
+        /*extra_edge_probability=*/0.2));
+  }
+  std::size_t which = 0;
+  double states_total = 0, chains_total = 0;
+  std::int64_t builds = 0;
+  for (auto _ : state) {
+    Result<TagBuildResult> built =
+        BuildTagForStructure(structures[which++ % structures.size()]);
+    benchmark::DoNotOptimize(built);
+    if (built.ok()) {
+      states_total += built->tag.state_count();
+      chains_total += static_cast<double>(built->chains.size());
+      ++builds;
+    }
+  }
+  if (builds > 0) {
+    state.counters["product_states"] = states_total / builds;
+    state.counters["chains_p"] = chains_total / builds;
+  }
+}
+BENCHMARK(BM_TagBuild_Variables)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(24)
+    ->Unit(benchmark::kMicrosecond);
+
+// Fan-out stresses the chain count p (state space is the product of chain
+// positions, so p is the exponent the paper's Theorem-4 bound worries about).
+void BM_TagBuild_FanOut(benchmark::State& state) {
+  const int leaves = static_cast<int>(state.range(0));
+  const Granularity* day = System().Find("day");
+  EventStructure s;
+  VariableId root = s.AddVariable("R");
+  for (int i = 0; i < leaves; ++i) {
+    VariableId mid = s.AddVariable("M" + std::to_string(i));
+    VariableId leaf = s.AddVariable("L" + std::to_string(i));
+    (void)s.AddConstraint(root, mid, Tcg::Of(0, 3, day));
+    (void)s.AddConstraint(mid, leaf, Tcg::Of(0, 3, day));
+  }
+  double states = 0;
+  std::int64_t builds = 0;
+  for (auto _ : state) {
+    Result<TagBuildResult> built = BuildTagForStructure(s);
+    benchmark::DoNotOptimize(built);
+    if (built.ok()) {
+      states += built->tag.state_count();
+      ++builds;
+    }
+  }
+  if (builds > 0) state.counters["product_states"] = states / builds;
+}
+BENCHMARK(BM_TagBuild_FanOut)
+    ->DenseRange(1, 5)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace granmine
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+#ifndef GRANMINE_BENCH_BENCH_UTIL_H_
+#define GRANMINE_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "granmine/common/random.h"
+#include "granmine/constraint/event_structure.h"
+#include "granmine/granularity/granularity.h"
+
+namespace granmine {
+namespace bench {
+
+/// A random rooted DAG event structure: variable 0 is the root, every other
+/// variable hangs off a random earlier parent (plus optional extra forward
+/// edges), and each edge carries a TCG over a random granularity from
+/// `granularities` with lower bound in [0, max_lo] and width in [0, w].
+inline EventStructure RandomRootedStructure(
+    Rng& rng, int variables,
+    const std::vector<const Granularity*>& granularities, std::int64_t max_lo,
+    std::int64_t max_width, double extra_edge_probability = 0.3) {
+  EventStructure s;
+  for (int v = 0; v < variables; ++v) {
+    s.AddVariable("X" + std::to_string(v));
+  }
+  for (int v = 1; v < variables; ++v) {
+    int parent = static_cast<int>(rng.Uniform(0, v - 1));
+    std::int64_t lo = rng.Uniform(0, max_lo);
+    const Granularity* g = granularities[rng.Index(granularities.size())];
+    (void)s.AddConstraint(parent, v,
+                          Tcg::Of(lo, lo + rng.Uniform(0, max_width), g));
+  }
+  for (int v = 2; v < variables; ++v) {
+    if (!rng.Bernoulli(extra_edge_probability)) continue;
+    int a = static_cast<int>(rng.Uniform(0, v - 1));
+    if (s.FindEdge(a, v) != nullptr) continue;
+    std::int64_t lo = rng.Uniform(0, max_lo);
+    const Granularity* g = granularities[rng.Index(granularities.size())];
+    (void)s.AddConstraint(a, v,
+                          Tcg::Of(lo, lo + rng.Uniform(0, max_width), g));
+  }
+  return s;
+}
+
+}  // namespace bench
+}  // namespace granmine
+
+#endif  // GRANMINE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,74 @@
+// The introduction's ATM-transaction scenario: discover which event types
+// frequently follow a deposit *within the same day* and are confirmed by an
+// alert within two days — bounds that cannot be translated faithfully into
+// seconds (a "day" is not 86400 arbitrary seconds, §3).
+//
+// Run: ./atm_fraud [days] [confidence]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "granmine/granularity/system.h"
+#include "granmine/mining/miner.h"
+#include "granmine/sequence/generators.h"
+
+using namespace granmine;
+
+int main(int argc, char** argv) {
+  int days = argc > 1 ? std::atoi(argv[1]) : 120;
+  double confidence = argc > 2 ? std::atof(argv[2]) : 0.35;
+
+  std::unique_ptr<GranularitySystem> system = GranularitySystem::Gregorian();
+  AtmWorkloadOptions workload_options;
+  workload_options.days = days;
+  workload_options.accounts = 3;
+  workload_options.plant_probability = 0.55;
+  workload_options.seed = 7;
+  Workload workload = MakeAtmWorkload(*system, workload_options);
+  std::printf("generated %zu ATM events over %d days (%zu fraud cascades "
+              "planted)\n",
+              workload.sequence.size(), days, workload.planted);
+
+  // Structure: deposit X0, same-day activity X1, confirmation X2 within two
+  // days of the deposit and after the activity.
+  const Granularity* day = system->Find("day");
+  EventStructure structure;
+  VariableId x0 = structure.AddVariable("deposit");
+  VariableId x1 = structure.AddVariable("same-day-activity");
+  VariableId x2 = structure.AddVariable("confirmation");
+  if (!structure.AddConstraint(x0, x1, Tcg::Same(day)).ok() ||
+      !structure.AddConstraint(x0, x2, Tcg::Of(1, 2, day)).ok() ||
+      !structure.AddConstraint(x1, x2, Tcg::Of(0, 2, day)).ok()) {
+    return 1;
+  }
+
+  DiscoveryProblem problem;
+  problem.structure = &structure;
+  problem.min_confidence = confidence;
+  problem.reference_type = *workload.registry.Find("deposit-acct0");
+
+  Miner miner(system.get());
+  Result<MiningReport> report = miner.Mine(problem, workload.sequence);
+  if (!report.ok()) {
+    std::fprintf(stderr, "mining: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("deposits (account 0): %zu; candidates %llu -> %llu after "
+              "screening; %llu TAG runs\n",
+              report->total_roots,
+              static_cast<unsigned long long>(report->candidates_before),
+              static_cast<unsigned long long>(
+                  report->candidates_after_screening),
+              static_cast<unsigned long long>(report->tag_runs));
+  std::printf("patterns that follow a deposit with frequency > %.2f:\n",
+              confidence);
+  for (const DiscoveredType& found : report->solutions) {
+    std::printf("  freq %.3f: deposit, then %s the same day, then %s within "
+                "2 days\n",
+                found.frequency,
+                workload.registry.name(found.assignment[1]).c_str(),
+                workload.registry.name(found.assignment[2]).c_str());
+  }
+  if (report->solutions.empty()) std::printf("  (none at this threshold)\n");
+  return 0;
+}

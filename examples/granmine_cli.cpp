@@ -1,0 +1,319 @@
+// granmine_cli — mine temporal patterns from text files.
+//
+//   granmine_cli mine  --structure S.txt --events E.txt --reference TYPE
+//                      [--confidence 0.5] [--pin VAR=TYPE]... [--naive]
+//   granmine_cli check --structure S.txt [--exact]
+//   granmine_cli dot   --structure S.txt [--tag]
+//   granmine_cli demo
+//
+// Structure files use the text DSL of granmine/io/text_format.h:
+//     rise -> report : [1,1] b-day
+//     report -> fall : [0,1] week
+// Event files carry one "<timestamp> <type>" per line, timestamps either
+// raw seconds or "YYYY-MM-DD[ HH:MM:SS]".
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "granmine/constraint/exact.h"
+#include "granmine/constraint/propagation.h"
+#include "granmine/granularity/system.h"
+#include "granmine/io/dot.h"
+#include "granmine/io/text_format.h"
+#include "granmine/mining/explain.h"
+#include "granmine/mining/miner.h"
+#include "granmine/tag/builder.h"
+
+using namespace granmine;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  granmine_cli mine  --structure FILE --events FILE "
+               "--reference TYPE [--confidence C] [--pin VAR=TYPE]... "
+               "[--naive]\n"
+               "  granmine_cli check --structure FILE [--exact]\n"
+               "  granmine_cli dot   --structure FILE [--tag]\n"
+               "  granmine_cli demo\n");
+  return 64;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+  std::vector<std::string> pins;
+  bool naive = false;
+  bool exact = false;
+  bool tag = false;
+  bool explain = false;
+};
+
+Result<Args> ParseArgs(int argc, char** argv) {
+  if (argc < 2) return Status::Invalid("missing command");
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag == "--naive") {
+      args.naive = true;
+    } else if (flag == "--exact") {
+      args.exact = true;
+    } else if (flag == "--tag") {
+      args.tag = true;
+    } else if (flag == "--explain") {
+      args.explain = true;
+    } else if (flag == "--pin" && i + 1 < argc) {
+      args.pins.emplace_back(argv[++i]);
+    } else if (flag.rfind("--", 0) == 0 && i + 1 < argc) {
+      args.flags[flag.substr(2)] = argv[++i];
+    } else {
+      return Status::Invalid("unknown flag '" + flag + "'");
+    }
+  }
+  return args;
+}
+
+int RunDemo();
+
+int RunMine(const Args& args) {
+  auto system = GranularitySystem::Gregorian();
+  auto structure_text = ReadFile(args.flags.at("structure"));
+  auto events_text = ReadFile(args.flags.at("events"));
+  if (!structure_text.ok() || !events_text.ok()) {
+    std::fprintf(stderr, "%s\n", (!structure_text.ok()
+                                      ? structure_text.status()
+                                      : events_text.status())
+                                     .ToString()
+                                     .c_str());
+    return 66;
+  }
+  std::vector<std::string> names;
+  auto structure = ParseEventStructure(*structure_text, system.get(), &names);
+  if (!structure.ok()) {
+    std::fprintf(stderr, "structure: %s\n",
+                 structure.status().ToString().c_str());
+    return 65;
+  }
+  EventTypeRegistry registry;
+  auto sequence = ParseEventSequence(*events_text, &registry);
+  if (!sequence.ok()) {
+    std::fprintf(stderr, "events: %s\n", sequence.status().ToString().c_str());
+    return 65;
+  }
+  auto reference = registry.Find(args.flags.at("reference"));
+  if (!reference.has_value()) {
+    std::fprintf(stderr, "reference type '%s' does not occur\n",
+                 args.flags.at("reference").c_str());
+    return 65;
+  }
+  DiscoveryProblem problem;
+  problem.structure = &*structure;
+  problem.reference_type = *reference;
+  problem.min_confidence =
+      args.flags.count("confidence") ? std::stod(args.flags.at("confidence"))
+                                     : 0.5;
+  problem.allowed.assign(static_cast<std::size_t>(structure->variable_count()),
+                         {});
+  for (const std::string& pin : args.pins) {
+    std::size_t eq = pin.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "bad --pin '%s' (expected VAR=TYPE)\n",
+                   pin.c_str());
+      return 64;
+    }
+    std::string var = pin.substr(0, eq), type = pin.substr(eq + 1);
+    auto var_it = std::find(names.begin(), names.end(), var);
+    auto type_id = registry.Find(type);
+    if (var_it == names.end() || !type_id.has_value()) {
+      std::fprintf(stderr, "unknown variable or type in --pin '%s'\n",
+                   pin.c_str());
+      return 65;
+    }
+    problem.allowed[static_cast<std::size_t>(var_it - names.begin())] = {
+        *type_id};
+  }
+
+  Miner miner(system.get(),
+              args.naive ? MinerOptions::Naive() : MinerOptions{});
+  auto report = miner.Mine(problem, *sequence);
+  if (!report.ok()) {
+    std::fprintf(stderr, "mining: %s\n", report.status().ToString().c_str());
+    return 70;
+  }
+  std::printf("events %zu (%zu after reduction), reference occurrences %zu "
+              "(%zu survive), candidates %llu -> %llu, TAG runs %llu\n",
+              report->events_before, report->events_after_reduction,
+              report->total_roots, report->roots_after_reduction,
+              static_cast<unsigned long long>(report->candidates_before),
+              static_cast<unsigned long long>(
+                  report->candidates_after_screening),
+              static_cast<unsigned long long>(report->tag_runs));
+  if (report->refuted_by_propagation) {
+    std::printf("structure is INCONSISTENT (refuted by propagation)\n");
+    return 0;
+  }
+  std::printf("%zu solution(s) with frequency > %.3f:\n",
+              report->solutions.size(), problem.min_confidence);
+  for (const DiscoveredType& found : report->solutions) {
+    std::printf("  freq %.3f:", found.frequency);
+    for (std::size_t v = 0; v < found.assignment.size(); ++v) {
+      std::printf(" %s=%s", names[v].c_str(),
+                  registry.name(found.assignment[v]).c_str());
+    }
+    std::printf("\n");
+    if (args.explain) {
+      auto explanations = ExplainSolution(*structure, found,
+                                          problem.reference_type, *sequence,
+                                          /*max_explanations=*/2);
+      if (explanations.ok()) {
+        for (const Explanation& explanation : *explanations) {
+          std::printf("    occurrence:\n%s",
+                      FormatExplanation(*structure, explanation, *sequence,
+                                        registry)
+                          .c_str());
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+int RunCheck(const Args& args) {
+  auto system = GranularitySystem::Gregorian();
+  auto text = ReadFile(args.flags.at("structure"));
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 66;
+  }
+  auto structure = ParseEventStructure(*text, system.get());
+  if (!structure.ok()) {
+    std::fprintf(stderr, "structure: %s\n",
+                 structure.status().ToString().c_str());
+    return 65;
+  }
+  ConstraintPropagator propagator(&system->tables(), &system->coverage());
+  auto propagation = propagator.Propagate(*structure);
+  if (!propagation.ok()) {
+    std::fprintf(stderr, "propagation: %s\n",
+                 propagation.status().ToString().c_str());
+    return 70;
+  }
+  if (!propagation->consistent) {
+    std::printf("INCONSISTENT (refuted by approximate propagation)\n");
+    return 1;
+  }
+  std::printf("not refuted by approximate propagation (%d iterations)\n",
+              propagation->iterations);
+  if (args.exact) {
+    ExactConsistencyChecker checker(&system->tables(), &system->coverage());
+    auto result = checker.Check(*structure);
+    if (!result.ok()) {
+      std::fprintf(stderr, "exact: %s\n", result.status().ToString().c_str());
+      return 70;
+    }
+    if (result->consistent) {
+      std::printf("CONSISTENT (exact witness found, %llu nodes):\n",
+                  static_cast<unsigned long long>(result->nodes_explored));
+      for (VariableId v = 0; v < structure->variable_count(); ++v) {
+        std::printf("  %s = %s\n", structure->variable_name(v).c_str(),
+                    FormatTimePoint(result->witness[v]).c_str());
+      }
+    } else {
+      std::printf("INCONSISTENT (exact, %llu nodes)\n",
+                  static_cast<unsigned long long>(result->nodes_explored));
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int RunDot(const Args& args) {
+  auto system = GranularitySystem::Gregorian();
+  auto text = ReadFile(args.flags.at("structure"));
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 66;
+  }
+  std::vector<std::string> names;
+  auto structure = ParseEventStructure(*text, system.get(), &names);
+  if (!structure.ok()) {
+    std::fprintf(stderr, "structure: %s\n",
+                 structure.status().ToString().c_str());
+    return 65;
+  }
+  if (args.tag) {
+    auto built = BuildTagForStructure(*structure);
+    if (!built.ok()) {
+      std::fprintf(stderr, "TAG: %s\n", built.status().ToString().c_str());
+      return 70;
+    }
+    std::fputs(TagToDot(built->tag,
+                        [&](Symbol s) {
+                          return names[static_cast<std::size_t>(s)];
+                        })
+                   .c_str(),
+               stdout);
+  } else {
+    std::fputs(EventStructureToDot(*structure).c_str(), stdout);
+  }
+  return 0;
+}
+
+int RunDemo() {
+  std::printf("writing demo files demo_structure.txt / demo_events.txt\n");
+  {
+    std::ofstream s("demo_structure.txt");
+    s << "rise -> report : [1,1] b-day\n"
+         "report -> fall : [0,1] week\n"
+         "rise -> hp     : [0,5] b-day\n"
+         "hp -> fall     : [0,8] hour\n";
+    std::ofstream e("demo_events.txt");
+    e << "1970-01-05 10:00:00 IBM-rise\n"
+         "1970-01-06 11:00:00 IBM-earnings-report\n"
+         "1970-01-07 12:00:00 HP-rise\n"
+         "1970-01-07 15:00:00 IBM-fall\n"
+         "1970-01-12 10:00:00 IBM-rise\n"
+         "1970-01-13 11:00:00 IBM-earnings-report\n"
+         "1970-01-14 12:00:00 HP-rise\n"
+         "1970-01-14 15:00:00 IBM-fall\n"
+         "1970-01-19 10:00:00 IBM-rise\n";
+  }
+  std::printf("try:\n"
+              "  granmine_cli mine --structure demo_structure.txt --events "
+              "demo_events.txt --reference IBM-rise --confidence 0.5\n"
+              "  granmine_cli check --structure demo_structure.txt --exact\n"
+              "  granmine_cli dot --structure demo_structure.txt --tag\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = ParseArgs(argc, argv);
+  if (!args.ok()) return Usage();
+  auto need = [&](const char* flag) {
+    return args->flags.count(flag) > 0;
+  };
+  if (args->command == "demo") return RunDemo();
+  if (args->command == "mine" && need("structure") && need("events") &&
+      need("reference")) {
+    return RunMine(*args);
+  }
+  if (args->command == "check" && need("structure")) return RunCheck(*args);
+  if (args->command == "dot" && need("structure")) return RunDot(*args);
+  return Usage();
+}

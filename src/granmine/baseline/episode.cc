@@ -1,0 +1,183 @@
+#include "granmine/baseline/episode.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "granmine/common/check.h"
+#include "granmine/common/math.h"
+
+namespace granmine {
+
+std::string Episode::ToString() const {
+  std::ostringstream os;
+  os << (kind == Kind::kSerial ? "serial" : "parallel") << "<";
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    if (i > 0) os << (kind == Kind::kSerial ? " -> " : ", ");
+    os << types[i];
+  }
+  os << ">";
+  return os.str();
+}
+
+namespace {
+
+// For a serial episode: the windows containing an occurrence are the union
+// over occurrence end-events e_j of [t_j - width + 1, s_j], where s_j is the
+// latest start of an occurrence ending at e_j. The DP below computes s_j.
+std::vector<TimeSpan> SerialWindowIntervals(const Episode& episode,
+                                            const EventSequence& sequence,
+                                            std::int64_t width) {
+  const std::vector<Event>& events = sequence.events();
+  const std::size_t k = episode.types.size();
+  // best_start[l] = latest start time of an occurrence of the prefix of
+  // length l+1 seen so far (nullopt = none).
+  std::vector<std::optional<TimePoint>> best_start(k);
+  std::vector<TimeSpan> intervals;
+  for (const Event& event : events) {
+    // Descend so a single event cannot serve two levels.
+    for (std::size_t l = k; l-- > 0;) {
+      if (event.type != episode.types[l]) continue;
+      std::optional<TimePoint> start =
+          l == 0 ? std::optional<TimePoint>(event.time) : best_start[l - 1];
+      if (!start.has_value()) continue;
+      if (l + 1 == k) {
+        // Occurrence [start, event.time]: contained in windows
+        // [event.time - width + 1, *start] (if the span fits the window).
+        TimeSpan span = TimeSpan::Of(event.time - width + 1, *start);
+        if (!span.empty()) {
+          if (!intervals.empty() && intervals.back().last >= span.first - 1 &&
+              intervals.back().first <= span.first) {
+            intervals.back().last = std::max(intervals.back().last, span.last);
+          } else {
+            intervals.push_back(span);
+          }
+        }
+      } else if (!best_start[l].has_value() || *start > *best_start[l]) {
+        best_start[l] = start;
+      }
+    }
+  }
+  return intervals;
+}
+
+// For a parallel episode: sweep window starts; the containment predicate
+// changes only when an event enters (w = t - width + 1) or leaves
+// (w = t + 1) the window, so evaluate per breakpoint segment.
+std::vector<TimeSpan> ParallelWindowIntervals(const Episode& episode,
+                                              const EventSequence& sequence,
+                                              std::int64_t width) {
+  const std::vector<Event>& events = sequence.events();
+  std::map<EventTypeId, int> needed;
+  for (EventTypeId type : episode.types) ++needed[type];
+
+  // Breakpoints where window contents change.
+  std::vector<TimePoint> breaks;
+  for (const Event& event : events) {
+    if (needed.count(event.type) == 0) continue;
+    breaks.push_back(event.time - width + 1);
+    breaks.push_back(event.time + 1);
+  }
+  std::sort(breaks.begin(), breaks.end());
+  breaks.erase(std::unique(breaks.begin(), breaks.end()), breaks.end());
+
+  std::map<EventTypeId, int> have;
+  int satisfied = 0;
+  auto bump = [&](EventTypeId type, int delta) {
+    auto it = needed.find(type);
+    if (it == needed.end()) return;
+    int before = have[type];
+    have[type] = before + delta;
+    if (delta > 0 && before + delta == it->second) ++satisfied;
+    if (delta < 0 && before == it->second) --satisfied;
+  };
+
+  std::vector<TimeSpan> intervals;
+  std::size_t enter = 0;  // next event to enter (ordered by t - width + 1)
+  std::size_t leave = 0;  // next event to leave (ordered by t + 1)
+  for (std::size_t b = 0; b < breaks.size(); ++b) {
+    TimePoint w = breaks[b];
+    while (enter < events.size() && events[enter].time - width + 1 <= w) {
+      bump(events[enter].type, +1);
+      ++enter;
+    }
+    while (leave < events.size() && events[leave].time + 1 <= w) {
+      bump(events[leave].type, -1);
+      ++leave;
+    }
+    if (satisfied == static_cast<int>(needed.size())) {
+      TimePoint segment_end =
+          b + 1 < breaks.size() ? breaks[b + 1] - 1 : w;
+      if (!intervals.empty() && intervals.back().last >= w - 1) {
+        intervals.back().last = std::max(intervals.back().last, segment_end);
+      } else {
+        intervals.push_back(TimeSpan::Of(w, segment_end));
+      }
+    }
+  }
+  return intervals;
+}
+
+}  // namespace
+
+WindowCount CountWindows(const Episode& episode, const EventSequence& sequence,
+                         std::int64_t width) {
+  GM_CHECK(width >= 1);
+  GM_CHECK(!episode.types.empty());
+  WindowCount count;
+  if (sequence.empty()) return count;
+  const TimePoint first = sequence.events().front().time;
+  const TimePoint last = sequence.events().back().time;
+  const TimeSpan domain = TimeSpan::Of(first - width + 1, last);
+  count.total = domain.length();
+
+  std::vector<TimeSpan> intervals =
+      episode.kind == Episode::Kind::kSerial
+          ? SerialWindowIntervals(episode, sequence, width)
+          : ParallelWindowIntervals(episode, sequence, width);
+  // Intervals may overlap (serial merging is only local); count the union.
+  std::sort(intervals.begin(), intervals.end(),
+            [](const TimeSpan& a, const TimeSpan& b) {
+              return a.first < b.first;
+            });
+  TimePoint cursor = domain.first - 1;
+  for (const TimeSpan& interval : intervals) {
+    TimeSpan clipped = interval.Intersect(domain);
+    if (clipped.empty()) continue;
+    TimePoint from = std::max(clipped.first, cursor + 1);
+    if (from <= clipped.last) {
+      count.contained += clipped.last - from + 1;
+      cursor = clipped.last;
+    } else {
+      cursor = std::max(cursor, clipped.last);
+    }
+  }
+  return count;
+}
+
+bool OccursInWindow(const Episode& episode, const EventSequence& sequence,
+                    TimePoint window_start, std::int64_t width) {
+  const TimePoint window_end = window_start + width - 1;  // inclusive
+  const std::vector<Event>& events = sequence.events();
+  if (episode.kind == Episode::Kind::kParallel) {
+    std::map<EventTypeId, int> needed;
+    for (EventTypeId type : episode.types) ++needed[type];
+    for (const Event& event : events) {
+      if (event.time < window_start || event.time > window_end) continue;
+      auto it = needed.find(event.type);
+      if (it != needed.end() && --it->second == 0) needed.erase(it);
+    }
+    return needed.empty();
+  }
+  // Serial: greedy earliest match inside the window.
+  std::size_t level = 0;
+  for (const Event& event : events) {
+    if (event.time < window_start || event.time > window_end) continue;
+    if (event.type == episode.types[level]) {
+      if (++level == episode.types.size()) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace granmine

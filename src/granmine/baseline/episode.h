@@ -1,0 +1,54 @@
+#ifndef GRANMINE_BASELINE_EPISODE_H_
+#define GRANMINE_BASELINE_EPISODE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "granmine/sequence/sequence.h"
+
+namespace granmine {
+
+/// An episode in the sense of Mannila, Toivonen & Verkamo (KDD'95) — the
+/// baseline the paper positions itself against: a collection of event types
+/// that must occur inside a sliding window, either in order (serial) or in
+/// any order (parallel).
+struct Episode {
+  enum class Kind { kSerial, kParallel };
+
+  Kind kind = Kind::kSerial;
+  /// Types with multiplicity; serial episodes are ordered, parallel ones
+  /// are kept sorted (canonical multiset form).
+  std::vector<EventTypeId> types;
+
+  bool operator==(const Episode&) const = default;
+  std::string ToString() const;
+};
+
+/// Number of window positions w (windows are [w, w+width), w ranging over
+/// [first - width + 1, last] per MTV95) in which the episode occurs, plus
+/// the total number of window positions. frequency = contained / total.
+struct WindowCount {
+  std::int64_t contained = 0;
+  std::int64_t total = 0;
+
+  double Frequency() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(contained) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Counts the windows of `width` containing the episode over `sequence`.
+WindowCount CountWindows(const Episode& episode, const EventSequence& sequence,
+                         std::int64_t width);
+
+/// Whether the episode occurs somewhere within the half-open time window
+/// [window_start, window_start + width). Reference implementation used for
+/// differential tests of CountWindows.
+bool OccursInWindow(const Episode& episode, const EventSequence& sequence,
+                    TimePoint window_start, std::int64_t width);
+
+}  // namespace granmine
+
+#endif  // GRANMINE_BASELINE_EPISODE_H_

@@ -1,0 +1,122 @@
+#include "granmine/baseline/winepi.h"
+
+#include <algorithm>
+#include <set>
+
+#include "granmine/common/check.h"
+
+namespace granmine {
+
+namespace {
+
+// All (k-1)-subepisodes obtained by dropping one element (order/multiset
+// preserved).
+std::vector<std::vector<EventTypeId>> SubEpisodes(
+    const std::vector<EventTypeId>& types) {
+  std::vector<std::vector<EventTypeId>> out;
+  for (std::size_t drop = 0; drop < types.size(); ++drop) {
+    std::vector<EventTypeId> sub;
+    for (std::size_t i = 0; i < types.size(); ++i) {
+      if (i != drop) sub.push_back(types[i]);
+    }
+    out.push_back(std::move(sub));
+  }
+  return out;
+}
+
+std::vector<std::vector<EventTypeId>> GenerateCandidates(
+    Episode::Kind kind,
+    const std::vector<std::vector<EventTypeId>>& frequent_prev) {
+  std::set<std::vector<EventTypeId>> frequent_set(frequent_prev.begin(),
+                                                  frequent_prev.end());
+  std::set<std::vector<EventTypeId>> candidates;
+  if (kind == Episode::Kind::kParallel) {
+    // Extend each canonical (sorted) multiset with a frequent singleton type
+    // >= its last element.
+    std::set<EventTypeId> singles;
+    for (const auto& f : frequent_prev) {
+      if (f.size() == 1) singles.insert(f[0]);
+    }
+    // frequent_prev may be of size k-1 > 1; collect types from all of them.
+    for (const auto& f : frequent_prev) {
+      for (EventTypeId t : f) singles.insert(t);
+    }
+    for (const auto& f : frequent_prev) {
+      for (EventTypeId t : singles) {
+        if (t < f.back()) continue;
+        std::vector<EventTypeId> candidate = f;
+        candidate.push_back(t);
+        candidates.insert(std::move(candidate));
+      }
+    }
+  } else {
+    // Serial join: alpha + last(beta) when alpha[1:] == beta[:-1].
+    for (const auto& alpha : frequent_prev) {
+      for (const auto& beta : frequent_prev) {
+        bool joinable = true;
+        for (std::size_t i = 1; i < alpha.size(); ++i) {
+          if (alpha[i] != beta[i - 1]) {
+            joinable = false;
+            break;
+          }
+        }
+        if (!joinable) continue;
+        std::vector<EventTypeId> candidate = alpha;
+        candidate.push_back(beta.back());
+        candidates.insert(std::move(candidate));
+      }
+    }
+  }
+  // Apriori pruning: every subepisode must be frequent.
+  std::vector<std::vector<EventTypeId>> out;
+  for (const auto& candidate : candidates) {
+    bool keep = true;
+    for (const auto& sub : SubEpisodes(candidate)) {
+      std::vector<EventTypeId> canonical = sub;
+      if (kind == Episode::Kind::kParallel) {
+        std::sort(canonical.begin(), canonical.end());
+      }
+      if (frequent_set.find(canonical) == frequent_set.end()) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) out.push_back(candidate);
+  }
+  return out;
+}
+
+}  // namespace
+
+WinepiReport MineFrequentEpisodes(const EventSequence& sequence,
+                                  const WinepiOptions& options) {
+  GM_CHECK(options.max_size >= 1);
+  WinepiReport report;
+  if (sequence.empty()) return report;
+
+  // Level 1: singleton episodes over the distinct types.
+  std::vector<std::vector<EventTypeId>> level;
+  for (EventTypeId type : sequence.DistinctTypes()) {
+    level.push_back({type});
+  }
+
+  for (int size = 1; size <= options.max_size && !level.empty(); ++size) {
+    std::vector<std::vector<EventTypeId>> frequent_here;
+    for (const std::vector<EventTypeId>& types : level) {
+      Episode episode{options.kind, types};
+      ++report.candidates_evaluated;
+      WindowCount count =
+          CountWindows(episode, sequence, options.window_width);
+      double frequency = count.Frequency();
+      if (frequency >= options.min_frequency) {
+        report.frequent.push_back(FrequentEpisode{episode, frequency});
+        frequent_here.push_back(types);
+      }
+    }
+    if (size == options.max_size) break;
+    level = GenerateCandidates(options.kind, frequent_here);
+  }
+  return report;
+}
+
+}  // namespace granmine

@@ -1,0 +1,38 @@
+#ifndef GRANMINE_BASELINE_WINEPI_H_
+#define GRANMINE_BASELINE_WINEPI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "granmine/baseline/episode.h"
+
+namespace granmine {
+
+/// Options for the WINEPI frequent-episode miner of [MTV95].
+struct WinepiOptions {
+  Episode::Kind kind = Episode::Kind::kSerial;
+  std::int64_t window_width = 100;
+  double min_frequency = 0.1;  ///< fraction of windows (>=, per MTV95)
+  int max_size = 5;
+};
+
+struct FrequentEpisode {
+  Episode episode;
+  double frequency = 0.0;
+};
+
+struct WinepiReport {
+  std::vector<FrequentEpisode> frequent;  ///< all sizes, discovery order
+  std::uint64_t candidates_evaluated = 0;
+};
+
+/// Level-wise WINEPI: size-k candidates are generated from frequent
+/// (k-1)-episodes (Apriori join + subepisode pruning) and verified against
+/// the sliding-window frequency. The technique the paper cites as its
+/// candidate-reduction inspiration (§5.1).
+WinepiReport MineFrequentEpisodes(const EventSequence& sequence,
+                                  const WinepiOptions& options);
+
+}  // namespace granmine
+
+#endif  // GRANMINE_BASELINE_WINEPI_H_

@@ -1,0 +1,61 @@
+#ifndef GRANMINE_COMMON_CHECK_H_
+#define GRANMINE_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace granmine {
+namespace internal {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+/// Used only by GM_CHECK; invariant failures are bugs, not recoverable errors.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " GM_CHECK(" << condition
+            << ") failed. ";
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  /// Lets the macro turn the temporary into an lvalue for `&`/`<<` chaining.
+  CheckFailure& self() { return *this; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+struct Voidify {
+  // Lowest-precedence operator so `GM_CHECK(x) << msg` parses as expected.
+  void operator&(CheckFailure&) {}
+};
+
+}  // namespace internal
+}  // namespace granmine
+
+/// Aborts with a message when `condition` is false. Enabled in all build
+/// types: the algorithms here are cheap relative to the checks, and silent
+/// invariant corruption in a constraint solver is far worse than an abort.
+#define GM_CHECK(condition)                                                \
+  (condition) ? (void)0                                                    \
+              : ::granmine::internal::Voidify() &                          \
+                    ::granmine::internal::CheckFailure(__FILE__, __LINE__, \
+                                                       #condition)         \
+                        .self()
+
+/// Debug-only variant for hot paths.
+#ifdef NDEBUG
+#define GM_DCHECK(condition) GM_CHECK(true)
+#else
+#define GM_DCHECK(condition) GM_CHECK(condition)
+#endif
+
+#endif  // GRANMINE_COMMON_CHECK_H_

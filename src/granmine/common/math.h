@@ -1,0 +1,48 @@
+#ifndef GRANMINE_COMMON_MATH_H_
+#define GRANMINE_COMMON_MATH_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace granmine {
+
+/// Sentinel used as "+infinity" in shortest-path matrices and open-ended
+/// constraint bounds. Chosen far below INT64_MAX so that sums of a few
+/// sentinels never overflow.
+inline constexpr std::int64_t kInfinity =
+    std::numeric_limits<std::int64_t>::max() / 4;
+
+inline constexpr bool IsInfinite(std::int64_t v) {
+  return v >= kInfinity || v <= -kInfinity;
+}
+
+/// a + b with saturation at +/-kInfinity; never overflows for inputs that are
+/// themselves bounded by the sentinels.
+inline constexpr std::int64_t SaturatingAdd(std::int64_t a, std::int64_t b) {
+  if (a >= kInfinity || b >= kInfinity) {
+    if (a <= -kInfinity || b <= -kInfinity) return 0;  // inf + -inf: unused
+    return kInfinity;
+  }
+  if (a <= -kInfinity || b <= -kInfinity) return -kInfinity;
+  std::int64_t sum = a + b;
+  if (sum >= kInfinity) return kInfinity;
+  if (sum <= -kInfinity) return -kInfinity;
+  return sum;
+}
+
+/// Floor division toward negative infinity (C++ `/` truncates toward zero).
+inline constexpr std::int64_t FloorDiv(std::int64_t a, std::int64_t b) {
+  std::int64_t q = a / b;
+  std::int64_t r = a % b;
+  return (r != 0 && ((r < 0) != (b < 0))) ? q - 1 : q;
+}
+
+/// a mod b with a result in [0, |b|).
+inline constexpr std::int64_t FloorMod(std::int64_t a, std::int64_t b) {
+  std::int64_t r = a % b;
+  return (r != 0 && ((r < 0) != (b < 0))) ? r + b : r;
+}
+
+}  // namespace granmine
+
+#endif  // GRANMINE_COMMON_MATH_H_

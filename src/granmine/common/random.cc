@@ -1,0 +1,39 @@
+#include "granmine/common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "granmine/common/check.h"
+
+namespace granmine {
+
+std::int64_t Rng::Uniform(std::int64_t lo, std::int64_t hi) {
+  GM_CHECK(lo <= hi) << "Uniform(" << lo << ", " << hi << ")";
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::UniformReal() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+std::int64_t Rng::ArrivalGap(double mean) {
+  GM_CHECK(mean >= 1.0);
+  std::geometric_distribution<std::int64_t> dist(1.0 / mean);
+  return 1 + dist(engine_);
+}
+
+std::size_t Rng::Index(std::size_t size) {
+  GM_CHECK(size > 0);
+  return static_cast<std::size_t>(
+      Uniform(0, static_cast<std::int64_t>(size) - 1));
+}
+
+}  // namespace granmine

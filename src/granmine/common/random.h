@@ -1,0 +1,50 @@
+#ifndef GRANMINE_COMMON_RANDOM_H_
+#define GRANMINE_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace granmine {
+
+/// A deterministic PRNG wrapper used by workload generators and property
+/// tests. All randomized code in granmine takes an explicit Rng so that every
+/// test and benchmark is reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t Uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double UniformReal();
+
+  /// True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Geometric-like inter-arrival gap with the given mean (>= 1).
+  std::int64_t ArrivalGap(double mean);
+
+  /// Picks a uniformly random element index of a non-empty container size.
+  std::size_t Index(std::size_t size);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (std::size_t i = items->size() - 1; i > 0; --i) {
+      std::size_t j = static_cast<std::size_t>(Uniform(0, static_cast<std::int64_t>(i)));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace granmine
+
+#endif  // GRANMINE_COMMON_RANDOM_H_

@@ -1,0 +1,72 @@
+#ifndef GRANMINE_COMMON_RESULT_H_
+#define GRANMINE_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "granmine/common/check.h"
+#include "granmine/common/status.h"
+
+namespace granmine {
+
+/// A value-or-error holder in the style of arrow::Result. A `Result<T>` is
+/// either a `T` or a non-OK `Status`; constructing one from an OK status is a
+/// programming error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: allows `return value;` in Result-returning code.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a failure status: allows `return Status::Invalid(...)`.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    GM_CHECK(!std::get<Status>(repr_).ok())
+        << "Result constructed from an OK Status";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The failure status, or OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// The held value. Precondition: ok().
+  const T& value() const& {
+    GM_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    GM_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    GM_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+#define GM_CONCAT_IMPL(a, b) a##b
+#define GM_CONCAT(a, b) GM_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result-returning expression; on error returns the Status from
+/// the enclosing function, otherwise move-assigns the value into `lhs`.
+/// `lhs` may include a declaration: GM_ASSIGN_OR_RETURN(auto x, F());
+#define GM_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  GM_ASSIGN_OR_RETURN_IMPL(GM_CONCAT(_gm_result_, __LINE__), lhs, rexpr)
+
+#define GM_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                             \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+}  // namespace granmine
+
+#endif  // GRANMINE_COMMON_RESULT_H_

@@ -1,0 +1,53 @@
+#include "granmine/common/status.h"
+
+namespace granmine {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kUnsupported:
+      return "unsupported";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kResourceExhausted:
+      return "resource-exhausted";
+  }
+  return "unknown";
+}
+
+Status::Status(StatusCode code, std::string message)
+    : state_(std::make_unique<State>(State{code, std::move(message)})) {}
+
+Status::Status(const Status& other)
+    : state_(other.state_ ? std::make_unique<State>(*other.state_) : nullptr) {}
+
+Status& Status::operator=(const Status& other) {
+  if (this != &other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+  }
+  return *this;
+}
+
+const std::string& Status::message() const {
+  static const std::string kEmpty;
+  return state_ ? state_->message : kEmpty;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code()));
+  out += ": ";
+  out += message();
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace granmine

@@ -1,0 +1,96 @@
+#ifndef GRANMINE_COMMON_STATUS_H_
+#define GRANMINE_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace granmine {
+
+/// Machine-readable category of a failure. Mirrors the Arrow/RocksDB idiom:
+/// the library reports recoverable failures through `Status` / `Result<T>`
+/// instead of exceptions.
+enum class StatusCode {
+  kOk = 0,
+  /// A caller-supplied argument is malformed (bad bounds, unknown name, ...).
+  kInvalidArgument,
+  /// An entity referenced by the call does not exist.
+  kNotFound,
+  /// The operation is valid but unsupported by this implementation
+  /// (e.g., an infeasible granularity conversion).
+  kUnsupported,
+  /// An internal invariant failed; indicates a bug in granmine itself.
+  kInternal,
+  /// A configured resource limit (horizon, iteration cap, ...) was exceeded.
+  kResourceExhausted,
+};
+
+/// Returns the canonical lowercase name of `code` ("ok", "invalid-argument"...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the success case (a single
+/// pointer test); carries a code and a human-readable message on failure.
+class Status {
+ public:
+  /// Constructs a success status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&& other) noexcept = default;
+  Status& operator=(Status&& other) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status Unsupported(std::string message) {
+    return Status(StatusCode::kUnsupported, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// The failure message; empty for success statuses.
+  const std::string& message() const;
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // nullptr means OK; keeps sizeof(Status) == sizeof(void*).
+  std::unique_ptr<State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Propagates a failing Status out of the enclosing function.
+#define GM_RETURN_NOT_OK(expr)                \
+  do {                                        \
+    ::granmine::Status _gm_st = (expr);       \
+    if (!_gm_st.ok()) return _gm_st;          \
+  } while (false)
+
+}  // namespace granmine
+
+#endif  // GRANMINE_COMMON_STATUS_H_

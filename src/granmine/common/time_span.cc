@@ -1,0 +1,35 @@
+#include "granmine/common/time_span.h"
+
+#include <sstream>
+
+namespace granmine {
+
+std::string TimeSpan::ToString() const {
+  std::ostringstream os;
+  if (empty()) {
+    os << "[empty]";
+  } else {
+    os << "[" << first << ", " << last << "]";
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TimeSpan& span) {
+  return os << span.ToString();
+}
+
+std::string Bounds::ToString() const {
+  std::ostringstream os;
+  if (empty()) {
+    os << "[empty]";
+  } else {
+    os << "[" << lo << ", " << hi << "]";
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Bounds& bounds) {
+  return os << bounds.ToString();
+}
+
+}  // namespace granmine

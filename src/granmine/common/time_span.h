@@ -1,0 +1,75 @@
+#ifndef GRANMINE_COMMON_TIME_SPAN_H_
+#define GRANMINE_COMMON_TIME_SPAN_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+
+namespace granmine {
+
+/// An instant on the discrete absolute-time line, counted in primitive ticks
+/// (seconds in the real calendar, arbitrary units in toy calendars).
+using TimePoint = std::int64_t;
+
+/// A 1-based tick index of a granularity, as in the paper's "tick i of mu".
+using Tick = std::int64_t;
+
+/// An inclusive interval [first, last] of instants. Empty iff first > last.
+struct TimeSpan {
+  TimePoint first = 0;
+  TimePoint last = -1;
+
+  static TimeSpan Empty() { return TimeSpan{0, -1}; }
+  static TimeSpan Of(TimePoint first, TimePoint last) {
+    return TimeSpan{first, last};
+  }
+  /// The single-instant span {t}.
+  static TimeSpan Point(TimePoint t) { return TimeSpan{t, t}; }
+
+  bool empty() const { return first > last; }
+  /// Number of instants in the span (0 when empty).
+  std::int64_t length() const { return empty() ? 0 : last - first + 1; }
+  bool Contains(TimePoint t) const { return first <= t && t <= last; }
+  bool Contains(const TimeSpan& other) const {
+    return other.empty() || (first <= other.first && other.last <= last);
+  }
+  bool Intersects(const TimeSpan& other) const {
+    return !Intersect(other).empty();
+  }
+  TimeSpan Intersect(const TimeSpan& other) const {
+    return TimeSpan{first > other.first ? first : other.first,
+                    last < other.last ? last : other.last};
+  }
+
+  bool operator==(const TimeSpan& other) const = default;
+
+  std::string ToString() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const TimeSpan& span);
+
+/// An inclusive integer interval [lo, hi] used for constraint bounds
+/// (tick-difference ranges). Empty iff lo > hi.
+struct Bounds {
+  std::int64_t lo = 0;
+  std::int64_t hi = -1;
+
+  static Bounds Of(std::int64_t lo, std::int64_t hi) { return Bounds{lo, hi}; }
+
+  bool empty() const { return lo > hi; }
+  bool Contains(std::int64_t v) const { return lo <= v && v <= hi; }
+  Bounds Intersect(const Bounds& other) const {
+    return Bounds{lo > other.lo ? lo : other.lo,
+                  hi < other.hi ? hi : other.hi};
+  }
+  bool operator==(const Bounds& other) const = default;
+
+  std::string ToString() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Bounds& bounds);
+
+}  // namespace granmine
+
+#endif  // GRANMINE_COMMON_TIME_SPAN_H_

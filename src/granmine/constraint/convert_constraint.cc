@@ -1,0 +1,70 @@
+#include "granmine/constraint/convert_constraint.h"
+
+#include <algorithm>
+
+#include "granmine/common/check.h"
+#include "granmine/common/math.h"
+
+namespace granmine {
+
+std::int64_t ConvertUpperBound(GranularityTables& tables,
+                               const Granularity& source,
+                               const Granularity& target, std::int64_t n,
+                               ConversionRule rule) {
+  GM_CHECK(n >= 0);
+  if (n >= kInfinity) return kInfinity;
+  // D: the largest instant distance compatible with tickdiff <= n — both
+  // instants lie within n+1 consecutive source ticks.
+  std::optional<std::int64_t> span = tables.MaxSize(source, n + 1);
+  if (!span.has_value() || *span >= kInfinity) return kInfinity;
+  const std::int64_t d = *span - 1;
+  if (d <= 0) return 0;  // same instant => same target tick
+  std::optional<std::int64_t> s;
+  switch (rule) {
+    case ConversionRule::kPaper:
+      s = tables.LeastTicksCovering(target, d);
+      break;
+    case ConversionRule::kTight: {
+      std::optional<std::int64_t> first_unreachable =
+          tables.LeastTicksWithGapExceeding(target, d);
+      if (first_unreachable.has_value()) s = *first_unreachable - 1;
+      break;
+    }
+  }
+  return s.has_value() ? *s : kInfinity;
+}
+
+std::int64_t ConvertLowerBound(GranularityTables& tables,
+                               const Granularity& source,
+                               const Granularity& target, std::int64_t m) {
+  GM_CHECK(m >= 0);
+  if (m >= kInfinity) m = kInfinity - 1;
+  // G: the least instant distance enforced by tickdiff >= m.
+  std::optional<std::int64_t> gap = tables.MinGap(source, m);
+  if (!gap.has_value()) return 0;
+  std::optional<std::int64_t> r = tables.LeastTicksExceeding(target, *gap);
+  if (!r.has_value()) return 0;
+  return std::max<std::int64_t>(*r - 1, 0);
+}
+
+Bounds ConvertBounds(GranularityTables& tables, const Granularity& source,
+                     const Granularity& target, Bounds bounds,
+                     ConversionRule rule) {
+  GM_CHECK(!bounds.empty());
+  GM_CHECK(bounds.lo >= 0);
+  return Bounds::Of(ConvertLowerBound(tables, source, target, bounds.lo),
+                    ConvertUpperBound(tables, source, target, bounds.hi, rule));
+}
+
+std::optional<Tcg> ConvertTcg(GranularityTables& tables,
+                              SupportCoverageCache& coverage, const Tcg& tcg,
+                              const Granularity& target, ConversionRule rule) {
+  GM_CHECK(tcg.granularity != nullptr);
+  if (tcg.granularity == &target) return tcg;
+  if (!coverage.Covers(target, *tcg.granularity)) return std::nullopt;
+  Bounds converted =
+      ConvertBounds(tables, *tcg.granularity, target, tcg.bounds(), rule);
+  return Tcg::Of(converted.lo, converted.hi, &target);
+}
+
+}  // namespace granmine

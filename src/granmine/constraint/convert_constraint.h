@@ -1,0 +1,62 @@
+#ifndef GRANMINE_CONSTRAINT_CONVERT_CONSTRAINT_H_
+#define GRANMINE_CONSTRAINT_CONVERT_CONSTRAINT_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "granmine/common/time_span.h"
+#include "granmine/constraint/tcg.h"
+#include "granmine/granularity/convert.h"
+#include "granmine/granularity/granularity.h"
+#include "granmine/granularity/tables.h"
+
+namespace granmine {
+
+/// How converted upper bounds are computed.
+enum class ConversionRule {
+  /// The paper's Figure-3 algorithm verbatim:
+  ///   n' = min{ s : minsize(target, s) >= maxsize(source, n+1) − 1 }.
+  kPaper,
+  /// A provably tight variant (see DESIGN.md): since
+  /// mingap(g, d) >= minsize(g, d−1) + 1, the exact reachable tick distance
+  /// under an instant-distance cap D is
+  ///   n' = min{ s : mingap(target, s) > D } − 1,
+  /// which is never looser than the paper's bound. Used as an ablation.
+  kTight,
+};
+
+/// Converts the upper bound `tickdiff_source(x, y) <= n` (n >= 0) into an
+/// implied upper bound on tickdiff_target(x, y). Returns kInfinity when no
+/// finite bound can be derived (always sound). Requires
+/// SupportCovers(target, source); the caller checks feasibility.
+std::int64_t ConvertUpperBound(GranularityTables& tables,
+                               const Granularity& source,
+                               const Granularity& target, std::int64_t n,
+                               ConversionRule rule = ConversionRule::kPaper);
+
+/// Converts the lower bound `tickdiff_source(x, y) >= m` (m >= 0) into an
+/// implied lower bound on tickdiff_target(x, y); per Figure 3,
+///   m' = min{ r : maxsize(target, r) > mingap(source, m) } − 1,
+/// clamped to >= 0. Returns 0 when no bound can be derived (always sound).
+std::int64_t ConvertLowerBound(GranularityTables& tables,
+                               const Granularity& source,
+                               const Granularity& target, std::int64_t m);
+
+/// Figure-3 conversion of the interval constraint
+/// `Y − X ∈ [bounds.lo, bounds.hi]` (ticks of source, lo >= 0) into an
+/// implied interval in ticks of target.
+Bounds ConvertBounds(GranularityTables& tables, const Granularity& source,
+                     const Granularity& target, Bounds bounds,
+                     ConversionRule rule = ConversionRule::kPaper);
+
+/// TCG-level wrapper: checks the support-coverage feasibility precondition
+/// and returns the converted TCG, or nullopt when conversion into `target`
+/// is infeasible.
+std::optional<Tcg> ConvertTcg(GranularityTables& tables,
+                              SupportCoverageCache& coverage, const Tcg& tcg,
+                              const Granularity& target,
+                              ConversionRule rule = ConversionRule::kPaper);
+
+}  // namespace granmine
+
+#endif  // GRANMINE_CONSTRAINT_CONVERT_CONSTRAINT_H_

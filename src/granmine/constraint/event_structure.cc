@@ -1,0 +1,144 @@
+#include "granmine/constraint/event_structure.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "granmine/common/check.h"
+
+namespace granmine {
+
+VariableId EventStructure::AddVariable(std::string name) {
+  names_.push_back(std::move(name));
+  return static_cast<VariableId>(names_.size()) - 1;
+}
+
+Status EventStructure::AddConstraint(VariableId from, VariableId to, Tcg tcg) {
+  if (from < 0 || from >= variable_count() || to < 0 ||
+      to >= variable_count()) {
+    return Status::Invalid("constraint references an unknown variable");
+  }
+  if (from == to) {
+    return Status::Invalid("self-constraints are not allowed");
+  }
+  if (tcg.granularity == nullptr) {
+    return Status::Invalid("TCG has no granularity");
+  }
+  if (tcg.min > tcg.max || tcg.min < 0) {
+    return Status::Invalid("TCG interval " + tcg.ToString() +
+                           " is empty or negative");
+  }
+  for (Edge& edge : edges_) {
+    if (edge.from == from && edge.to == to) {
+      edge.tcgs.push_back(tcg);
+      return Status::OK();
+    }
+  }
+  edges_.push_back(Edge{from, to, {tcg}});
+  return Status::OK();
+}
+
+const std::string& EventStructure::variable_name(VariableId v) const {
+  GM_CHECK(v >= 0 && v < variable_count());
+  return names_[static_cast<std::size_t>(v)];
+}
+
+const std::vector<Tcg>* EventStructure::FindEdge(VariableId from,
+                                                 VariableId to) const {
+  for (const Edge& edge : edges_) {
+    if (edge.from == from && edge.to == to) return &edge.tcgs;
+  }
+  return nullptr;
+}
+
+std::vector<const Granularity*> EventStructure::Granularities() const {
+  std::vector<const Granularity*> out;
+  for (const Edge& edge : edges_) {
+    for (const Tcg& tcg : edge.tcgs) {
+      if (std::find(out.begin(), out.end(), tcg.granularity) == out.end()) {
+        out.push_back(tcg.granularity);
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<VariableId>> EventStructure::TopologicalOrder() const {
+  const int n = variable_count();
+  std::vector<int> indegree(n, 0);
+  std::vector<std::vector<VariableId>> next(n);
+  for (const Edge& edge : edges_) {
+    ++indegree[edge.to];
+    next[edge.from].push_back(edge.to);
+  }
+  std::vector<VariableId> order;
+  order.reserve(n);
+  std::vector<VariableId> frontier;
+  for (VariableId v = 0; v < n; ++v) {
+    if (indegree[v] == 0) frontier.push_back(v);
+  }
+  while (!frontier.empty()) {
+    VariableId v = frontier.back();
+    frontier.pop_back();
+    order.push_back(v);
+    for (VariableId w : next[v]) {
+      if (--indegree[w] == 0) frontier.push_back(w);
+    }
+  }
+  if (static_cast<int>(order.size()) != n) {
+    return Status::Invalid("event structure graph has a cycle");
+  }
+  return order;
+}
+
+Status EventStructure::ValidateDag() const {
+  return TopologicalOrder().status();
+}
+
+std::vector<std::vector<bool>> EventStructure::ReachabilityMatrix() const {
+  const int n = variable_count();
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  for (VariableId v = 0; v < n; ++v) reach[v][v] = true;
+  for (const Edge& edge : edges_) reach[edge.from][edge.to] = true;
+  for (int k = 0; k < n; ++k) {
+    for (int i = 0; i < n; ++i) {
+      if (!reach[i][k]) continue;
+      for (int j = 0; j < n; ++j) {
+        if (reach[k][j]) reach[i][j] = true;
+      }
+    }
+  }
+  return reach;
+}
+
+Result<VariableId> EventStructure::FindRoot() const {
+  GM_RETURN_NOT_OK(ValidateDag());
+  if (variable_count() == 0) {
+    return Status::Invalid("event structure has no variables");
+  }
+  std::vector<std::vector<bool>> reach = ReachabilityMatrix();
+  for (VariableId v = 0; v < variable_count(); ++v) {
+    bool reaches_all = true;
+    for (VariableId w = 0; w < variable_count(); ++w) {
+      if (!reach[v][w]) {
+        reaches_all = false;
+        break;
+      }
+    }
+    if (reaches_all) return v;
+  }
+  return Status::Invalid("event structure has no root");
+}
+
+std::string EventStructure::ToString() const {
+  std::ostringstream os;
+  os << "EventStructure(" << variable_count() << " variables)";
+  for (const Edge& edge : edges_) {
+    os << "\n  " << variable_name(edge.from) << " -> "
+       << variable_name(edge.to) << ":";
+    for (const Tcg& tcg : edge.tcgs) os << " " << tcg.ToString();
+  }
+  return os.str();
+}
+
+}  // namespace granmine

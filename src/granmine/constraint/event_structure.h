@@ -1,0 +1,72 @@
+#ifndef GRANMINE_CONSTRAINT_EVENT_STRUCTURE_H_
+#define GRANMINE_CONSTRAINT_EVENT_STRUCTURE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "granmine/common/result.h"
+#include "granmine/common/status.h"
+#include "granmine/constraint/tcg.h"
+
+namespace granmine {
+
+/// Index of an event variable within an EventStructure (0-based, dense).
+using VariableId = int;
+
+/// An *event structure with granularities* (§3): a directed acyclic graph
+/// over event variables whose edges carry conjunctions of TCGs. For data
+/// mining the graph must additionally be rooted (some variable reaches every
+/// other); consistency checking accepts general DAGs (the Theorem-1
+/// reduction produces multi-source graphs).
+class EventStructure {
+ public:
+  struct Edge {
+    VariableId from;
+    VariableId to;
+    std::vector<Tcg> tcgs;  ///< conjunction; non-empty
+  };
+
+  /// Adds a variable and returns its id. Names are for diagnostics only and
+  /// need not be unique (the paper's X0, X1, ...).
+  VariableId AddVariable(std::string name);
+
+  /// Adds `tcg` to the edge (from, to), creating the edge if needed.
+  /// Fails on self-loops, unknown ids, or an empty constraint interval.
+  Status AddConstraint(VariableId from, VariableId to, Tcg tcg);
+
+  int variable_count() const { return static_cast<int>(names_.size()); }
+  const std::string& variable_name(VariableId v) const;
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// The set of TCGs on edge (from, to); empty when absent.
+  const std::vector<Tcg>* FindEdge(VariableId from, VariableId to) const;
+
+  /// All distinct granularities appearing in the constraints (the paper's M).
+  std::vector<const Granularity*> Granularities() const;
+
+  /// Verifies the graph is a DAG (the §3 acyclicity requirement).
+  Status ValidateDag() const;
+
+  /// Verifies the graph is a rooted DAG and returns the root: a variable
+  /// with a path to every other variable. When several qualify the smallest
+  /// id wins.
+  Result<VariableId> FindRoot() const;
+
+  /// Topological order of the variables; fails when the graph has a cycle.
+  Result<std::vector<VariableId>> TopologicalOrder() const;
+
+  /// reachable[x][y]: there is a (possibly empty) path x -> y.
+  std::vector<std::vector<bool>> ReachabilityMatrix() const;
+
+  /// Human-readable multi-line rendering.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace granmine
+
+#endif  // GRANMINE_CONSTRAINT_EVENT_STRUCTURE_H_

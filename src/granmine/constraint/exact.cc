@@ -1,0 +1,330 @@
+#include "granmine/constraint/exact.h"
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+
+#include "granmine/common/check.h"
+#include "granmine/common/math.h"
+
+namespace granmine {
+
+bool SatisfiesAllConstraints(const EventStructure& structure,
+                             const std::vector<TimePoint>& timestamps) {
+  GM_CHECK(static_cast<int>(timestamps.size()) == structure.variable_count());
+  for (const EventStructure::Edge& edge : structure.edges()) {
+    for (const Tcg& tcg : edge.tcgs) {
+      if (!Satisfies(tcg, timestamps[edge.from], timestamps[edge.to])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Search state shared across the recursion.
+struct SearchContext {
+  const EventStructure* structure;
+  const PropagationResult* propagation;  // may be null
+  GranularityTables* tables;
+  const ExactOptions* options;
+  std::vector<const Granularity*> granularities;
+  TimeSpan window;  // absolute window for every variable
+  std::vector<std::optional<TimePoint>> assigned;
+  ExactResult* result;
+  bool node_budget_exhausted = false;
+
+  // Edges incident to each variable, precomputed.
+  std::vector<std::vector<const EventStructure::Edge*>> incident;
+};
+
+// Narrows `window` with the instant interval implied by "tick(v) within
+// [tick_lo, tick_hi] of g"; returns an empty span when unsatisfiable.
+TimeSpan TickRangeToInstants(const Granularity& g, Tick tick_lo, Tick tick_hi,
+                             TimeSpan window) {
+  if (tick_hi < 1) return TimeSpan::Empty();
+  tick_lo = std::max<Tick>(tick_lo, 1);
+  // Clamp the upper tick to the window to avoid materializing huge hulls.
+  std::optional<Tick> last_in_window =
+      LastTickStartingAtOrBefore(g, window.last);
+  if (!last_in_window.has_value()) return TimeSpan::Empty();
+  tick_hi = std::min(tick_hi, *last_in_window);
+  if (tick_lo > tick_hi) return TimeSpan::Empty();
+  std::optional<TimeSpan> lo_hull = g.TickHull(tick_lo);
+  std::optional<TimeSpan> hi_hull = g.TickHull(tick_hi);
+  GM_CHECK(lo_hull.has_value() && hi_hull.has_value());
+  return window.Intersect(TimeSpan::Of(lo_hull->first, hi_hull->last));
+}
+
+// The instant window for `v` implied by the constraints and propagation
+// bounds against already-assigned variables. Empty = dead branch.
+TimeSpan WindowFor(SearchContext& ctx, VariableId v) {
+  TimeSpan window = ctx.window;
+  for (const EventStructure::Edge* edge : ctx.incident[v]) {
+    VariableId other = edge->from == v ? edge->to : edge->from;
+    if (!ctx.assigned[other].has_value()) continue;
+    TimePoint t_other = *ctx.assigned[other];
+    const bool v_is_target = edge->to == v;
+    if (v_is_target) {
+      window = window.Intersect(TimeSpan::Of(t_other, window.last));
+    } else {
+      window = window.Intersect(TimeSpan::Of(window.first, t_other));
+    }
+    for (const Tcg& tcg : edge->tcgs) {
+      std::optional<Tick> z = tcg.granularity->TickContaining(t_other);
+      if (!z.has_value()) return TimeSpan::Empty();  // tcg needs definedness
+      std::int64_t hi =
+          tcg.max >= kInfinity ? kInfinity : tcg.max;  // open uppers allowed
+      if (v_is_target) {
+        window = TickRangeToInstants(
+            *tcg.granularity, *z + tcg.min,
+            hi >= kInfinity ? kInfinity : *z + hi, window);
+      } else {
+        window = TickRangeToInstants(
+            *tcg.granularity, hi >= kInfinity ? -kInfinity : *z - hi,
+            *z - tcg.min, window);
+      }
+      if (window.empty()) return window;
+    }
+  }
+  if (ctx.propagation != nullptr) {
+    for (VariableId u = 0; u < ctx.structure->variable_count(); ++u) {
+      if (u == v || !ctx.assigned[u].has_value()) continue;
+      TimePoint t_u = *ctx.assigned[u];
+      for (const Granularity* g : ctx.propagation->granularities) {
+        if (!ctx.propagation->IsDefinedIn(g, v) ||
+            !ctx.propagation->IsDefinedIn(g, u)) {
+          continue;
+        }
+        std::optional<Tick> z = g->TickContaining(t_u);
+        if (!z.has_value()) return TimeSpan::Empty();  // u must be defined
+        Bounds bounds = ctx.propagation->GetBounds(g, u, v);
+        if (bounds.lo <= -kInfinity && bounds.hi >= kInfinity) continue;
+        Tick lo = bounds.lo <= -kInfinity ? -kInfinity : *z + bounds.lo;
+        Tick hi = bounds.hi >= kInfinity ? kInfinity : *z + bounds.hi;
+        window = TickRangeToInstants(*g, lo, hi, window);
+        if (window.empty()) return window;
+      }
+    }
+  }
+  return window;
+}
+
+// Candidate instants for `v` within `window`: either every instant, or one
+// representative per cell of the partition induced by all granularity
+// extent boundaries (plus the window start).
+bool CollectCandidates(SearchContext& ctx, TimeSpan window,
+                       std::vector<TimePoint>* out) {
+  const std::int64_t kCandidateCap = 1 << 20;
+  out->clear();
+  if (window.empty()) return true;
+  if (!ctx.options->cell_representatives) {
+    if (window.length() > kCandidateCap) return false;
+    for (TimePoint t = window.first; t <= window.last; ++t) out->push_back(t);
+    ctx.result->candidates_generated += static_cast<std::uint64_t>(out->size());
+    return true;
+  }
+  out->push_back(window.first);
+  std::vector<TimeSpan> extent;
+  for (const Granularity* g : ctx.granularities) {
+    Tick z = FirstTickEndingAtOrAfter(*g, window.first);
+    while (true) {
+      std::optional<TimeSpan> hull = g->TickHull(z);
+      GM_CHECK(hull.has_value());
+      if (hull->first > window.last) break;
+      extent.clear();
+      g->TickExtent(z, &extent);
+      for (const TimeSpan& piece : extent) {
+        if (piece.first > window.first && piece.first <= window.last) {
+          out->push_back(piece.first);
+        }
+        if (piece.last + 1 > window.first && piece.last + 1 <= window.last) {
+          out->push_back(piece.last + 1);
+        }
+      }
+      if (static_cast<std::int64_t>(out->size()) > kCandidateCap) return false;
+      ++z;
+    }
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+  ctx.result->candidates_generated += static_cast<std::uint64_t>(out->size());
+  return true;
+}
+
+// Checks every TCG between v (tentatively at t) and its assigned neighbours.
+bool ConsistentWithAssigned(SearchContext& ctx, VariableId v, TimePoint t) {
+  for (const EventStructure::Edge* edge : ctx.incident[v]) {
+    VariableId other = edge->from == v ? edge->to : edge->from;
+    if (!ctx.assigned[other].has_value()) continue;
+    TimePoint t_from = edge->from == v ? t : *ctx.assigned[other];
+    TimePoint t_to = edge->to == v ? t : *ctx.assigned[other];
+    for (const Tcg& tcg : edge->tcgs) {
+      if (!Satisfies(tcg, t_from, t_to)) return false;
+    }
+  }
+  return true;
+}
+
+bool Search(SearchContext& ctx, const std::vector<VariableId>& order,
+            std::size_t index) {
+  if (++ctx.result->nodes_explored > ctx.options->max_nodes) {
+    ctx.node_budget_exhausted = true;
+    return false;
+  }
+  if (index == order.size()) return true;
+  VariableId v = order[index];
+  TimeSpan window = WindowFor(ctx, v);
+  std::vector<TimePoint> candidates;
+  if (!CollectCandidates(ctx, window, &candidates)) {
+    ctx.node_budget_exhausted = true;  // candidate cap: give up honestly
+    return false;
+  }
+  for (TimePoint t : candidates) {
+    if (!ConsistentWithAssigned(ctx, v, t)) continue;
+    ctx.assigned[v] = t;
+    if (Search(ctx, order, index + 1)) return true;
+    ctx.assigned[v] = std::nullopt;
+    if (ctx.node_budget_exhausted) return false;
+  }
+  return false;
+}
+
+// Orders variables so that (except at connected-component starts) every
+// variable is adjacent to an earlier one — its window is then derived from
+// an assigned neighbour instead of spanning the whole horizon.
+std::vector<VariableId> BuildConnectedOrder(
+    const EventStructure& structure, const std::vector<VariableId>& topo) {
+  const int n = structure.variable_count();
+  std::vector<std::vector<VariableId>> adjacent(n);
+  for (const EventStructure::Edge& edge : structure.edges()) {
+    adjacent[edge.from].push_back(edge.to);
+    adjacent[edge.to].push_back(edge.from);
+  }
+  std::vector<bool> chosen(n, false);
+  std::vector<VariableId> order;
+  order.reserve(n);
+  std::vector<VariableId> frontier;
+  for (VariableId seed : topo) {
+    if (chosen[seed]) continue;
+    frontier.push_back(seed);
+    chosen[seed] = true;
+    while (!frontier.empty()) {
+      VariableId v = frontier.front();
+      frontier.erase(frontier.begin());
+      order.push_back(v);
+      for (VariableId w : adjacent[v]) {
+        if (!chosen[w]) {
+          chosen[w] = true;
+          frontier.push_back(w);
+        }
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+ExactConsistencyChecker::ExactConsistencyChecker(GranularityTables* tables,
+                                                 SupportCoverageCache* coverage,
+                                                 ExactOptions options)
+    : tables_(tables), coverage_(coverage), options_(options) {
+  GM_CHECK(tables_ != nullptr && coverage_ != nullptr);
+}
+
+Result<ExactResult> ExactConsistencyChecker::Check(
+    const EventStructure& structure) const {
+  GM_ASSIGN_OR_RETURN(std::vector<VariableId> topo,
+                      structure.TopologicalOrder());
+  std::vector<VariableId> order = BuildConnectedOrder(structure, topo);
+  ExactResult result;
+  const int n = structure.variable_count();
+  if (n == 0) {
+    result.consistent = true;
+    return result;
+  }
+
+  PropagationResult propagation;
+  if (options_.prune_with_propagation) {
+    ConstraintPropagator propagator(tables_, coverage_);
+    GM_ASSIGN_OR_RETURN(propagation, propagator.Propagate(structure));
+    if (!propagation.consistent) {
+      result.consistent = false;
+      return result;
+    }
+  }
+
+  SearchContext ctx;
+  ctx.structure = &structure;
+  ctx.propagation = options_.prune_with_propagation ? &propagation : nullptr;
+  ctx.tables = tables_;
+  ctx.options = &options_;
+  ctx.granularities = structure.Granularities();
+  ctx.result = &result;
+  ctx.assigned.assign(static_cast<std::size_t>(n), std::nullopt);
+  ctx.incident.assign(static_cast<std::size_t>(n), {});
+  for (const EventStructure::Edge& edge : structure.edges()) {
+    ctx.incident[edge.from].push_back(&edge);
+    ctx.incident[edge.to].push_back(&edge);
+  }
+
+  // The search window: anchored past every deviant region, one joint period
+  // wide plus the largest reachable span, so that a solution exists inside
+  // it iff any solution exists (shift invariance of periodic granularities).
+  TimePoint anchor = std::max<TimePoint>(options_.anchor, 0);
+  std::int64_t span = options_.horizon_span;
+  if (span == 0) {
+    std::int64_t joint_period = 1;
+    for (const Granularity* g : ctx.granularities) {
+      std::int64_t period = g->periodicity().period;
+      std::int64_t gcd = std::gcd(joint_period, period);
+      if (joint_period / gcd > kInfinity / period) {
+        joint_period = kInfinity;
+        break;
+      }
+      joint_period = joint_period / gcd * period;
+      if (!g->IsStrictlyPeriodic()) {
+        std::optional<TimeSpan> hull = g->TickHull(g->LastDeviantTick() + 1);
+        GM_CHECK(hull.has_value());
+        anchor = std::max(anchor, hull->first);
+      }
+    }
+    std::int64_t reach = 0;
+    for (const EventStructure::Edge& edge : structure.edges()) {
+      std::int64_t best_edge = kInfinity;
+      for (const Tcg& tcg : edge.tcgs) {
+        if (tcg.max >= kInfinity) continue;
+        std::optional<std::int64_t> size =
+            tables_->MaxSize(*tcg.granularity, tcg.max + 1);
+        if (size.has_value()) best_edge = std::min(best_edge, *size);
+      }
+      reach = SaturatingAdd(reach,
+                            best_edge >= kInfinity ? joint_period : best_edge);
+    }
+    span = SaturatingAdd(SaturatingAdd(joint_period, joint_period), reach);
+    const std::int64_t kSpanCap = std::int64_t{1} << 40;
+    span = std::min(span, kSpanCap);
+  }
+  ctx.window = TimeSpan::Of(anchor, SaturatingAdd(anchor, span));
+
+  bool found = Search(ctx, order, 0);
+  if (ctx.node_budget_exhausted) {
+    return Status::ResourceExhausted(
+        "exact consistency search exceeded its node/candidate budget");
+  }
+  result.consistent = found;
+  if (found) {
+    result.witness.resize(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) {
+      GM_CHECK(ctx.assigned[v].has_value());
+      result.witness[static_cast<std::size_t>(v)] = *ctx.assigned[v];
+    }
+    GM_CHECK(SatisfiesAllConstraints(structure, result.witness));
+  }
+  return result;
+}
+
+}  // namespace granmine

@@ -1,0 +1,67 @@
+#ifndef GRANMINE_CONSTRAINT_EXACT_H_
+#define GRANMINE_CONSTRAINT_EXACT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "granmine/common/result.h"
+#include "granmine/constraint/event_structure.h"
+#include "granmine/constraint/propagation.h"
+#include "granmine/granularity/tables.h"
+
+namespace granmine {
+
+/// Options for the exact (exponential-time) consistency checker.
+struct ExactOptions {
+  /// Earliest timestamp candidates may take.
+  TimePoint anchor = 0;
+  /// Length of the absolute window searched. 0 = derive automatically (one
+  /// joint period of all involved granularities past their deviant windows,
+  /// plus the structure's maximum reachable span). A solution within the
+  /// window exists iff any solution exists whenever the granularities are
+  /// periodic past `anchor` — the automatic default guarantees that.
+  std::int64_t horizon_span = 0;
+  /// Enumerate one representative instant per tick-boundary cell (exact —
+  /// two instants in the same tick of every granularity are interchangeable)
+  /// instead of every instant. Disable only for differential testing.
+  bool cell_representatives = true;
+  /// Run §3.2 propagation first and use its derived bounds for pruning.
+  bool prune_with_propagation = true;
+  /// Search-node cap; exceeding it yields ResourceExhausted (Theorem 1 says
+  /// this is unavoidable in the worst case).
+  std::uint64_t max_nodes = 50'000'000;
+};
+
+struct ExactResult {
+  bool consistent = false;
+  /// A witness assignment (timestamp per variable) when consistent.
+  std::vector<TimePoint> witness;
+  std::uint64_t nodes_explored = 0;
+  std::uint64_t candidates_generated = 0;
+};
+
+/// Whether `timestamps` (one per variable) satisfies every TCG of the
+/// structure — the Definition-of-§3 matching test.
+bool SatisfiesAllConstraints(const EventStructure& structure,
+                             const std::vector<TimePoint>& timestamps);
+
+/// Exact consistency checking by backtracking over tick-boundary cell
+/// representatives, pruned with the approximate propagation bounds.
+/// Exponential in the worst case (Theorem 1: NP-hard via SUBSET SUM).
+class ExactConsistencyChecker {
+ public:
+  ExactConsistencyChecker(GranularityTables* tables,
+                          SupportCoverageCache* coverage,
+                          ExactOptions options = ExactOptions{});
+
+  Result<ExactResult> Check(const EventStructure& structure) const;
+
+ private:
+  GranularityTables* tables_;
+  SupportCoverageCache* coverage_;
+  ExactOptions options_;
+};
+
+}  // namespace granmine
+
+#endif  // GRANMINE_CONSTRAINT_EXACT_H_

@@ -1,0 +1,149 @@
+#include "granmine/constraint/propagation.h"
+
+#include <algorithm>
+
+#include "granmine/common/check.h"
+#include "granmine/common/math.h"
+
+namespace granmine {
+
+int PropagationResult::IndexOf(const Granularity* g) const {
+  for (std::size_t i = 0; i < granularities.size(); ++i) {
+    if (granularities[i] == g) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Bounds PropagationResult::GetBounds(const Granularity* g, VariableId x,
+                                    VariableId y) const {
+  int index = IndexOf(g);
+  if (index < 0) return Bounds::Of(-kInfinity, kInfinity);
+  return networks[static_cast<std::size_t>(index)].GetBounds(x, y);
+}
+
+bool PropagationResult::IsDefinedIn(const Granularity* g, VariableId v) const {
+  int index = IndexOf(g);
+  if (index < 0) return false;
+  return defined[static_cast<std::size_t>(index)][static_cast<std::size_t>(v)];
+}
+
+ConstraintPropagator::ConstraintPropagator(GranularityTables* tables,
+                                           SupportCoverageCache* coverage,
+                                           PropagationOptions options)
+    : tables_(tables), coverage_(coverage), options_(options) {
+  GM_CHECK(tables_ != nullptr && coverage_ != nullptr);
+}
+
+Result<PropagationResult> ConstraintPropagator::Propagate(
+    const EventStructure& structure) const {
+  GM_RETURN_NOT_OK(structure.ValidateDag());
+  const int n = structure.variable_count();
+
+  PropagationResult result;
+  result.granularities = structure.Granularities();
+  const int m = static_cast<int>(result.granularities.size());
+  if (m == 0) return result;  // no constraints: trivially consistent
+
+  // Conversion feasibility matrix: feasible[s][t] = constraints in
+  // granularity s may be translated into granularity t.
+  std::vector<std::vector<bool>> feasible(m, std::vector<bool>(m, false));
+  for (int s = 0; s < m; ++s) {
+    for (int t = 0; t < m; ++t) {
+      if (s == t) continue;
+      feasible[s][t] = coverage_->Covers(*result.granularities[t],
+                                         *result.granularities[s]);
+    }
+  }
+
+  // Definedness: a variable incident to a TCG in g has a defined g-tick in
+  // every matching complex event; support inclusion propagates the fact.
+  result.defined.assign(m, std::vector<bool>(n, false));
+  for (const EventStructure::Edge& edge : structure.edges()) {
+    for (const Tcg& tcg : edge.tcgs) {
+      int gi = result.IndexOf(tcg.granularity);
+      GM_CHECK(gi >= 0);
+      result.defined[gi][edge.from] = true;
+      result.defined[gi][edge.to] = true;
+    }
+  }
+  for (bool grew = true; grew;) {
+    grew = false;
+    for (int s = 0; s < m; ++s) {
+      for (int t = 0; t < m; ++t) {
+        if (s == t || !feasible[s][t]) continue;
+        for (int v = 0; v < n; ++v) {
+          if (result.defined[s][v] && !result.defined[t][v]) {
+            result.defined[t][v] = true;
+            grew = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Seed the per-granularity STP groups.
+  result.networks.assign(static_cast<std::size_t>(m), StpNetwork(n));
+  for (const EventStructure::Edge& edge : structure.edges()) {
+    for (const Tcg& tcg : edge.tcgs) {
+      int gi = result.IndexOf(tcg.granularity);
+      result.networks[gi].Constrain(edge.from, edge.to, tcg.bounds());
+    }
+  }
+  if (options_.derive_order_constraints) {
+    std::vector<std::vector<bool>> reach = structure.ReachabilityMatrix();
+    for (int gi = 0; gi < m; ++gi) {
+      for (int x = 0; x < n; ++x) {
+        for (int y = 0; y < n; ++y) {
+          if (x == y || !reach[x][y]) continue;
+          if (!result.defined[gi][x] || !result.defined[gi][y]) continue;
+          // Timestamp order t_x <= t_y forces tick(y) >= tick(x) wherever
+          // both ticks are defined: tick(x) - tick(y) <= 0.
+          result.networks[gi].ConstrainUpper(y, x, 0);
+        }
+      }
+    }
+  }
+  for (StpNetwork& network : result.networks) network.ConsumeChangedFlag();
+
+  // Fixpoint loop: path consistency per group, then cross-granularity
+  // translation of every derived distance.
+  for (result.iterations = 1; result.iterations <= options_.max_iterations;
+       ++result.iterations) {
+    for (StpNetwork& network : result.networks) {
+      if (!network.PropagateToMinimal()) {
+        result.consistent = false;
+        return result;
+      }
+    }
+    for (int s = 0; s < m; ++s) {
+      for (int t = 0; t < m; ++t) {
+        if (s == t || !feasible[s][t]) continue;
+        const Granularity& g_s = *result.granularities[s];
+        const Granularity& g_t = *result.granularities[t];
+        for (int x = 0; x < n; ++x) {
+          for (int y = 0; y < n; ++y) {
+            if (x == y) continue;
+            if (!result.defined[s][x] || !result.defined[s][y]) continue;
+            std::int64_t d = result.networks[s].Distance(x, y);
+            if (d >= kInfinity) continue;
+            std::int64_t hi =
+                d >= 0 ? ConvertUpperBound(*tables_, g_s, g_t, d,
+                                           options_.rule)
+                       : -ConvertLowerBound(*tables_, g_s, g_t, -d);
+            result.networks[t].ConstrainUpper(x, y, hi);
+          }
+        }
+      }
+    }
+    bool changed = false;
+    for (StpNetwork& network : result.networks) {
+      changed = network.ConsumeChangedFlag() || changed;
+    }
+    if (!changed) return result;
+  }
+  return Status::ResourceExhausted(
+      "constraint propagation did not reach a fixpoint within the iteration "
+      "cap");
+}
+
+}  // namespace granmine

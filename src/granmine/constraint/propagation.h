@@ -1,0 +1,73 @@
+#ifndef GRANMINE_CONSTRAINT_PROPAGATION_H_
+#define GRANMINE_CONSTRAINT_PROPAGATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "granmine/common/result.h"
+#include "granmine/constraint/convert_constraint.h"
+#include "granmine/constraint/event_structure.h"
+#include "granmine/constraint/stp.h"
+#include "granmine/granularity/convert.h"
+#include "granmine/granularity/tables.h"
+
+namespace granmine {
+
+/// Options for the §3.2 approximate constraint-propagation algorithm.
+struct PropagationOptions {
+  /// Figure-3 conversion (paper) or the tight ablation variant.
+  ConversionRule rule = ConversionRule::kPaper;
+  /// Derive `tick(y) >= tick(x)` for DAG-ordered pairs whose ticks are known
+  /// to be defined in the group's granularity (a sound strengthening that
+  /// the per-group STP view needs to see the timestamp order).
+  bool derive_order_constraints = true;
+  /// Safety net; Theorem 2 guarantees termination long before this.
+  int max_iterations = 100000;
+};
+
+/// Output of propagation: one minimal STP network per granularity in M,
+/// definedness sets, and instrumentation.
+struct PropagationResult {
+  /// False = the structure is certainly inconsistent. True = not refuted
+  /// (the algorithm is sound but incomplete; see Theorem 1).
+  bool consistent = true;
+  /// The granularities of M, parallel to `networks` and `defined`.
+  std::vector<const Granularity*> granularities;
+  std::vector<StpNetwork> networks;
+  /// defined[gi][v]: variable v provably has a defined tick in
+  /// granularities[gi] for every matching complex event.
+  std::vector<std::vector<bool>> defined;
+  int iterations = 0;
+
+  /// Index of `g` within `granularities`, or -1.
+  int IndexOf(const Granularity* g) const;
+  /// Derived bounds on tick(y) − tick(x) in `g`; [-inf, +inf] when g ∉ M.
+  Bounds GetBounds(const Granularity* g, VariableId x, VariableId y) const;
+  bool IsDefinedIn(const Granularity* g, VariableId v) const;
+};
+
+/// The §3.2 algorithm: partition TCGs into per-granularity STP groups, run
+/// path consistency within each group, translate each group's constraints
+/// into every feasible other granularity (Appendix A.1), and repeat to a
+/// fixpoint. Sound, terminating, polynomial (Theorem 2); incomplete
+/// (Theorem 1 shows completeness would imply P = NP).
+class ConstraintPropagator {
+ public:
+  ConstraintPropagator(GranularityTables* tables,
+                       SupportCoverageCache* coverage,
+                       PropagationOptions options = PropagationOptions{});
+
+  /// Runs propagation. Fails with a Status only on malformed input (cyclic
+  /// graph) or iteration-cap exhaustion; inconsistency of a well-formed
+  /// structure is reported via PropagationResult::consistent.
+  Result<PropagationResult> Propagate(const EventStructure& structure) const;
+
+ private:
+  GranularityTables* tables_;
+  SupportCoverageCache* coverage_;
+  PropagationOptions options_;
+};
+
+}  // namespace granmine
+
+#endif  // GRANMINE_CONSTRAINT_PROPAGATION_H_

@@ -1,0 +1,83 @@
+#include "granmine/constraint/stp.h"
+
+#include "granmine/common/check.h"
+
+namespace granmine {
+
+StpNetwork::StpNetwork(int size)
+    : size_(size),
+      matrix_(static_cast<std::size_t>(size) * static_cast<std::size_t>(size),
+              kInfinity) {
+  GM_CHECK(size >= 0);
+  for (int i = 0; i < size_; ++i) At(i, i) = 0;
+}
+
+void StpNetwork::Constrain(int from, int to, Bounds bounds) {
+  GM_CHECK(from >= 0 && from < size_ && to >= 0 && to < size_);
+  ConstrainUpper(from, to, bounds.hi);
+  ConstrainUpper(to, from, bounds.lo <= -kInfinity ? kInfinity : -bounds.lo);
+}
+
+void StpNetwork::ConstrainUpper(int from, int to, std::int64_t hi) {
+  GM_CHECK(from >= 0 && from < size_ && to >= 0 && to < size_);
+  if (hi < At(from, to)) {
+    At(from, to) = hi;
+    changed_ = true;
+  }
+}
+
+Bounds StpNetwork::GetBounds(int from, int to) const {
+  std::int64_t hi = At(from, to);
+  std::int64_t back = At(to, from);
+  std::int64_t lo = back >= kInfinity ? -kInfinity : -back;
+  return Bounds::Of(lo, hi);
+}
+
+std::int64_t StpNetwork::Distance(int from, int to) const {
+  GM_CHECK(from >= 0 && from < size_ && to >= 0 && to < size_);
+  return At(from, to);
+}
+
+bool StpNetwork::PropagateToMinimal() {
+  for (int k = 0; k < size_; ++k) {
+    for (int i = 0; i < size_; ++i) {
+      const std::int64_t d_ik = At(i, k);
+      if (d_ik >= kInfinity) continue;
+      for (int j = 0; j < size_; ++j) {
+        const std::int64_t via = SaturatingAdd(d_ik, At(k, j));
+        if (via < At(i, j)) {
+          At(i, j) = via;
+          changed_ = true;
+        }
+      }
+    }
+    // A negative self-distance witnesses a negative cycle.
+    for (int i = 0; i < size_; ++i) {
+      if (At(i, i) < 0) return false;
+    }
+  }
+  return true;
+}
+
+bool StpNetwork::ConsumeChangedFlag() {
+  bool was = changed_;
+  changed_ = false;
+  return was;
+}
+
+std::int64_t StpNetwork::FiniteIntervalSum() const {
+  std::int64_t sum = 0;
+  for (int i = 0; i < size_; ++i) {
+    for (int j = 0; j < size_; ++j) {
+      if (i == j) continue;
+      std::int64_t hi = At(i, j);
+      std::int64_t lo = At(j, i);
+      if (hi < kInfinity && lo < kInfinity) {
+        sum = SaturatingAdd(sum, SaturatingAdd(hi, lo));  // width = hi-(-lo)
+      }
+    }
+  }
+  return sum;
+}
+
+}  // namespace granmine

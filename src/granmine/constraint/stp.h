@@ -1,0 +1,65 @@
+#ifndef GRANMINE_CONSTRAINT_STP_H_
+#define GRANMINE_CONSTRAINT_STP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "granmine/common/math.h"
+#include "granmine/common/time_span.h"
+
+namespace granmine {
+
+/// A Simple Temporal Problem network in the sense of Dechter, Meiri & Pearl
+/// (the single-granularity substrate that §3.2 runs per granularity group):
+/// n variables, binary difference constraints `x_j − x_i ∈ [lo, hi]`,
+/// path-consistency via all-pairs shortest paths over the distance graph.
+///
+/// Internally the network stores the distance matrix d[i][j] = tightest known
+/// upper bound on (x_j − x_i); a constraint [lo, hi] on (i, j) contributes
+/// d[i][j] <= hi and d[j][i] <= -lo. The network is consistent iff the
+/// distance graph has no negative cycle, and after `PropagateToMinimal()`
+/// the matrix is the *minimal network* (tightest implied bounds).
+class StpNetwork {
+ public:
+  explicit StpNetwork(int size);
+
+  int size() const { return size_; }
+
+  /// Intersects the constraint `x_to − x_from ∈ bounds` into the network.
+  /// Open ends are expressed with ±kInfinity.
+  void Constrain(int from, int to, Bounds bounds);
+
+  /// Tightens just the upper bound `x_to − x_from <= hi`.
+  void ConstrainUpper(int from, int to, std::int64_t hi);
+
+  /// Current bounds on `x_to − x_from` (minimal after propagation).
+  Bounds GetBounds(int from, int to) const;
+
+  /// Raw distance-matrix entry: the upper bound on (x_to − x_from).
+  std::int64_t Distance(int from, int to) const;
+
+  /// Runs Floyd–Warshall to the minimal network. Returns false iff the
+  /// network is inconsistent (a negative self-distance appears); the matrix
+  /// contents are unspecified after an inconsistency.
+  bool PropagateToMinimal();
+
+  /// True when any entry was tightened since the last call to this method.
+  /// Used by the §3.2 fixpoint loop.
+  bool ConsumeChangedFlag();
+
+  /// Sum of all finite interval widths — the monotone measure from the
+  /// Theorem-2 termination argument (debug instrumentation).
+  std::int64_t FiniteIntervalSum() const;
+
+ private:
+  std::int64_t& At(int from, int to) { return matrix_[from * size_ + to]; }
+  std::int64_t At(int from, int to) const { return matrix_[from * size_ + to]; }
+
+  int size_;
+  std::vector<std::int64_t> matrix_;
+  bool changed_ = false;
+};
+
+}  // namespace granmine
+
+#endif  // GRANMINE_CONSTRAINT_STP_H_

@@ -1,0 +1,63 @@
+#ifndef GRANMINE_CONSTRAINT_SUBSET_SUM_H_
+#define GRANMINE_CONSTRAINT_SUBSET_SUM_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "granmine/common/result.h"
+#include "granmine/constraint/event_structure.h"
+#include "granmine/constraint/exact.h"
+#include "granmine/granularity/system.h"
+
+namespace granmine {
+
+/// A SUBSET SUM instance: is there a subset of `numbers` summing to `target`?
+struct SubsetSumInstance {
+  std::vector<std::int64_t> numbers;  ///< all >= 1
+  std::int64_t target = 0;
+};
+
+/// The event structure produced by the Theorem-1 reduction, with the
+/// variable roles needed to read a witness back.
+struct SubsetSumStructure {
+  EventStructure structure;
+  std::vector<VariableId> x;  ///< X_1 .. X_{k+1}
+  std::vector<VariableId> v;  ///< V_1 .. V_k
+  std::vector<VariableId> u;  ///< U_1 .. U_k
+  const Granularity* month = nullptr;
+};
+
+/// Builds the Theorem-1 reduction from SUBSET SUM to event-structure
+/// consistency over the given month-like granularity `month` owned by
+/// `system`: variables X_1..X_{k+1}, V_1..V_k, U_1..U_k with
+///   (X_i, X_{i+1}) ∈ [0, n_i] month,
+///   (X_1, X_{k+1}) ∈ [s, s] month,
+///   (V_i, X_i), (U_i, X_{i+1}) ∈ [0,0] n_i-month ∧ [n_i−1, n_i−1] month,
+/// which forces each X_{i+1} − X_i distance to be 0 or n_i months.
+/// The n_i-month grouping granularities are registered in `system` on demand
+/// (names "<n>x<month-name>").
+///
+/// Note (documented in DESIGN.md): with calendar-aligned n-month groupings
+/// the published reduction is faithful for instances whose numbers are
+/// pairwise coprime (the alignment congruences are then always satisfiable
+/// by CRT); the generators used in tests and benchmarks produce such
+/// instances.
+Result<SubsetSumStructure> BuildSubsetSumStructure(
+    GranularitySystem* system, const Granularity* month,
+    const SubsetSumInstance& instance);
+
+/// Decodes a witness assignment of the reduction structure into the chosen
+/// subset (chosen[i] ⇔ n_i contributes to the sum).
+std::vector<bool> DecodeSubset(const SubsetSumStructure& reduction,
+                               const std::vector<TimePoint>& witness);
+
+/// End-to-end: builds the reduction and solves it with the exact checker.
+/// Returns the chosen subset, or nullopt when no subset sums to the target.
+Result<std::optional<std::vector<bool>>> SolveSubsetSum(
+    GranularitySystem* system, const Granularity* month,
+    const SubsetSumInstance& instance, const ExactOptions& options);
+
+}  // namespace granmine
+
+#endif  // GRANMINE_CONSTRAINT_SUBSET_SUM_H_

@@ -1,0 +1,55 @@
+#include "granmine/constraint/substructure.h"
+
+#include <algorithm>
+
+#include "granmine/common/check.h"
+#include "granmine/common/math.h"
+
+namespace granmine {
+
+Result<EventStructure> InduceSubstructure(
+    const EventStructure& structure, const PropagationResult& propagation,
+    const std::vector<VariableId>& subset) {
+  for (VariableId v : subset) {
+    if (v < 0 || v >= structure.variable_count()) {
+      return Status::Invalid("subset references an unknown variable");
+    }
+  }
+  if (!propagation.consistent) {
+    return Status::Invalid(
+        "cannot induce a sub-structure from an inconsistent propagation");
+  }
+  std::vector<std::vector<bool>> reach = structure.ReachabilityMatrix();
+
+  EventStructure out;
+  for (VariableId v : subset) out.AddVariable(structure.variable_name(v));
+
+  const int k = static_cast<int>(subset.size());
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      if (i == j) continue;
+      VariableId x = subset[static_cast<std::size_t>(i)];
+      VariableId y = subset[static_cast<std::size_t>(j)];
+      if (!reach[x][y]) continue;
+      for (std::size_t gi = 0; gi < propagation.granularities.size(); ++gi) {
+        const Granularity* g = propagation.granularities[gi];
+        if (!propagation.IsDefinedIn(g, x) || !propagation.IsDefinedIn(g, y)) {
+          continue;
+        }
+        Bounds bounds = propagation.GetBounds(g, x, y);
+        // With x ≤ y in timestamp order the tick distance is >= 0.
+        std::int64_t lo = std::max<std::int64_t>(bounds.lo, 0);
+        std::int64_t hi = bounds.hi;
+        if (hi < lo) {
+          return Status::Internal("propagation produced an empty interval");
+        }
+        // Skip entirely uninformative [0, +inf] entries.
+        if (lo == 0 && hi >= kInfinity) continue;
+        GM_RETURN_NOT_OK(out.AddConstraint(i, j, Tcg::Of(lo, hi, g)));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace granmine

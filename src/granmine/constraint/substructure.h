@@ -1,0 +1,30 @@
+#ifndef GRANMINE_CONSTRAINT_SUBSTRUCTURE_H_
+#define GRANMINE_CONSTRAINT_SUBSTRUCTURE_H_
+
+#include <vector>
+
+#include "granmine/common/result.h"
+#include "granmine/constraint/event_structure.h"
+#include "granmine/constraint/propagation.h"
+
+namespace granmine {
+
+/// Builds the *induced approximated sub-structure* of §5.1: given an event
+/// structure S, the result of approximate propagation over S, and a subset
+/// W' of its variables, returns the structure (W', A', Γ') where A' contains
+/// every ordered pair (X, Y) ⊆ W'×W' with a path X→Y in S and at least one
+/// (original or derived) constraint, and Γ'(X, Y) collects the derived
+/// bounds in every granularity of M under which both endpoints are defined.
+///
+/// Variable i of the result corresponds to subset[i] in `structure` (the
+/// result reuses the original variable names).
+///
+/// Every complex event matching S restricts to a complex event matching the
+/// returned sub-structure (the soundness property mining step 4 relies on).
+Result<EventStructure> InduceSubstructure(
+    const EventStructure& structure, const PropagationResult& propagation,
+    const std::vector<VariableId>& subset);
+
+}  // namespace granmine
+
+#endif  // GRANMINE_CONSTRAINT_SUBSTRUCTURE_H_

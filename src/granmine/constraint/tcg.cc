@@ -1,0 +1,29 @@
+#include "granmine/constraint/tcg.h"
+
+#include <sstream>
+
+#include "granmine/common/check.h"
+
+namespace granmine {
+
+std::string Tcg::ToString() const {
+  std::ostringstream os;
+  os << "[" << min << ",";
+  if (max >= kInfinity) {
+    os << "inf";
+  } else {
+    os << max;
+  }
+  os << "]" << (granularity != nullptr ? granularity->name() : "?");
+  return os.str();
+}
+
+bool Satisfies(const Tcg& tcg, TimePoint t1, TimePoint t2) {
+  GM_CHECK(tcg.granularity != nullptr);
+  if (t1 > t2) return false;
+  std::optional<std::int64_t> diff = TickDifference(*tcg.granularity, t1, t2);
+  if (!diff.has_value()) return false;
+  return tcg.min <= *diff && *diff <= tcg.max;
+}
+
+}  // namespace granmine

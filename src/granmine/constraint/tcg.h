@@ -1,0 +1,42 @@
+#ifndef GRANMINE_CONSTRAINT_TCG_H_
+#define GRANMINE_CONSTRAINT_TCG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "granmine/common/math.h"
+#include "granmine/common/time_span.h"
+#include "granmine/granularity/granularity.h"
+
+namespace granmine {
+
+/// A *temporal constraint with granularity* `[m, n] μ` (§3): a binary
+/// relation on timestamps. `(t1, t2)` satisfies it iff
+///   (1) t1 <= t2,
+///   (2) ⌈t1⌉^μ and ⌈t2⌉^μ are both defined, and
+///   (3) m <= ⌈t2⌉^μ − ⌈t1⌉^μ <= n.
+/// `max` may be `kInfinity` for an open upper bound (used only for derived
+/// constraints; the paper's explicit constraints are finite).
+struct Tcg {
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  const Granularity* granularity = nullptr;
+
+  static Tcg Of(std::int64_t min, std::int64_t max, const Granularity* g) {
+    return Tcg{min, max, g};
+  }
+  /// "[0,0] day": the same-`g`-tick constraint.
+  static Tcg Same(const Granularity* g) { return Tcg{0, 0, g}; }
+
+  Bounds bounds() const { return Bounds::Of(min, max); }
+
+  /// "[m,n]name" rendering used in diagnostics.
+  std::string ToString() const;
+};
+
+/// Whether the ordered timestamp pair (t1, t2) satisfies the TCG.
+bool Satisfies(const Tcg& tcg, TimePoint t1, TimePoint t2);
+
+}  // namespace granmine
+
+#endif  // GRANMINE_CONSTRAINT_TCG_H_

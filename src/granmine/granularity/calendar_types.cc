@@ -1,0 +1,62 @@
+#include "granmine/granularity/calendar_types.h"
+
+#include "granmine/common/check.h"
+#include "granmine/common/math.h"
+#include "granmine/granularity/civil_calendar.h"
+
+namespace granmine {
+
+MonthGranularity::MonthGranularity(std::string name,
+                                   std::int64_t units_per_day)
+    : Granularity(std::move(name)), units_per_day_(units_per_day) {
+  GM_CHECK(units_per_day > 0);
+}
+
+std::optional<Tick> MonthGranularity::TickContaining(TimePoint t) const {
+  if (t < 0) return std::nullopt;
+  CivilDate date = CivilFromDays(FloorDiv(t, units_per_day_));
+  Tick z = MonthsSinceEpoch(date.year, date.month) + 1;
+  GM_DCHECK(z >= 1);
+  return z;
+}
+
+std::optional<TimeSpan> MonthGranularity::TickHull(Tick z) const {
+  if (z < 1) return std::nullopt;
+  std::int64_t months = z - 1;  // months since Jan 1970
+  std::int64_t year = 1970 + FloorDiv(months, 12);
+  int month = static_cast<int>(FloorMod(months, 12)) + 1;
+  std::int64_t first_day = DaysFromCivil(year, month, 1);
+  std::int64_t last_day = first_day + DaysInMonth(year, month) - 1;
+  return TimeSpan::Of(first_day * units_per_day_,
+                      (last_day + 1) * units_per_day_ - 1);
+}
+
+Granularity::Periodicity MonthGranularity::periodicity() const {
+  return {kDaysPerEra * units_per_day_, kMonthsPerEra};
+}
+
+YearGranularity::YearGranularity(std::string name, std::int64_t units_per_day)
+    : Granularity(std::move(name)), units_per_day_(units_per_day) {
+  GM_CHECK(units_per_day > 0);
+}
+
+std::optional<Tick> YearGranularity::TickContaining(TimePoint t) const {
+  if (t < 0) return std::nullopt;
+  CivilDate date = CivilFromDays(FloorDiv(t, units_per_day_));
+  return date.year - 1970 + 1;
+}
+
+std::optional<TimeSpan> YearGranularity::TickHull(Tick z) const {
+  if (z < 1) return std::nullopt;
+  std::int64_t year = 1970 + (z - 1);
+  std::int64_t first_day = DaysFromCivil(year, 1, 1);
+  std::int64_t last_day = DaysFromCivil(year + 1, 1, 1) - 1;
+  return TimeSpan::Of(first_day * units_per_day_,
+                      (last_day + 1) * units_per_day_ - 1);
+}
+
+Granularity::Periodicity YearGranularity::periodicity() const {
+  return {kDaysPerEra * units_per_day_, kYearsPerEra};
+}
+
+}  // namespace granmine

@@ -1,0 +1,46 @@
+#ifndef GRANMINE_GRANULARITY_CALENDAR_TYPES_H_
+#define GRANMINE_GRANULARITY_CALENDAR_TYPES_H_
+
+#include <optional>
+#include <string>
+
+#include "granmine/granularity/granularity.h"
+
+namespace granmine {
+
+/// Gregorian calendar months over a primitive instant of `unit` primitive
+/// ticks per day (86400 for the real second-based calendar; 1 for day-grained
+/// toy calendars). Tick 1 is January 1970; strictly periodic with a 400-year
+/// cycle.
+class MonthGranularity final : public Granularity {
+ public:
+  explicit MonthGranularity(std::string name,
+                            std::int64_t units_per_day = 86400);
+
+  std::optional<Tick> TickContaining(TimePoint t) const override;
+  std::optional<TimeSpan> TickHull(Tick z) const override;
+  Periodicity periodicity() const override;
+  bool HasFullSupport() const override { return true; }
+
+ private:
+  std::int64_t units_per_day_;
+};
+
+/// Gregorian calendar years; tick 1 is 1970.
+class YearGranularity final : public Granularity {
+ public:
+  explicit YearGranularity(std::string name,
+                           std::int64_t units_per_day = 86400);
+
+  std::optional<Tick> TickContaining(TimePoint t) const override;
+  std::optional<TimeSpan> TickHull(Tick z) const override;
+  Periodicity periodicity() const override;
+  bool HasFullSupport() const override { return true; }
+
+ private:
+  std::int64_t units_per_day_;
+};
+
+}  // namespace granmine
+
+#endif  // GRANMINE_GRANULARITY_CALENDAR_TYPES_H_

@@ -1,0 +1,56 @@
+#include "granmine/granularity/civil_calendar.h"
+
+#include "granmine/common/check.h"
+#include "granmine/common/math.h"
+
+namespace granmine {
+
+std::int64_t DaysFromCivil(std::int64_t year, int month, int day) {
+  GM_CHECK(month >= 1 && month <= 12) << "month=" << month;
+  GM_CHECK(day >= 1 && day <= 31) << "day=" << day;
+  // Hinnant: shift the year so it starts in March; then era arithmetic.
+  year -= month <= 2;
+  const std::int64_t era = FloorDiv(year, 400);
+  const std::int64_t yoe = year - era * 400;                      // [0, 399]
+  const std::int64_t mp = (month + 9) % 12;                       // [0, 11]
+  const std::int64_t doy = (153 * mp + 2) / 5 + day - 1;          // [0, 365]
+  const std::int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0,146096]
+  return era * kDaysPerEra + doe - 719468;
+}
+
+CivilDate CivilFromDays(std::int64_t days) {
+  days += 719468;
+  const std::int64_t era = FloorDiv(days, kDaysPerEra);
+  const std::int64_t doe = days - era * kDaysPerEra;  // [0, 146096]
+  const std::int64_t yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0, 399]
+  const std::int64_t y = yoe + era * 400;
+  const std::int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const std::int64_t mp = (5 * doy + 2) / 153;  // [0, 11]
+  const int d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  const int m = static_cast<int>(mp < 10 ? mp + 3 : mp - 9);
+  return CivilDate{y + (m <= 2), m, d};
+}
+
+int WeekdayFromDays(std::int64_t days) {
+  // Day 0 (1970-01-01) is Thursday = 3 with Monday = 0.
+  return static_cast<int>(FloorMod(days + 3, 7));
+}
+
+bool IsLeapYear(std::int64_t year) {
+  return year % 4 == 0 && (year % 100 != 0 || year % 400 == 0);
+}
+
+int DaysInMonth(std::int64_t year, int month) {
+  GM_CHECK(month >= 1 && month <= 12);
+  static constexpr int kLengths[] = {31, 28, 31, 30, 31, 30,
+                                     31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kLengths[month - 1];
+}
+
+std::int64_t MonthsSinceEpoch(std::int64_t year, int month) {
+  return (year - 1970) * 12 + (month - 1);
+}
+
+}  // namespace granmine

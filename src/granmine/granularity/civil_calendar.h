@@ -1,0 +1,50 @@
+#ifndef GRANMINE_GRANULARITY_CIVIL_CALENDAR_H_
+#define GRANMINE_GRANULARITY_CIVIL_CALENDAR_H_
+
+#include <cstdint>
+
+namespace granmine {
+
+/// Proleptic Gregorian civil-calendar arithmetic, built from first principles
+/// (Howard Hinnant's constant-time day algorithms). Day number 0 is
+/// 1970-01-01; negative day numbers extend the calendar backwards.
+///
+/// The Gregorian calendar is exactly periodic with a 400-year cycle of
+/// kDaysPerEra days, and kDaysPerEra is divisible by 7, so weekdays repeat
+/// with the same cycle — the fact that makes month/year/b-day granularities
+/// strictly periodic.
+
+inline constexpr std::int64_t kSecondsPerDay = 86400;
+inline constexpr std::int64_t kDaysPerEra = 146097;  ///< days per 400 years
+inline constexpr std::int64_t kMonthsPerEra = 4800;
+inline constexpr std::int64_t kYearsPerEra = 400;
+
+struct CivilDate {
+  std::int64_t year;
+  int month;  ///< 1..12
+  int day;    ///< 1..31
+  bool operator==(const CivilDate&) const = default;
+};
+
+/// Days since 1970-01-01 for the given civil date (which must be valid).
+std::int64_t DaysFromCivil(std::int64_t year, int month, int day);
+
+/// Civil date of the given day number.
+CivilDate CivilFromDays(std::int64_t days);
+
+/// Weekday of the given day number: 0 = Monday .. 6 = Sunday.
+/// (1970-01-01 was a Thursday, i.e., 3.)
+int WeekdayFromDays(std::int64_t days);
+
+/// True if `year` is a Gregorian leap year.
+bool IsLeapYear(std::int64_t year);
+
+/// Number of days in the given month of the given year.
+int DaysInMonth(std::int64_t year, int month);
+
+/// Months elapsed since January 1970 (0 for Jan 1970, negative before).
+std::int64_t MonthsSinceEpoch(std::int64_t year, int month);
+
+}  // namespace granmine
+
+#endif  // GRANMINE_GRANULARITY_CIVIL_CALENDAR_H_

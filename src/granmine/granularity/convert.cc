@@ -1,0 +1,110 @@
+#include "granmine/granularity/convert.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "granmine/common/check.h"
+#include "granmine/common/math.h"
+
+namespace granmine {
+
+std::optional<Tick> CoveringTick(const Granularity& mu, const Granularity& nu,
+                                 Tick z) {
+  if (z < 1) return std::nullopt;
+  std::vector<TimeSpan> nu_extent;
+  nu.TickExtent(z, &nu_extent);
+  if (nu_extent.empty()) return std::nullopt;
+  std::optional<Tick> candidate = mu.TickContaining(nu_extent.front().first);
+  if (!candidate.has_value()) return std::nullopt;
+  std::vector<TimeSpan> mu_extent;
+  mu.TickExtent(*candidate, &mu_extent);
+  // Every nu interval must lie inside some mu interval of the candidate tick.
+  std::size_t j = 0;
+  for (const TimeSpan& piece : nu_extent) {
+    while (j < mu_extent.size() && mu_extent[j].last < piece.first) ++j;
+    if (j >= mu_extent.size() || !mu_extent[j].Contains(piece)) {
+      return std::nullopt;
+    }
+  }
+  return candidate;
+}
+
+bool SupportContainsSpan(const Granularity& g, const TimeSpan& span) {
+  if (span.empty()) return true;
+  TimePoint t = span.first;
+  std::vector<TimeSpan> extent;
+  while (t <= span.last) {
+    std::optional<Tick> z = g.TickContaining(t);
+    if (!z.has_value()) return false;
+    extent.clear();
+    g.TickExtent(*z, &extent);
+    TimePoint advanced = t;
+    for (const TimeSpan& piece : extent) {
+      if (piece.Contains(t)) {
+        advanced = piece.last + 1;
+        break;
+      }
+    }
+    GM_CHECK(advanced > t) << "extent of " << g.name() << " tick " << *z
+                           << " does not contain a covered instant";
+    t = advanced;
+  }
+  return true;
+}
+
+bool SupportCovers(const Granularity& target, const Granularity& source,
+                   std::int64_t scan_cap) {
+  // Event timestamps are non-negative (§2: positive integers of the
+  // primitive type), so coverage only has to hold on [0, +inf).
+  const TimePoint source_start = std::max<TimePoint>(source.SupportStart(), 0);
+  if (source.HasFullSupport()) {
+    return target.HasFullSupport() && target.SupportStart() <= source_start;
+  }
+  if (target.HasFullSupport()) {
+    return target.SupportStart() <= source_start;
+  }
+  // Both gapped: scan source ticks across one joint period, extended past
+  // both exception windows.
+  const Granularity::Periodicity ps = source.periodicity();
+  const Granularity::Periodicity pt = target.periodicity();
+  std::int64_t joint_period;
+  if (__builtin_mul_overflow(ps.period / std::gcd(ps.period, pt.period),
+                             pt.period, &joint_period)) {
+    return false;  // conservatively infeasible
+  }
+  std::int64_t joint_source_ticks =
+      joint_period / ps.period * ps.ticks_per_period;
+  Tick last = source.LastDeviantTick() + joint_source_ticks;
+  // Extend past the target's exception window as well.
+  if (!target.IsStrictlyPeriodic()) {
+    std::optional<TimeSpan> dev_hull =
+        target.TickHull(target.LastDeviantTick() + 1);
+    GM_CHECK(dev_hull.has_value());
+    last = std::max(last, FirstTickEndingAtOrAfter(source, dev_hull->last) +
+                              joint_source_ticks);
+  }
+  if (last > scan_cap) return false;  // conservatively infeasible
+  std::vector<TimeSpan> extent;
+  for (Tick z = 1; z <= last; ++z) {
+    extent.clear();
+    source.TickExtent(z, &extent);
+    for (TimeSpan piece : extent) {
+      piece.first = std::max<TimePoint>(piece.first, 0);
+      if (!SupportContainsSpan(target, piece)) return false;
+    }
+  }
+  return true;
+}
+
+bool SupportCoverageCache::Covers(const Granularity& target,
+                                  const Granularity& source) {
+  auto key = std::make_pair(&target, &source);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  bool result = SupportCovers(target, source);
+  cache_.emplace(key, result);
+  return result;
+}
+
+}  // namespace granmine

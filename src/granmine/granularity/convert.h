@@ -1,0 +1,44 @@
+#ifndef GRANMINE_GRANULARITY_CONVERT_H_
+#define GRANMINE_GRANULARITY_CONVERT_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "granmine/granularity/granularity.h"
+
+namespace granmine {
+
+/// The paper's `⌈z⌉^μ_ν` (§2): the unique tick z' of `mu` whose extent
+/// contains the *entire* extent of tick z of `nu`, or nullopt when no single
+/// tick of `mu` covers it (e.g., a week straddling two months).
+std::optional<Tick> CoveringTick(const Granularity& mu, const Granularity& nu,
+                                 Tick z);
+
+/// Whether every instant of `span` belongs to the support of `g`.
+bool SupportContainsSpan(const Granularity& g, const TimeSpan& span);
+
+/// Decides the Appendix-A.1 feasibility precondition for converting
+/// constraints from `source` into `target`:
+///   for all i, t:  t ∈ source(i)  ⇒  exists j: t ∈ target(j),
+/// i.e., support(source) ⊆ support(target). Full-support types are decided
+/// in O(1); gapped pairs are scanned over one joint period (plus exception
+/// windows). Returns false conservatively when the joint period exceeds
+/// `scan_cap` source ticks — failing to convert is always sound.
+bool SupportCovers(const Granularity& target, const Granularity& source,
+                   std::int64_t scan_cap = std::int64_t{1} << 20);
+
+/// Memoizing wrapper around SupportCovers, keyed by granularity addresses.
+/// Not thread-safe; must not outlive the granularities it has seen.
+class SupportCoverageCache {
+ public:
+  bool Covers(const Granularity& target, const Granularity& source);
+
+ private:
+  std::map<std::pair<const Granularity*, const Granularity*>, bool> cache_;
+};
+
+}  // namespace granmine
+
+#endif  // GRANMINE_GRANULARITY_CONVERT_H_

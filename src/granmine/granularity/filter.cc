@@ -1,0 +1,128 @@
+#include "granmine/granularity/filter.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "granmine/common/check.h"
+#include "granmine/common/math.h"
+
+namespace granmine {
+
+FilterGranularity::FilterGranularity(std::string name, const Granularity* base,
+                                     PeriodicPattern pattern,
+                                     std::vector<Tick> removed)
+    : Granularity(std::move(name)),
+      base_(base),
+      pattern_(std::move(pattern)),
+      removed_(std::move(removed)) {
+  GM_CHECK(base_ != nullptr);
+  GM_CHECK(pattern_.base_period >= 1);
+  GM_CHECK(!pattern_.kept.empty()) << "filter pattern keeps no ticks";
+  GM_CHECK(std::is_sorted(pattern_.kept.begin(), pattern_.kept.end()));
+  GM_CHECK(std::adjacent_find(pattern_.kept.begin(), pattern_.kept.end()) ==
+           pattern_.kept.end());
+  GM_CHECK(pattern_.kept.front() >= 0 &&
+           pattern_.kept.back() < pattern_.base_period);
+  GM_CHECK(pattern_.anchor >= 0 && pattern_.anchor < pattern_.base_period);
+  std::sort(removed_.begin(), removed_.end());
+  removed_.erase(std::unique(removed_.begin(), removed_.end()),
+                 removed_.end());
+  for (Tick b : removed_) {
+    GM_CHECK(b >= 1 && PatternKeeps(b))
+        << "removed base tick " << b << " is not kept by the pattern";
+  }
+}
+
+bool FilterGranularity::PatternKeeps(Tick base_tick) const {
+  std::int64_t offset =
+      FloorMod(base_tick - 1 + pattern_.anchor, pattern_.base_period);
+  return std::binary_search(pattern_.kept.begin(), pattern_.kept.end(),
+                            offset);
+}
+
+bool FilterGranularity::Keeps(Tick base_tick) const {
+  return PatternKeeps(base_tick) &&
+         !std::binary_search(removed_.begin(), removed_.end(), base_tick);
+}
+
+std::int64_t FilterGranularity::CountKept(Tick base_tick) const {
+  if (base_tick < 1) return 0;
+  // F(x) = #{j in [0, x] : j mod base_period is kept}; count over the shifted
+  // index j = b - 1 + anchor for b in [1, base_tick].
+  auto count_from_zero = [this](std::int64_t x) -> std::int64_t {
+    if (x < 0) return 0;
+    std::int64_t q = (x + 1) / pattern_.base_period;
+    std::int64_t r = (x + 1) % pattern_.base_period;
+    std::int64_t partial =
+        std::lower_bound(pattern_.kept.begin(), pattern_.kept.end(), r) -
+        pattern_.kept.begin();
+    return q * static_cast<std::int64_t>(pattern_.kept.size()) + partial;
+  };
+  std::int64_t by_pattern = count_from_zero(base_tick - 1 + pattern_.anchor) -
+                            count_from_zero(pattern_.anchor - 1);
+  std::int64_t removed_below =
+      std::upper_bound(removed_.begin(), removed_.end(), base_tick) -
+      removed_.begin();
+  return by_pattern - removed_below;
+}
+
+Tick FilterGranularity::BaseTickOf(Tick z) const {
+  GM_CHECK(z >= 1);
+  // Binary search the smallest base tick b with CountKept(b) >= z.
+  const std::int64_t kept_per_cycle =
+      static_cast<std::int64_t>(pattern_.kept.size());
+  Tick hi = ((z + static_cast<std::int64_t>(removed_.size())) /
+                 kept_per_cycle +
+             2) *
+                pattern_.base_period +
+            1;
+  GM_CHECK(CountKept(hi) >= z);
+  Tick lo = 1;
+  while (lo < hi) {
+    Tick mid = lo + (hi - lo) / 2;
+    if (CountKept(mid) >= z) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  GM_DCHECK(Keeps(lo));
+  return lo;
+}
+
+std::optional<Tick> FilterGranularity::TickContaining(TimePoint t) const {
+  std::optional<Tick> b = base_->TickContaining(t);
+  if (!b.has_value() || !Keeps(*b)) return std::nullopt;
+  return CountKept(*b);
+}
+
+std::optional<TimeSpan> FilterGranularity::TickHull(Tick z) const {
+  if (z < 1) return std::nullopt;
+  return base_->TickHull(BaseTickOf(z));
+}
+
+void FilterGranularity::TickExtent(Tick z,
+                                   std::vector<TimeSpan>* out) const {
+  if (z < 1) return;
+  base_->TickExtent(BaseTickOf(z), out);
+}
+
+Granularity::Periodicity FilterGranularity::periodicity() const {
+  Periodicity base_p = base_->periodicity();
+  // The joint cycle must align both the base hull pattern (every
+  // base_p.ticks_per_period base ticks) and the selection pattern (every
+  // pattern_.base_period base ticks).
+  std::int64_t base_ticks =
+      std::lcm(pattern_.base_period, base_p.ticks_per_period);
+  std::int64_t period = base_p.period * (base_ticks / base_p.ticks_per_period);
+  std::int64_t ticks = (base_ticks / pattern_.base_period) *
+                       static_cast<std::int64_t>(pattern_.kept.size());
+  return {period, ticks};
+}
+
+Tick FilterGranularity::LastDeviantTick() const {
+  if (removed_.empty()) return 0;
+  return CountKept(removed_.back()) + 1;
+}
+
+}  // namespace granmine

@@ -1,0 +1,65 @@
+#ifndef GRANMINE_GRANULARITY_FILTER_H_
+#define GRANMINE_GRANULARITY_FILTER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "granmine/granularity/granularity.h"
+
+namespace granmine {
+
+/// A periodic selection of base-tick offsets: base tick b is kept iff
+/// (b - 1 + anchor) mod base_period is in `kept`. For `b-day` over `day`
+/// with day 1 = 1970-01-01 (a Thursday) and Monday = offset 0 the pattern is
+/// {base_period = 7, kept = {0,1,2,3,4}, anchor = 3}.
+struct PeriodicPattern {
+  std::int64_t base_period = 1;
+  std::vector<std::int64_t> kept;  ///< sorted, distinct, in [0, base_period)
+  std::int64_t anchor = 0;         ///< in [0, base_period)
+};
+
+/// A granularity that keeps a periodic subset of another granularity's ticks
+/// and renumbers them consecutively — `b-day`, `weekend-day`, and the like.
+/// An optional finite list of `removed` base ticks ("holidays") is subtracted
+/// on top of the pattern, which makes the type eventually periodic rather
+/// than strictly periodic.
+class FilterGranularity final : public Granularity {
+ public:
+  /// `base` must outlive this object. `removed` entries must be base-tick
+  /// indices that the pattern keeps.
+  FilterGranularity(std::string name, const Granularity* base,
+                    PeriodicPattern pattern,
+                    std::vector<Tick> removed = {});
+
+  std::optional<Tick> TickContaining(TimePoint t) const override;
+  std::optional<TimeSpan> TickHull(Tick z) const override;
+  Periodicity periodicity() const override;
+  bool ticks_are_intervals() const override {
+    return base_->ticks_are_intervals();
+  }
+  void TickExtent(Tick z, std::vector<TimeSpan>* out) const override;
+  bool IsStrictlyPeriodic() const override { return removed_.empty(); }
+  Tick LastDeviantTick() const override;
+
+  const Granularity& base() const { return *base_; }
+
+  /// Number of kept, non-removed base ticks in [1, base_tick].
+  std::int64_t CountKept(Tick base_tick) const;
+  /// The base tick of this granularity's tick z (z >= 1).
+  Tick BaseTickOf(Tick z) const;
+  /// Whether the pattern (ignoring removals) keeps this base tick.
+  bool PatternKeeps(Tick base_tick) const;
+  /// Whether base_tick is kept and not removed.
+  bool Keeps(Tick base_tick) const;
+
+ private:
+  const Granularity* base_;
+  PeriodicPattern pattern_;
+  std::vector<Tick> removed_;  // sorted
+};
+
+}  // namespace granmine
+
+#endif  // GRANMINE_GRANULARITY_FILTER_H_

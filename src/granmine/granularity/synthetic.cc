@@ -1,0 +1,64 @@
+#include "granmine/granularity/synthetic.h"
+
+#include <algorithm>
+
+#include "granmine/common/check.h"
+#include "granmine/common/math.h"
+
+namespace granmine {
+
+SyntheticGranularity::SyntheticGranularity(std::string name,
+                                           std::int64_t period,
+                                           std::vector<TimeSpan> ticks,
+                                           TimePoint origin)
+    : Granularity(std::move(name)),
+      period_(period),
+      ticks_(std::move(ticks)),
+      origin_(origin) {
+  GM_CHECK(period_ >= 1);
+  GM_CHECK(!ticks_.empty());
+  TimePoint prev_end = -1;
+  for (const TimeSpan& span : ticks_) {
+    GM_CHECK(!span.empty());
+    GM_CHECK(span.first > prev_end) << "tick intervals must be sorted/disjoint";
+    GM_CHECK(span.first >= 0 && span.last < period_);
+    prev_end = span.last;
+  }
+  full_support_ = ticks_.size() == 1
+                      ? (ticks_[0].first == 0 && ticks_[0].last == period_ - 1)
+                      : false;
+  if (ticks_.size() > 1) {
+    bool contiguous = ticks_.front().first == 0 &&
+                      ticks_.back().last == period_ - 1;
+    for (std::size_t i = 1; contiguous && i < ticks_.size(); ++i) {
+      contiguous = ticks_[i].first == ticks_[i - 1].last + 1;
+    }
+    full_support_ = contiguous;
+  }
+}
+
+std::optional<Tick> SyntheticGranularity::TickContaining(TimePoint t) const {
+  std::int64_t cycle = FloorDiv(t - origin_, period_);
+  if (cycle < 0) return std::nullopt;
+  std::int64_t r = t - origin_ - cycle * period_;
+  // Last tick interval whose start is <= r.
+  auto it = std::upper_bound(
+      ticks_.begin(), ticks_.end(), r,
+      [](std::int64_t v, const TimeSpan& span) { return v < span.first; });
+  if (it == ticks_.begin()) return std::nullopt;
+  --it;
+  if (!it->Contains(r)) return std::nullopt;
+  return cycle * static_cast<std::int64_t>(ticks_.size()) +
+         (it - ticks_.begin()) + 1;
+}
+
+std::optional<TimeSpan> SyntheticGranularity::TickHull(Tick z) const {
+  if (z < 1) return std::nullopt;
+  std::int64_t n = static_cast<std::int64_t>(ticks_.size());
+  std::int64_t cycle = (z - 1) / n;
+  std::int64_t idx = (z - 1) % n;
+  TimePoint shift = origin_ + cycle * period_;
+  return TimeSpan::Of(ticks_[idx].first + shift, ticks_[idx].last + shift);
+}
+
+}  // namespace granmine

@@ -1,0 +1,42 @@
+#ifndef GRANMINE_GRANULARITY_SYNTHETIC_H_
+#define GRANMINE_GRANULARITY_SYNTHETIC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "granmine/granularity/granularity.h"
+
+namespace granmine {
+
+/// A fully explicit periodic granularity for toy calendars and tests: one
+/// period of `period` primitive instants starting at `origin` contains the
+/// given tick intervals (sorted, disjoint, within [0, period)), and the
+/// pattern repeats forever. Gaps between intervals are outside the support.
+///
+/// Example: a "3-day toy week with a 1-day gap":
+///   SyntheticGranularity("toy-week", 4, {TimeSpan::Of(0, 2)}).
+class SyntheticGranularity final : public Granularity {
+ public:
+  SyntheticGranularity(std::string name, std::int64_t period,
+                       std::vector<TimeSpan> ticks_in_period,
+                       TimePoint origin = 0);
+
+  std::optional<Tick> TickContaining(TimePoint t) const override;
+  std::optional<TimeSpan> TickHull(Tick z) const override;
+  Periodicity periodicity() const override {
+    return {period_, static_cast<std::int64_t>(ticks_.size())};
+  }
+  bool HasFullSupport() const override { return full_support_; }
+
+ private:
+  std::int64_t period_;
+  std::vector<TimeSpan> ticks_;
+  TimePoint origin_;
+  bool full_support_;
+};
+
+}  // namespace granmine
+
+#endif  // GRANMINE_GRANULARITY_SYNTHETIC_H_

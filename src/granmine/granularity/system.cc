@@ -1,0 +1,136 @@
+#include "granmine/granularity/system.h"
+
+#include <utility>
+
+#include "granmine/common/check.h"
+
+namespace granmine {
+
+namespace {
+
+// Day-tick indices (1-based, day 1 = 1970-01-01) of the given civil dates.
+std::vector<Tick> HolidayDayTicks(const std::vector<CivilDate>& holidays) {
+  std::vector<Tick> ticks;
+  ticks.reserve(holidays.size());
+  for (const CivilDate& date : holidays) {
+    std::int64_t days = DaysFromCivil(date.year, date.month, date.day);
+    GM_CHECK(days >= 0) << "holidays before 1970 are outside the support";
+    int weekday = WeekdayFromDays(days);
+    if (weekday >= 5) continue;  // weekend "holidays" are already excluded
+    ticks.push_back(days + 1);
+  }
+  return ticks;
+}
+
+// Weekday selection pattern over `day`: day tick 1 = 1970-01-01 (Thursday),
+// so the anchor inside the Monday-first week cycle is 3.
+PeriodicPattern WeekdayPattern(std::vector<std::int64_t> kept) {
+  return PeriodicPattern{/*base_period=*/7, std::move(kept), /*anchor=*/3};
+}
+
+void AddGregorianFamily(GranularitySystem* system, std::int64_t units_per_day,
+                        bool with_subday_types,
+                        const std::vector<CivilDate>& holidays) {
+  const std::int64_t day_width = units_per_day;
+  if (with_subday_types) {
+    system->AddUniform("second", 1);
+    system->AddUniform("minute", 60);
+    system->AddUniform("hour", 3600);
+  }
+  const Granularity* day = system->AddUniform("day", day_width);
+  // 1970-01-01 is a Thursday; the Monday on or before it is 3 days earlier.
+  const Granularity* week =
+      system->AddUniform("week", 7 * day_width, /*offset=*/-3 * day_width);
+  const Granularity* month = system->AddMonths("month", units_per_day);
+  system->AddGroup("quarter", month, 3);
+  system->AddYears("year", units_per_day);
+  const Granularity* b_day =
+      system->AddFilter("b-day", day, WeekdayPattern({0, 1, 2, 3, 4}),
+                        HolidayDayTicks(holidays));
+  system->AddFilter("weekend-day", day, WeekdayPattern({5, 6}));
+  system->AddGroupBy("b-week", b_day, week);
+  system->AddGroupBy("b-month", b_day, month);
+}
+
+}  // namespace
+
+std::unique_ptr<GranularitySystem> GranularitySystem::Gregorian(
+    std::vector<CivilDate> holidays) {
+  auto system = std::make_unique<GranularitySystem>();
+  AddGregorianFamily(system.get(), kSecondsPerDay, /*with_subday_types=*/true,
+                     holidays);
+  return system;
+}
+
+std::unique_ptr<GranularitySystem> GranularitySystem::GregorianDays(
+    std::vector<CivilDate> holidays) {
+  auto system = std::make_unique<GranularitySystem>();
+  AddGregorianFamily(system.get(), 1, /*with_subday_types=*/false, holidays);
+  return system;
+}
+
+const Granularity* GranularitySystem::Register(
+    std::unique_ptr<Granularity> g) {
+  GM_CHECK(by_name_.find(g->name()) == by_name_.end())
+      << "duplicate granularity name " << g->name();
+  const Granularity* raw = g.get();
+  by_name_.emplace(g->name(), raw);
+  owned_.push_back(std::move(g));
+  return raw;
+}
+
+const Granularity* GranularitySystem::AddUniform(std::string name,
+                                                 std::int64_t width,
+                                                 TimePoint offset) {
+  return Register(
+      std::make_unique<UniformGranularity>(std::move(name), width, offset));
+}
+
+const Granularity* GranularitySystem::AddMonths(std::string name,
+                                                std::int64_t units_per_day) {
+  return Register(
+      std::make_unique<MonthGranularity>(std::move(name), units_per_day));
+}
+
+const Granularity* GranularitySystem::AddYears(std::string name,
+                                               std::int64_t units_per_day) {
+  return Register(
+      std::make_unique<YearGranularity>(std::move(name), units_per_day));
+}
+
+const Granularity* GranularitySystem::AddFilter(std::string name,
+                                                const Granularity* base,
+                                                PeriodicPattern pattern,
+                                                std::vector<Tick> removed) {
+  return Register(std::make_unique<FilterGranularity>(
+      std::move(name), base, std::move(pattern), std::move(removed)));
+}
+
+const Granularity* GranularitySystem::AddGroup(std::string name,
+                                               const Granularity* base,
+                                               std::int64_t k,
+                                               std::int64_t phase) {
+  return Register(
+      std::make_unique<GroupGranularity>(std::move(name), base, k, phase));
+}
+
+const Granularity* GranularitySystem::AddGroupBy(std::string name,
+                                                 const Granularity* inner,
+                                                 const Granularity* outer) {
+  return Register(
+      std::make_unique<GroupByGranularity>(std::move(name), inner, outer));
+}
+
+const Granularity* GranularitySystem::AddSynthetic(
+    std::string name, std::int64_t period, std::vector<TimeSpan> ticks,
+    TimePoint origin) {
+  return Register(std::make_unique<SyntheticGranularity>(
+      std::move(name), period, std::move(ticks), origin));
+}
+
+const Granularity* GranularitySystem::Find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+}  // namespace granmine

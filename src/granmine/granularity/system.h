@@ -1,0 +1,78 @@
+#ifndef GRANMINE_GRANULARITY_SYSTEM_H_
+#define GRANMINE_GRANULARITY_SYSTEM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "granmine/granularity/calendar_types.h"
+#include "granmine/granularity/civil_calendar.h"
+#include "granmine/granularity/convert.h"
+#include "granmine/granularity/filter.h"
+#include "granmine/granularity/granularity.h"
+#include "granmine/granularity/group.h"
+#include "granmine/granularity/synthetic.h"
+#include "granmine/granularity/tables.h"
+#include "granmine/granularity/uniform.h"
+
+namespace granmine {
+
+/// Owns a family of granularities over one primitive time line, plus the
+/// shared caches (Appendix-A.1 tables and support-coverage results) that the
+/// constraint algorithms consult. The registry is append-only; granularity
+/// pointers remain valid for the lifetime of the system.
+class GranularitySystem {
+ public:
+  GranularitySystem() = default;
+  GranularitySystem(const GranularitySystem&) = delete;
+  GranularitySystem& operator=(const GranularitySystem&) = delete;
+
+  /// The standard second-based Gregorian family: second, minute, hour, day,
+  /// week (Monday-anchored), month, quarter, year, b-day, weekend-day,
+  /// b-week, b-month. `holidays` (civil dates) are removed from the business
+  /// types.
+  static std::unique_ptr<GranularitySystem> Gregorian(
+      std::vector<CivilDate> holidays = {});
+
+  /// A day-grained Gregorian family (primitive instant = one day): day,
+  /// week, month, year, b-day — convenient for examples whose events are
+  /// daily and for tractable exact solving.
+  static std::unique_ptr<GranularitySystem> GregorianDays(
+      std::vector<CivilDate> holidays = {});
+
+  const Granularity* AddUniform(std::string name, std::int64_t width,
+                                TimePoint offset = 0);
+  const Granularity* AddMonths(std::string name, std::int64_t units_per_day);
+  const Granularity* AddYears(std::string name, std::int64_t units_per_day);
+  const Granularity* AddFilter(std::string name, const Granularity* base,
+                               PeriodicPattern pattern,
+                               std::vector<Tick> removed = {});
+  const Granularity* AddGroup(std::string name, const Granularity* base,
+                              std::int64_t k, std::int64_t phase = 0);
+  const Granularity* AddGroupBy(std::string name, const Granularity* inner,
+                                const Granularity* outer);
+  const Granularity* AddSynthetic(std::string name, std::int64_t period,
+                                  std::vector<TimeSpan> ticks_in_period,
+                                  TimePoint origin = 0);
+
+  /// Looks up a granularity by name; nullptr when absent.
+  const Granularity* Find(std::string_view name) const;
+
+  GranularityTables& tables() const { return tables_; }
+  SupportCoverageCache& coverage() const { return coverage_; }
+
+ private:
+  const Granularity* Register(std::unique_ptr<Granularity> g);
+
+  std::vector<std::unique_ptr<Granularity>> owned_;
+  std::unordered_map<std::string, const Granularity*> by_name_;
+  mutable GranularityTables tables_;
+  mutable SupportCoverageCache coverage_;
+};
+
+}  // namespace granmine
+
+#endif  // GRANMINE_GRANULARITY_SYSTEM_H_

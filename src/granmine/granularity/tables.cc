@@ -1,0 +1,212 @@
+#include "granmine/granularity/tables.h"
+
+#include <algorithm>
+
+#include "granmine/common/check.h"
+#include "granmine/common/math.h"
+
+namespace granmine {
+
+GranularityTables::GranularityTables() : GranularityTables(Options{}) {}
+
+GranularityTables::GranularityTables(Options options) : options_(options) {}
+
+GranularityTables::Entry& GranularityTables::EntryFor(const Granularity& g) {
+  return entries_[&g];
+}
+
+std::optional<TimeSpan> GranularityTables::HullAt(Entry& entry,
+                                                  const Granularity& g,
+                                                  Tick z) {
+  GM_CHECK(z >= 1);
+  if (z > options_.hull_cache_cap) return std::nullopt;
+  std::size_t index = static_cast<std::size_t>(z - 1);
+  if (index >= entry.hulls.size()) {
+    std::size_t old = entry.hulls.size();
+    entry.hulls.resize(
+        std::max<std::size_t>(index + 1, old + old / 2 + 16));
+    for (std::size_t i = old; i < entry.hulls.size(); ++i) {
+      std::optional<TimeSpan> hull = g.TickHull(static_cast<Tick>(i) + 1);
+      GM_CHECK(hull.has_value());
+      entry.hulls[i] = *hull;
+    }
+  }
+  return entry.hulls[index];
+}
+
+std::int64_t GranularityTables::ScanStarts(const Granularity& g) const {
+  // Hulls of ticks past LastDeviantTick() follow the periodic pattern, so
+  // start positions [1, LastDeviantTick + ticks_per_period] exhibit every
+  // possible span/gap shape (see DESIGN.md).
+  return g.LastDeviantTick() + g.periodicity().ticks_per_period;
+}
+
+std::optional<std::int64_t> GranularityTables::MinSize(const Granularity& g,
+                                                       std::int64_t k) {
+  GM_CHECK(k >= 0);
+  if (k == 0) return 0;
+  if (std::optional<std::int64_t> v = g.AnalyticMinSize(k); v.has_value()) {
+    return v;
+  }
+  Entry& entry = EntryFor(g);
+  if (auto it = entry.minsize.find(k); it != entry.minsize.end()) {
+    return it->second;
+  }
+  std::int64_t starts = ScanStarts(g);
+  std::int64_t best = kInfinity;
+  for (Tick i = 1; i <= starts; ++i) {
+    std::optional<TimeSpan> lo = HullAt(entry, g, i);
+    std::optional<TimeSpan> hi = HullAt(entry, g, i + k - 1);
+    if (!lo.has_value() || !hi.has_value()) return std::nullopt;
+    best = std::min(best, hi->last - lo->first + 1);
+  }
+  entry.minsize.emplace(k, best);
+  return best;
+}
+
+std::optional<std::int64_t> GranularityTables::MaxSize(const Granularity& g,
+                                                       std::int64_t k) {
+  GM_CHECK(k >= 0);
+  if (k == 0) return 0;
+  if (std::optional<std::int64_t> v = g.AnalyticMaxSize(k); v.has_value()) {
+    return v;
+  }
+  Entry& entry = EntryFor(g);
+  if (auto it = entry.maxsize.find(k); it != entry.maxsize.end()) {
+    return it->second;
+  }
+  std::int64_t starts = ScanStarts(g);
+  std::int64_t best = 0;
+  for (Tick i = 1; i <= starts; ++i) {
+    std::optional<TimeSpan> lo = HullAt(entry, g, i);
+    std::optional<TimeSpan> hi = HullAt(entry, g, i + k - 1);
+    if (!lo.has_value() || !hi.has_value()) return std::nullopt;
+    best = std::max(best, hi->last - lo->first + 1);
+  }
+  entry.maxsize.emplace(k, best);
+  return best;
+}
+
+std::optional<std::int64_t> GranularityTables::MinGap(const Granularity& g,
+                                                      std::int64_t k) {
+  GM_CHECK(k >= 0);
+  if (k == 0) {
+    std::optional<std::int64_t> max1 = MaxSize(g, 1);
+    if (!max1.has_value()) return std::nullopt;
+    return 1 - *max1;
+  }
+  if (std::optional<std::int64_t> v = g.AnalyticMinGap(k); v.has_value()) {
+    return v;
+  }
+  Entry& entry = EntryFor(g);
+  if (auto it = entry.mingap.find(k); it != entry.mingap.end()) {
+    return it->second;
+  }
+  std::int64_t starts = ScanStarts(g);
+  std::int64_t best = kInfinity;
+  for (Tick i = 1; i <= starts; ++i) {
+    std::optional<TimeSpan> lo = HullAt(entry, g, i);
+    std::optional<TimeSpan> hi = HullAt(entry, g, i + k);
+    if (!lo.has_value() || !hi.has_value()) return std::nullopt;
+    best = std::min(best, hi->first - lo->last);
+  }
+  entry.mingap.emplace(k, best);
+  return best;
+}
+
+std::optional<std::int64_t> GranularityTables::LeastTicksCovering(
+    const Granularity& g, std::int64_t x) {
+  GM_CHECK(x >= 1);
+  // minsize is strictly increasing in s and minsize(s) >= s, so the answer
+  // (if representable) is at most x; tighten via the periodic structure.
+  const Granularity::Periodicity p = g.periodicity();
+  std::int64_t periods = FloorDiv(x, p.period) + 2;
+  std::int64_t by_period = periods > kInfinity / p.ticks_per_period
+                               ? kInfinity
+                               : periods * p.ticks_per_period;
+  std::int64_t hi = std::max<std::int64_t>(std::min(x, by_period), 1);
+  std::optional<std::int64_t> at_hi = MinSize(g, hi);
+  if (!at_hi.has_value()) return std::nullopt;
+  while (*at_hi < x) {  // defensive; should not trigger
+    hi *= 2;
+    at_hi = MinSize(g, hi);
+    if (!at_hi.has_value()) return std::nullopt;
+  }
+  std::int64_t lo = 1;
+  while (lo < hi) {
+    std::int64_t mid = lo + (hi - lo) / 2;
+    std::optional<std::int64_t> v = MinSize(g, mid);
+    if (!v.has_value()) return std::nullopt;
+    if (*v >= x) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+std::optional<std::int64_t> GranularityTables::LeastTicksExceeding(
+    const Granularity& g, std::int64_t x) {
+  if (x < 0) return 0;
+  // maxsize is strictly increasing with maxsize(r) >= r; the answer is at
+  // most x + 1; tighten via periodicity.
+  const Granularity::Periodicity p = g.periodicity();
+  std::int64_t periods = FloorDiv(x, p.period) + 2;
+  std::int64_t by_period = periods > kInfinity / p.ticks_per_period
+                               ? kInfinity
+                               : periods * p.ticks_per_period;
+  std::int64_t hi = std::max<std::int64_t>(std::min(x + 1, by_period), 1);
+  std::optional<std::int64_t> at_hi = MaxSize(g, hi);
+  if (!at_hi.has_value()) return std::nullopt;
+  while (*at_hi <= x) {  // defensive; should not trigger
+    hi *= 2;
+    at_hi = MaxSize(g, hi);
+    if (!at_hi.has_value()) return std::nullopt;
+  }
+  std::int64_t lo = 0;
+  while (lo < hi) {
+    std::int64_t mid = lo + (hi - lo) / 2;
+    std::optional<std::int64_t> v = MaxSize(g, mid);
+    if (!v.has_value()) return std::nullopt;
+    if (*v > x) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+std::optional<std::int64_t> GranularityTables::LeastTicksWithGapExceeding(
+    const Granularity& g, std::int64_t x) {
+  // mingap(s) >= minsize(s-1) + 1 >= s, so the answer is at most x + 1.
+  const Granularity::Periodicity p = g.periodicity();
+  std::int64_t periods = FloorDiv(std::max<std::int64_t>(x, 0), p.period) + 2;
+  std::int64_t by_period = periods > kInfinity / p.ticks_per_period
+                               ? kInfinity
+                               : periods * p.ticks_per_period;
+  std::int64_t hi = std::max<std::int64_t>(
+      std::min(std::max<std::int64_t>(x, 0) + 1, by_period), 1);
+  std::optional<std::int64_t> at_hi = MinGap(g, hi);
+  if (!at_hi.has_value()) return std::nullopt;
+  while (*at_hi <= x) {  // defensive; should not trigger
+    hi *= 2;
+    at_hi = MinGap(g, hi);
+    if (!at_hi.has_value()) return std::nullopt;
+  }
+  std::int64_t lo = 1;
+  while (lo < hi) {
+    std::int64_t mid = lo + (hi - lo) / 2;
+    std::optional<std::int64_t> v = MinGap(g, mid);
+    if (!v.has_value()) return std::nullopt;
+    if (*v > x) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace granmine

@@ -1,0 +1,81 @@
+#ifndef GRANMINE_GRANULARITY_TABLES_H_
+#define GRANMINE_GRANULARITY_TABLES_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "granmine/granularity/granularity.h"
+
+namespace granmine {
+
+/// Computes and caches the paper's Appendix-A.1 table functions, all
+/// expressed in primitive instants:
+///
+///  * minsize(μ, k) / maxsize(μ, k): minimum / maximum length of the span of
+///    k consecutive ticks of μ (from the first instant of the first tick to
+///    the last instant of the last, inclusive);
+///  * mingap(μ, k): minimum of min(μ(i+k)) − max(μ(i)) over i.
+///
+/// Values are exact: uniform types answer in closed form; periodic types are
+/// scanned over one period of start positions (plus the finite exception
+/// window of holiday overlays), which covers every hull pattern the type can
+/// exhibit. Queries return nullopt only when a scan would exceed the
+/// configured cap; callers treat that conservatively (no bound derived).
+///
+/// Granularities are keyed by address; a table instance must not outlive the
+/// granularities it has been queried with. Not thread-safe.
+class GranularityTables {
+ public:
+  struct Options {
+    /// Maximum tick index whose hull may be materialized per granularity.
+    std::int64_t hull_cache_cap = std::int64_t{1} << 20;
+  };
+
+  GranularityTables();
+  explicit GranularityTables(Options options);
+
+  /// minsize(g, k); k >= 0 (0 yields 0).
+  std::optional<std::int64_t> MinSize(const Granularity& g, std::int64_t k);
+  /// maxsize(g, k); k >= 0 (0 yields 0).
+  std::optional<std::int64_t> MaxSize(const Granularity& g, std::int64_t k);
+  /// mingap(g, k); k >= 0. mingap(g, 0) = 1 - maxsize(g, 1) (may be negative).
+  std::optional<std::int64_t> MinGap(const Granularity& g, std::int64_t k);
+
+  /// Smallest s >= 1 with minsize(g, s) >= x (x >= 1), or nullopt when it
+  /// cannot be established within the caps.
+  std::optional<std::int64_t> LeastTicksCovering(const Granularity& g,
+                                                 std::int64_t x);
+
+  /// Smallest r >= 0 with maxsize(g, r) > x, or nullopt when it cannot be
+  /// established within the caps. For x < 0 the answer is 0.
+  std::optional<std::int64_t> LeastTicksExceeding(const Granularity& g,
+                                                  std::int64_t x);
+
+  /// Smallest s >= 1 with mingap(g, s) > x, or nullopt when it cannot be
+  /// established within the caps. mingap is non-decreasing in s.
+  std::optional<std::int64_t> LeastTicksWithGapExceeding(const Granularity& g,
+                                                         std::int64_t x);
+
+ private:
+  struct Entry {
+    std::vector<TimeSpan> hulls;  // hulls[i] = hull of tick i+1
+    std::unordered_map<std::int64_t, std::int64_t> minsize;
+    std::unordered_map<std::int64_t, std::int64_t> maxsize;
+    std::unordered_map<std::int64_t, std::int64_t> mingap;
+  };
+
+  Entry& EntryFor(const Granularity& g);
+  /// Hull of tick z via the per-granularity cache; nullopt past the cap.
+  std::optional<TimeSpan> HullAt(Entry& entry, const Granularity& g, Tick z);
+  /// Number of distinct scan start positions needed for exactness.
+  std::int64_t ScanStarts(const Granularity& g) const;
+
+  Options options_;
+  std::unordered_map<const Granularity*, Entry> entries_;
+};
+
+}  // namespace granmine
+
+#endif  // GRANMINE_GRANULARITY_TABLES_H_

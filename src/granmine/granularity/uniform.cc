@@ -1,0 +1,47 @@
+#include "granmine/granularity/uniform.h"
+
+#include "granmine/common/check.h"
+#include "granmine/common/math.h"
+
+namespace granmine {
+
+UniformGranularity::UniformGranularity(std::string name, std::int64_t width,
+                                       TimePoint offset)
+    : Granularity(std::move(name)), width_(width), offset_(offset) {
+  GM_CHECK(width > 0) << "uniform granularity width must be positive";
+}
+
+std::optional<Tick> UniformGranularity::TickContaining(TimePoint t) const {
+  if (t < offset_) return std::nullopt;
+  return FloorDiv(t - offset_, width_) + 1;
+}
+
+std::optional<TimeSpan> UniformGranularity::TickHull(Tick z) const {
+  if (z < 1) return std::nullopt;
+  TimePoint first = offset_ + (z - 1) * width_;
+  return TimeSpan::Of(first, first + width_ - 1);
+}
+
+namespace {
+std::int64_t SaturatingScale(std::int64_t k, std::int64_t width) {
+  if (k >= kInfinity / width) return kInfinity;
+  return k * width;
+}
+}  // namespace
+
+std::optional<std::int64_t> UniformGranularity::AnalyticMinSize(
+    std::int64_t k) const {
+  return SaturatingScale(k, width_);
+}
+
+std::optional<std::int64_t> UniformGranularity::AnalyticMaxSize(
+    std::int64_t k) const {
+  return SaturatingScale(k, width_);
+}
+
+std::optional<std::int64_t> UniformGranularity::AnalyticMinGap(
+    std::int64_t k) const {
+  return SaturatingAdd(SaturatingScale(k - 1, width_), 1);
+}
+
+}  // namespace granmine

@@ -1,0 +1,40 @@
+#ifndef GRANMINE_GRANULARITY_UNIFORM_H_
+#define GRANMINE_GRANULARITY_UNIFORM_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "granmine/granularity/granularity.h"
+
+namespace granmine {
+
+/// A granularity whose tick z is the interval
+/// [offset + (z-1)*width, offset + z*width - 1]: `second`, `minute`, `hour`,
+/// `day`, `week` and synthetic fixed-width toy types. `offset` may be
+/// negative (the standard `week` is anchored to the Monday *before* the
+/// epoch so that instant 0 lies inside tick 1).
+class UniformGranularity final : public Granularity {
+ public:
+  UniformGranularity(std::string name, std::int64_t width,
+                     TimePoint offset = 0);
+
+  std::optional<Tick> TickContaining(TimePoint t) const override;
+  std::optional<TimeSpan> TickHull(Tick z) const override;
+  Periodicity periodicity() const override { return {width_, 1}; }
+  bool HasFullSupport() const override { return true; }
+
+  std::optional<std::int64_t> AnalyticMinSize(std::int64_t k) const override;
+  std::optional<std::int64_t> AnalyticMaxSize(std::int64_t k) const override;
+  std::optional<std::int64_t> AnalyticMinGap(std::int64_t k) const override;
+
+  std::int64_t width() const { return width_; }
+
+ private:
+  std::int64_t width_;
+  TimePoint offset_;
+};
+
+}  // namespace granmine
+
+#endif  // GRANMINE_GRANULARITY_UNIFORM_H_

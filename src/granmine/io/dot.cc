@@ -1,0 +1,78 @@
+#include "granmine/io/dot.h"
+
+#include <functional>
+#include <sstream>
+
+namespace granmine {
+
+namespace {
+
+// Escapes double quotes for DOT string literals.
+std::string Escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string EventStructureToDot(const EventStructure& structure) {
+  std::ostringstream os;
+  os << "digraph event_structure {\n";
+  os << "  rankdir=LR;\n  node [shape=circle];\n";
+  for (VariableId v = 0; v < structure.variable_count(); ++v) {
+    os << "  v" << v << " [label=\""
+       << Escape(structure.variable_name(v)) << "\"];\n";
+  }
+  for (const EventStructure::Edge& edge : structure.edges()) {
+    os << "  v" << edge.from << " -> v" << edge.to << " [label=\"";
+    for (std::size_t i = 0; i < edge.tcgs.size(); ++i) {
+      if (i > 0) os << "\\n";
+      os << Escape(edge.tcgs[i].ToString());
+    }
+    os << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string TagToDot(const Tag& tag,
+                     const std::function<std::string(Symbol)>& symbol_name) {
+  std::ostringstream os;
+  os << "digraph tag {\n  rankdir=LR;\n";
+  for (int s = 0; s < tag.state_count(); ++s) {
+    os << "  s" << s << " [label=\"" << Escape(tag.state_name(s)) << "\"";
+    if (tag.IsAccepting(s)) os << ", shape=doublecircle";
+    os << "];\n";
+  }
+  for (int s : tag.start_states()) {
+    os << "  start" << s << " [shape=point];\n";
+    os << "  start" << s << " -> s" << s << ";\n";
+  }
+  for (const Tag::Transition& t : tag.transitions()) {
+    os << "  s" << t.from << " -> s" << t.to << " [label=\"";
+    if (t.symbol == kAnySymbol) {
+      os << "ANY";
+    } else if (symbol_name) {
+      os << Escape(symbol_name(t.symbol));
+    } else {
+      os << t.symbol;
+    }
+    if (!t.guard.IsTriviallyTrue()) {
+      os << "\\n" << Escape(t.guard.ToString());
+    }
+    if (!t.resets.empty()) {
+      os << "\\nreset";
+      for (int c : t.resets) os << " x" << c;
+    }
+    os << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace granmine

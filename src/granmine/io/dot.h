@@ -1,0 +1,25 @@
+#ifndef GRANMINE_IO_DOT_H_
+#define GRANMINE_IO_DOT_H_
+
+#include <functional>
+#include <string>
+
+#include "granmine/constraint/event_structure.h"
+#include "granmine/tag/tag.h"
+
+namespace granmine {
+
+/// Graphviz rendering of an event structure: one node per variable, one
+/// edge per constraint edge labeled with its TCG conjunction.
+std::string EventStructureToDot(const EventStructure& structure);
+
+/// Graphviz rendering of a TAG: states (start = diamond, accepting =
+/// double circle), transitions labeled with symbol, guard and resets.
+/// `symbol_name` (optional) maps symbols to labels; ANY renders as "ANY".
+std::string TagToDot(const Tag& tag,
+                     const std::function<std::string(Symbol)>& symbol_name =
+                         nullptr);
+
+}  // namespace granmine
+
+#endif  // GRANMINE_IO_DOT_H_

@@ -1,0 +1,59 @@
+#include "granmine/mining/explain.h"
+
+#include <sstream>
+
+#include "granmine/common/check.h"
+#include "granmine/io/text_format.h"
+#include "granmine/tag/oracle.h"
+
+namespace granmine {
+
+Result<std::vector<Explanation>> ExplainSolution(
+    const EventStructure& structure, const DiscoveredType& solution,
+    EventTypeId reference_type, const EventSequence& sequence,
+    std::size_t max_explanations) {
+  if (static_cast<int>(solution.assignment.size()) !=
+      structure.variable_count()) {
+    return Status::Invalid("assignment size mismatch");
+  }
+  GM_ASSIGN_OR_RETURN(VariableId root, structure.FindRoot());
+  if (solution.assignment[static_cast<std::size_t>(root)] != reference_type) {
+    return Status::Invalid("solution does not assign E0 to the root");
+  }
+  std::vector<Explanation> out;
+  for (std::size_t at : sequence.OccurrencesOf(reference_type)) {
+    if (out.size() >= max_explanations) break;
+    OracleOptions options;
+    options.anchored_root_index = 0;
+    std::optional<std::vector<std::size_t>> witness =
+        FindOccurrenceBruteForce(structure, solution.assignment,
+                                 sequence.SuffixFrom(at), options);
+    if (!witness.has_value()) continue;
+    Explanation explanation;
+    explanation.root_event = at;
+    explanation.witness.reserve(witness->size());
+    for (std::size_t relative : *witness) {
+      explanation.witness.push_back(at + relative);
+    }
+    out.push_back(std::move(explanation));
+  }
+  return out;
+}
+
+std::string FormatExplanation(const EventStructure& structure,
+                              const Explanation& explanation,
+                              const EventSequence& sequence,
+                              const EventTypeRegistry& registry,
+                              std::int64_t units_per_day) {
+  std::ostringstream os;
+  for (VariableId v = 0; v < structure.variable_count(); ++v) {
+    const Event& event =
+        sequence.events()[explanation.witness[static_cast<std::size_t>(v)]];
+    os << "  " << structure.variable_name(v) << " = "
+       << registry.name(event.type) << " @ "
+       << FormatTimePoint(event.time, units_per_day) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace granmine

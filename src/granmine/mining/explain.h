@@ -1,0 +1,44 @@
+#ifndef GRANMINE_MINING_EXPLAIN_H_
+#define GRANMINE_MINING_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "granmine/common/result.h"
+#include "granmine/constraint/event_structure.h"
+#include "granmine/mining/discovery.h"
+#include "granmine/sequence/sequence.h"
+
+namespace granmine {
+
+/// A concrete occurrence of a discovered complex event type: which event
+/// (index + timestamp) each variable was bound to, for one reference
+/// occurrence.
+struct Explanation {
+  /// Index of the reference occurrence within `sequence.events()`.
+  std::size_t root_event = 0;
+  /// Per variable: the bound event's index into `sequence.events()`.
+  std::vector<std::size_t> witness;
+};
+
+/// Finds, for each reference occurrence of `solution`'s type assignment, the
+/// first anchored occurrence and returns its witness — the θ of the §3
+/// definition. Returns the first `max_explanations` explanations (scan order
+/// by reference occurrence). Useful for presenting mined patterns to users.
+Result<std::vector<Explanation>> ExplainSolution(
+    const EventStructure& structure, const DiscoveredType& solution,
+    EventTypeId reference_type, const EventSequence& sequence,
+    std::size_t max_explanations = 1);
+
+/// Human-readable one-occurrence rendering:
+///   X0 = IBM-rise @ 1970-01-05 Mon 10:00:00
+/// `units_per_day` selects the timestamp format (86400 = seconds calendar).
+std::string FormatExplanation(const EventStructure& structure,
+                              const Explanation& explanation,
+                              const EventSequence& sequence,
+                              const EventTypeRegistry& registry,
+                              std::int64_t units_per_day = 86400);
+
+}  // namespace granmine
+
+#endif  // GRANMINE_MINING_EXPLAIN_H_

@@ -1,0 +1,48 @@
+#include "granmine/mining/extensions.h"
+
+#include <algorithm>
+
+#include "granmine/common/check.h"
+
+namespace granmine {
+
+std::size_t InjectBoundaryEvents(const Granularity& g, EventTypeId type,
+                                 EventSequence* sequence) {
+  GM_CHECK(sequence != nullptr);
+  if (sequence->empty()) return 0;
+  const TimePoint first = sequence->events().front().time;
+  const TimePoint last = sequence->events().back().time;
+  std::size_t added = 0;
+  Tick z = FirstTickEndingAtOrAfter(g, first);
+  while (true) {
+    std::optional<TimeSpan> hull = g.TickHull(z);
+    GM_CHECK(hull.has_value());
+    if (hull->first > last) break;
+    // Anchor at the tick start, clamped into the observed range so the
+    // pseudo-event stays inside the sequence's horizon.
+    sequence->Add(type, std::max(hull->first, first));
+    ++added;
+    ++z;
+  }
+  return added;
+}
+
+EventTypeId CombineReferenceTypes(std::span<const EventTypeId> reference_set,
+                                  const std::string& name,
+                                  EventTypeRegistry* registry,
+                                  EventSequence* sequence) {
+  GM_CHECK(registry != nullptr && sequence != nullptr);
+  GM_CHECK(!reference_set.empty());
+  EventTypeId combined = registry->Intern(name);
+  std::vector<Event> copies;
+  for (const Event& event : sequence->events()) {
+    if (std::find(reference_set.begin(), reference_set.end(), event.type) !=
+        reference_set.end()) {
+      copies.push_back(Event{combined, event.time});
+    }
+  }
+  for (const Event& copy : copies) sequence->Add(copy);
+  return combined;
+}
+
+}  // namespace granmine

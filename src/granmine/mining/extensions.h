@@ -1,0 +1,37 @@
+#ifndef GRANMINE_MINING_EXTENSIONS_H_
+#define GRANMINE_MINING_EXTENSIONS_H_
+
+#include <span>
+#include <string>
+
+#include "granmine/granularity/granularity.h"
+#include "granmine/mining/discovery.h"
+#include "granmine/sequence/event.h"
+#include "granmine/sequence/sequence.h"
+
+namespace granmine {
+
+/// §6 extension: the reference type "needs not be a regular event type. It
+/// can be the event type, say, 'the beginning of a week'". This injects one
+/// pseudo-event of `type` at the first instant of every tick of `g` that
+/// intersects the sequence's time range, so a discovery problem anchored on
+/// `type` answers "what happens in most weeks?". Returns the number of
+/// events added.
+std::size_t InjectBoundaryEvents(const Granularity& g, EventTypeId type,
+                                 EventSequence* sequence);
+
+/// §6 extension: "the reference type E0 can be extended to be a set of
+/// types instead of a single one". Interns a fresh combined pseudo-type in
+/// `registry` (named `name`), appends one combined event at the timestamp of
+/// every occurrence of any type in `reference_set`, and returns the combined
+/// id to use as the problem's reference type. The duplicates share their
+/// originals' timestamps, so every TCG behaves identically; frequency then
+/// counts over the union of the set's occurrences.
+EventTypeId CombineReferenceTypes(std::span<const EventTypeId> reference_set,
+                                  const std::string& name,
+                                  EventTypeRegistry* registry,
+                                  EventSequence* sequence);
+
+}  // namespace granmine
+
+#endif  // GRANMINE_MINING_EXTENSIONS_H_

@@ -1,0 +1,326 @@
+#include "granmine/mining/miner.h"
+
+#include <algorithm>
+
+#include "granmine/common/check.h"
+#include "granmine/common/math.h"
+#include "granmine/constraint/propagation.h"
+#include "granmine/constraint/substructure.h"
+#include "granmine/mining/reduction.h"
+#include "granmine/mining/screening.h"
+#include "granmine/mining/windows.h"
+#include "granmine/tag/builder.h"
+
+namespace granmine {
+
+namespace {
+
+// Smallest type universe covering the sequence, σ and E0.
+int TypeUniverseSize(const DiscoveryProblem& problem,
+                     const EventSequence& sequence,
+                     const std::vector<std::vector<EventTypeId>>& allowed) {
+  EventTypeId max_type = problem.reference_type;
+  for (const Event& event : sequence.events()) {
+    max_type = std::max(max_type, event.type);
+  }
+  for (const std::vector<EventTypeId>& types : allowed) {
+    for (EventTypeId type : types) max_type = std::max(max_type, type);
+  }
+  return max_type + 1;
+}
+
+std::uint64_t CandidateCount(
+    const std::vector<std::vector<EventTypeId>>& allowed, VariableId root) {
+  std::uint64_t product = 1;
+  for (std::size_t v = 0; v < allowed.size(); ++v) {
+    if (static_cast<VariableId>(v) == root) continue;
+    std::uint64_t size = allowed[v].size();
+    if (size == 0) return 0;
+    if (product > (std::uint64_t{1} << 62) / size) {
+      return std::uint64_t{1} << 62;  // saturate
+    }
+    product *= size;
+  }
+  return product;
+}
+
+// Does some event usable for v with an allowed type fall in the window?
+bool WindowSatisfiable(const EventSequence& sequence,
+                       const PropagationResult& propagation, VariableId v,
+                       const TimeSpan& window,
+                       const std::vector<EventTypeId>& types) {
+  if (window.empty()) return false;
+  const std::vector<Event>& events = sequence.events();
+  for (std::size_t i = FirstEventAtOrAfter(sequence, window.first);
+       i < events.size() && events[i].time <= window.last; ++i) {
+    if (std::find(types.begin(), types.end(), events[i].type) ==
+        types.end()) {
+      continue;
+    }
+    if (UsableForVariable(propagation, v, window, events[i].time)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Enumerates assignments over `allowed` (root pinned), calling `body` with
+// each φ; `body` returns false to abort.
+template <typename Body>
+bool ForEachCandidate(const std::vector<std::vector<EventTypeId>>& allowed,
+                      VariableId root, Body&& body) {
+  const int n = static_cast<int>(allowed.size());
+  std::vector<std::size_t> odometer(static_cast<std::size_t>(n), 0);
+  std::vector<EventTypeId> phi(static_cast<std::size_t>(n));
+  while (true) {
+    for (int v = 0; v < n; ++v) {
+      phi[static_cast<std::size_t>(v)] =
+          allowed[static_cast<std::size_t>(v)][odometer[v]];
+    }
+    if (!body(phi)) return false;
+    int v = n - 1;
+    while (v >= 0) {
+      if (static_cast<VariableId>(v) == root) {
+        --v;
+        continue;
+      }
+      if (++odometer[static_cast<std::size_t>(v)] <
+          allowed[static_cast<std::size_t>(v)].size()) {
+        break;
+      }
+      odometer[static_cast<std::size_t>(v)] = 0;
+      --v;
+    }
+    if (v < 0) return true;
+  }
+}
+
+// All size-k subsets of non-root variables that form a chain under
+// reachability (every pair comparable) — the §5.1 sub-chain condition.
+std::vector<std::vector<VariableId>> ChainSubsets(
+    const EventStructure& structure, VariableId root, int k, int cap) {
+  std::vector<std::vector<bool>> reach = structure.ReachabilityMatrix();
+  const int n = structure.variable_count();
+  std::vector<VariableId> candidates;
+  for (VariableId v = 0; v < n; ++v) {
+    if (v != root && reach[root][v]) candidates.push_back(v);
+  }
+  std::vector<std::vector<VariableId>> result;
+  std::vector<VariableId> current;
+  // DFS over candidates in id order; chain condition checked incrementally.
+  std::function<void(std::size_t)> recurse = [&](std::size_t from) {
+    if (static_cast<int>(result.size()) >= cap) return;
+    if (static_cast<int>(current.size()) == k) {
+      result.push_back(current);
+      return;
+    }
+    for (std::size_t i = from; i < candidates.size(); ++i) {
+      VariableId v = candidates[i];
+      bool comparable = true;
+      for (VariableId u : current) {
+        if (!reach[u][v] && !reach[v][u]) {
+          comparable = false;
+          break;
+        }
+      }
+      if (!comparable) continue;
+      current.push_back(v);
+      recurse(i + 1);
+      current.pop_back();
+    }
+  };
+  recurse(0);
+  return result;
+}
+
+}  // namespace
+
+Miner::Miner(GranularitySystem* system, MinerOptions options)
+    : system_(system), options_(options) {
+  GM_CHECK(system_ != nullptr);
+}
+
+Result<MiningReport> Miner::Mine(const DiscoveryProblem& problem,
+                                 const EventSequence& sequence) const {
+  if (problem.structure == nullptr) {
+    return Status::Invalid("discovery problem has no structure");
+  }
+  GM_ASSIGN_OR_RETURN(VariableId root, problem.structure->FindRoot());
+  const EventStructure& structure = *problem.structure;
+  for (const TypeConstraint& constraint : problem.type_constraints) {
+    if (constraint.a < 0 || constraint.a >= structure.variable_count() ||
+        constraint.b < 0 || constraint.b >= structure.variable_count()) {
+      return Status::Invalid("type constraint references unknown variables");
+    }
+  }
+
+  MiningReport report;
+  report.total_roots = sequence.CountOf(problem.reference_type);
+  report.events_before = sequence.size();
+  if (report.total_roots == 0) {
+    return report;  // the problem is defined only when E0 occurs
+  }
+
+  const bool needs_windows = options_.reduce_roots ||
+                             options_.screening_depth > 0 ||
+                             options_.use_window_deadlines;
+  const bool needs_propagation = options_.check_consistency ||
+                                 options_.reduce_sequence || needs_windows;
+
+  PropagationResult propagation;
+  if (needs_propagation) {
+    ConstraintPropagator propagator(&system_->tables(), &system_->coverage());
+    GM_ASSIGN_OR_RETURN(propagation, propagator.Propagate(structure));
+    if (!propagation.consistent) {
+      // No complex event can match an inconsistent structure.
+      report.refuted_by_propagation = true;
+      report.events_after_reduction = sequence.size();
+      return report;
+    }
+  }
+
+  std::vector<std::vector<EventTypeId>> allowed =
+      ResolveAllowedTypes(problem, sequence, root);
+  const int type_count = TypeUniverseSize(problem, sequence, allowed);
+  report.candidates_before = CandidateCount(allowed, root);
+
+  // Step 2: sequence reduction.
+  EventSequence working = options_.reduce_sequence
+                              ? ReduceSequence(sequence, propagation, allowed)
+                              : sequence;
+  report.events_after_reduction = working.size();
+
+  // Reference occurrences and their windows; step 3 discards hopeless ones.
+  std::vector<std::size_t> root_indices =
+      working.OccurrencesOf(problem.reference_type);
+  std::vector<std::size_t> surviving;
+  std::vector<RootWindows> windows;
+  for (std::size_t idx : root_indices) {
+    TimePoint t0 = working.events()[idx].time;
+    RootWindows rw;
+    if (needs_windows) {
+      rw = ComputeRootWindows(structure, root, propagation, t0);
+      if (options_.reduce_roots) {
+        bool viable = rw.root_viable;
+        for (VariableId v = 0; viable && v < structure.variable_count();
+             ++v) {
+          if (v == root) continue;
+          viable = WindowSatisfiable(working, propagation, v,
+                                     rw.windows[static_cast<std::size_t>(v)],
+                                     allowed[static_cast<std::size_t>(v)]);
+        }
+        if (!viable) continue;  // counts as unmatched for every candidate
+      }
+    }
+    surviving.push_back(idx);
+    windows.push_back(std::move(rw));
+  }
+  report.roots_after_reduction = surviving.size();
+
+  // Step 4: candidate screening.
+  if (options_.screening_depth >= 1 && needs_windows) {
+    ScreenByWindows(propagation, working, windows, root, report.total_roots,
+                    problem.min_confidence, &allowed);
+  }
+  if (options_.screening_depth >= 2) {
+    int budget = options_.max_induced_problems;
+    for (int k = 2; k <= options_.screening_depth && budget > 0; ++k) {
+      for (const std::vector<VariableId>& combo :
+           ChainSubsets(structure, root, k, budget)) {
+        --budget;
+        std::vector<VariableId> subset;
+        subset.push_back(root);
+        subset.insert(subset.end(), combo.begin(), combo.end());
+        Result<EventStructure> induced =
+            InduceSubstructure(structure, propagation, subset);
+        if (!induced.ok() || !induced->FindRoot().ok()) continue;
+        DiscoveryProblem induced_problem;
+        induced_problem.structure = &*induced;
+        induced_problem.min_confidence = problem.min_confidence;
+        induced_problem.reference_type = problem.reference_type;
+        induced_problem.allowed.resize(subset.size());
+        for (std::size_t i = 1; i < subset.size(); ++i) {
+          induced_problem.allowed[i] =
+              allowed[static_cast<std::size_t>(subset[i])];
+        }
+        MinerOptions nested = options_;
+        nested.check_consistency = false;
+        nested.reduce_sequence = false;
+        nested.screening_depth = 1;  // no further recursion
+        Miner nested_miner(system_, nested);
+        Result<MiningReport> nested_report =
+            nested_miner.Mine(induced_problem, working);
+        if (!nested_report.ok()) continue;  // give up pruning: still sound
+        report.tag_runs += nested_report->tag_runs;
+        for (std::size_t i = 1; i < subset.size(); ++i) {
+          std::vector<EventTypeId> survivors;
+          for (const DiscoveredType& solution : nested_report->solutions) {
+            EventTypeId type = solution.assignment[i];
+            if (std::find(survivors.begin(), survivors.end(), type) ==
+                survivors.end()) {
+              survivors.push_back(type);
+            }
+          }
+          std::vector<EventTypeId>& target =
+              allowed[static_cast<std::size_t>(subset[i])];
+          std::vector<EventTypeId> intersection;
+          for (EventTypeId type : target) {
+            if (std::find(survivors.begin(), survivors.end(), type) !=
+                survivors.end()) {
+              intersection.push_back(type);
+            }
+          }
+          target = std::move(intersection);
+        }
+      }
+    }
+  }
+  report.candidates_after_screening = CandidateCount(allowed, root);
+  if (report.candidates_after_screening == 0) return report;
+  if (report.candidates_after_screening > options_.max_candidates) {
+    return Status::ResourceExhausted(
+        "candidate space exceeds the configured limit after screening");
+  }
+
+  // Step 5: one skeleton TAG for all candidates; anchored scans per root.
+  GM_ASSIGN_OR_RETURN(TagBuildResult skeleton,
+                      BuildTagForStructure(structure));
+  TagMatcher matcher(&skeleton.tag);
+  Status scan_status = Status::OK();
+  ForEachCandidate(allowed, root, [&](const std::vector<EventTypeId>& phi) {
+    for (const TypeConstraint& constraint : problem.type_constraints) {
+      if (!constraint.SatisfiedBy(phi)) return true;  // skip candidate
+    }
+    SymbolMap symbols = SymbolMap::FromAssignment(phi, type_count);
+    std::size_t matched = 0;
+    for (std::size_t i = 0; i < surviving.size(); ++i) {
+      MatchOptions match_options;
+      match_options.anchored = true;
+      match_options.max_configurations = options_.max_configurations_per_run;
+      if (options_.use_window_deadlines && needs_windows) {
+        match_options.deadline = windows[i].deadline;
+      }
+      MatchStats stats;
+      bool accepted = matcher.Accepts(working.SuffixFrom(surviving[i]),
+                                      symbols, match_options, &stats);
+      ++report.tag_runs;
+      report.matcher_configurations += stats.configurations;
+      if (stats.budget_exhausted) {
+        scan_status = Status::ResourceExhausted(
+            "TAG matcher exceeded its configuration budget");
+        return false;
+      }
+      if (accepted) ++matched;
+    }
+    double frequency = static_cast<double>(matched) /
+                       static_cast<double>(report.total_roots);
+    if (frequency > problem.min_confidence) {
+      report.solutions.push_back(DiscoveredType{phi, frequency, matched});
+    }
+    return true;
+  });
+  GM_RETURN_NOT_OK(scan_status);
+  return report;
+}
+
+}  // namespace granmine

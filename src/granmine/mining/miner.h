@@ -1,0 +1,73 @@
+#ifndef GRANMINE_MINING_MINER_H_
+#define GRANMINE_MINING_MINER_H_
+
+#include <cstdint>
+
+#include "granmine/common/result.h"
+#include "granmine/granularity/system.h"
+#include "granmine/mining/discovery.h"
+#include "granmine/sequence/sequence.h"
+#include "granmine/tag/matcher.h"
+
+namespace granmine {
+
+/// Which of the §5 optimization steps run; every step is independently
+/// toggleable for the E5 ablation benchmarks. The naive algorithm of §5 is
+/// `MinerOptions::Naive()` (every optimization off, pure step-5 scan).
+struct MinerOptions {
+  /// Step 1: discard inconsistent structures via approximate propagation.
+  bool check_consistency = true;
+  /// Step 2: reduce the event sequence by definedness requirements.
+  bool reduce_sequence = true;
+  /// Step 3: discard reference occurrences whose derived windows are
+  /// unsatisfiable.
+  bool reduce_roots = true;
+  /// Step 4: screen candidate types through induced discovery problems up
+  /// to this many non-root variables (0 = off; 1 = window screening;
+  /// >= 2 adds sub-chain induced problems).
+  int screening_depth = 1;
+  /// Truncate step-5 TAG scans at the derived per-root deadline.
+  bool use_window_deadlines = true;
+
+  /// Abort with ResourceExhausted when the candidate space (after
+  /// screening) still exceeds this.
+  std::uint64_t max_candidates = 10'000'000;
+  /// Cap on the number of k >= 2 induced problems evaluated.
+  int max_induced_problems = 64;
+  /// Matcher budget per anchored run.
+  std::uint64_t max_configurations_per_run = 50'000'000;
+
+  static MinerOptions Naive() {
+    MinerOptions options;
+    options.check_consistency = false;
+    options.reduce_sequence = false;
+    options.reduce_roots = false;
+    options.screening_depth = 0;
+    options.use_window_deadlines = false;
+    return options;
+  }
+};
+
+/// The §5 discovery procedure: steps 1-4 shrink the search space, step 5
+/// scans the sequence with one anchored TAG run per (candidate, reference
+/// occurrence), using a single skeleton TAG for every candidate.
+class Miner {
+ public:
+  /// `system` provides the shared table/coverage caches; it must own every
+  /// granularity used by the structures mined.
+  explicit Miner(GranularitySystem* system,
+                 MinerOptions options = MinerOptions{});
+
+  /// Solves the discovery problem on `sequence`. Solutions are returned in
+  /// lexicographic assignment order.
+  Result<MiningReport> Mine(const DiscoveryProblem& problem,
+                            const EventSequence& sequence) const;
+
+ private:
+  GranularitySystem* system_;
+  MinerOptions options_;
+};
+
+}  // namespace granmine
+
+#endif  // GRANMINE_MINING_MINER_H_

@@ -1,0 +1,70 @@
+#include "granmine/mining/reduction.h"
+
+#include <algorithm>
+
+#include "granmine/common/check.h"
+
+namespace granmine {
+
+std::vector<std::vector<EventTypeId>> ResolveAllowedTypes(
+    const DiscoveryProblem& problem, const EventSequence& sequence,
+    VariableId root) {
+  GM_CHECK(problem.structure != nullptr);
+  const int n = problem.structure->variable_count();
+  std::vector<EventTypeId> all_types = sequence.DistinctTypes();
+  std::vector<std::vector<EventTypeId>> allowed(
+      static_cast<std::size_t>(n));
+  for (VariableId v = 0; v < n; ++v) {
+    if (v == root) {
+      allowed[static_cast<std::size_t>(v)] = {problem.reference_type};
+      continue;
+    }
+    if (static_cast<std::size_t>(v) < problem.allowed.size() &&
+        !problem.allowed[static_cast<std::size_t>(v)].empty()) {
+      allowed[static_cast<std::size_t>(v)] =
+          problem.allowed[static_cast<std::size_t>(v)];
+    } else {
+      allowed[static_cast<std::size_t>(v)] = all_types;
+    }
+  }
+  return allowed;
+}
+
+EventSequence ReduceSequence(
+    const EventSequence& sequence, const PropagationResult& propagation,
+    const std::vector<std::vector<EventTypeId>>& allowed) {
+  const int n = static_cast<int>(allowed.size());
+  // candidate_vars[type]: variables that may take this type.
+  EventTypeId max_type = -1;
+  for (const std::vector<EventTypeId>& types : allowed) {
+    for (EventTypeId type : types) max_type = std::max(max_type, type);
+  }
+  std::vector<std::vector<VariableId>> candidate_vars(
+      static_cast<std::size_t>(max_type) + 1);
+  for (VariableId v = 0; v < n; ++v) {
+    for (EventTypeId type : allowed[static_cast<std::size_t>(v)]) {
+      candidate_vars[static_cast<std::size_t>(type)].push_back(v);
+    }
+  }
+  const std::vector<VariableId> kNone;
+  auto vars_for = [&](EventTypeId type) -> const std::vector<VariableId>& {
+    if (type < 0 || type > max_type) return kNone;
+    return candidate_vars[static_cast<std::size_t>(type)];
+  };
+
+  return sequence.Filter([&](const Event& event) {
+    for (VariableId v : vars_for(event.type)) {
+      bool usable = true;
+      for (const Granularity* g : propagation.granularities) {
+        if (propagation.IsDefinedIn(g, v) && !g->InSupport(event.time)) {
+          usable = false;
+          break;
+        }
+      }
+      if (usable) return true;
+    }
+    return false;
+  });
+}
+
+}  // namespace granmine

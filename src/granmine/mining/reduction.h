@@ -1,0 +1,31 @@
+#ifndef GRANMINE_MINING_REDUCTION_H_
+#define GRANMINE_MINING_REDUCTION_H_
+
+#include <vector>
+
+#include "granmine/constraint/propagation.h"
+#include "granmine/mining/discovery.h"
+#include "granmine/sequence/sequence.h"
+
+namespace granmine {
+
+/// The per-variable candidate type sets of a discovery problem with σ's
+/// "free" entries expanded to the sequence's distinct types and the root
+/// pinned to the reference type.
+std::vector<std::vector<EventTypeId>> ResolveAllowedTypes(
+    const DiscoveryProblem& problem, const EventSequence& sequence,
+    VariableId root);
+
+/// §5 step 2: drops every event that cannot be bound to any variable — its
+/// type is allowed nowhere, or its timestamp violates a definedness
+/// requirement (e.g., a weekend event when every variable carries b-day
+/// constraints). Sound: the matcher's ANY self-loops skip unrelated events
+/// without touching clocks, so removing them never changes anchored-match
+/// outcomes.
+EventSequence ReduceSequence(
+    const EventSequence& sequence, const PropagationResult& propagation,
+    const std::vector<std::vector<EventTypeId>>& allowed);
+
+}  // namespace granmine
+
+#endif  // GRANMINE_MINING_REDUCTION_H_

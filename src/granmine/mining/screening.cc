@@ -1,0 +1,73 @@
+#include "granmine/mining/screening.h"
+
+#include <algorithm>
+#include <set>
+
+#include "granmine/common/check.h"
+
+namespace granmine {
+
+std::size_t FirstEventAtOrAfter(const EventSequence& sequence, TimePoint t) {
+  const std::vector<Event>& events = sequence.events();
+  auto it = std::lower_bound(
+      events.begin(), events.end(), t,
+      [](const Event& event, TimePoint value) { return event.time < value; });
+  return static_cast<std::size_t>(it - events.begin());
+}
+
+void ScreenByWindows(const PropagationResult& propagation,
+                     const EventSequence& sequence,
+                     const std::vector<RootWindows>& windows,
+                     VariableId root, std::size_t total_roots,
+                     double min_confidence,
+                     std::vector<std::vector<EventTypeId>>* allowed) {
+  GM_CHECK(allowed != nullptr);
+  if (total_roots == 0) return;
+  const int n = static_cast<int>(allowed->size());
+  const std::vector<Event>& events = sequence.events();
+
+  for (VariableId v = 0; v < n; ++v) {
+    if (v == root) continue;
+    std::vector<EventTypeId>& types = (*allowed)[static_cast<std::size_t>(v)];
+    if (types.empty()) continue;
+    // hits[type] = number of reference occurrences whose window for v
+    // contains a usable event of that type.
+    std::set<EventTypeId> candidate_set(types.begin(), types.end());
+    std::vector<std::size_t> hits;
+    std::vector<EventTypeId> hit_types(candidate_set.begin(),
+                                       candidate_set.end());
+    hits.assign(hit_types.size(), 0);
+    auto index_of = [&](EventTypeId type) -> int {
+      auto it = std::lower_bound(hit_types.begin(), hit_types.end(), type);
+      if (it == hit_types.end() || *it != type) return -1;
+      return static_cast<int>(it - hit_types.begin());
+    };
+    std::vector<bool> seen(hit_types.size());
+    for (const RootWindows& rw : windows) {
+      const TimeSpan& window = rw.windows[static_cast<std::size_t>(v)];
+      if (window.empty()) continue;
+      std::fill(seen.begin(), seen.end(), false);
+      for (std::size_t i = FirstEventAtOrAfter(sequence, window.first);
+           i < events.size() && events[i].time <= window.last; ++i) {
+        int idx = index_of(events[i].type);
+        if (idx < 0 || seen[static_cast<std::size_t>(idx)]) continue;
+        if (!UsableForVariable(propagation, v, window, events[i].time)) {
+          continue;
+        }
+        seen[static_cast<std::size_t>(idx)] = true;
+      }
+      for (std::size_t k = 0; k < hits.size(); ++k) {
+        if (seen[k]) ++hits[k];
+      }
+    }
+    std::vector<EventTypeId> surviving;
+    for (std::size_t k = 0; k < hit_types.size(); ++k) {
+      double frequency =
+          static_cast<double>(hits[k]) / static_cast<double>(total_roots);
+      if (frequency > min_confidence) surviving.push_back(hit_types[k]);
+    }
+    types = std::move(surviving);
+  }
+}
+
+}  // namespace granmine

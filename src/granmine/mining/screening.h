@@ -1,0 +1,36 @@
+#ifndef GRANMINE_MINING_SCREENING_H_
+#define GRANMINE_MINING_SCREENING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "granmine/constraint/propagation.h"
+#include "granmine/mining/windows.h"
+#include "granmine/sequence/sequence.h"
+
+namespace granmine {
+
+/// §5.1 step-4 screening at k = 1: for each non-root variable v and each
+/// candidate type E, measure how often an E-event usable for v falls inside
+/// v's derived window around a reference occurrence. Types whose frequency
+/// is not strictly above `min_confidence` cannot appear in any solution
+/// (every full occurrence restricts to an occurrence of the induced
+/// two-variable sub-structure) and are pruned from `allowed`.
+///
+/// `windows[i]` are the per-variable windows of the i-th surviving
+/// reference occurrence; `total_roots` is the frequency denominator (all
+/// reference occurrences of the input sequence).
+void ScreenByWindows(const PropagationResult& propagation,
+                     const EventSequence& sequence,
+                     const std::vector<RootWindows>& windows,
+                     VariableId root, std::size_t total_roots,
+                     double min_confidence,
+                     std::vector<std::vector<EventTypeId>>* allowed);
+
+/// Indices of the first event at-or-after each instant, for window scans.
+/// (Thin wrapper over binary search on the sorted event vector.)
+std::size_t FirstEventAtOrAfter(const EventSequence& sequence, TimePoint t);
+
+}  // namespace granmine
+
+#endif  // GRANMINE_MINING_SCREENING_H_

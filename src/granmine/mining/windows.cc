@@ -1,0 +1,82 @@
+#include "granmine/mining/windows.h"
+
+#include <algorithm>
+
+#include "granmine/common/check.h"
+#include "granmine/common/math.h"
+
+namespace granmine {
+
+RootWindows ComputeRootWindows(const EventStructure& structure,
+                               VariableId root,
+                               const PropagationResult& propagation,
+                               TimePoint t0) {
+  const int n = structure.variable_count();
+  RootWindows out;
+  out.windows.assign(static_cast<std::size_t>(n),
+                     TimeSpan::Of(t0, kInfinity));
+  out.windows[static_cast<std::size_t>(root)] = TimeSpan::Point(t0);
+
+  // The root's ticks must be defined wherever propagation requires.
+  for (const Granularity* g : propagation.granularities) {
+    if (propagation.IsDefinedIn(g, root) && !g->InSupport(t0)) {
+      out.root_viable = false;
+      return out;
+    }
+  }
+  out.root_viable = true;
+
+  for (VariableId v = 0; v < n; ++v) {
+    if (v == root) continue;
+    TimeSpan window = out.windows[static_cast<std::size_t>(v)];
+    for (const Granularity* g : propagation.granularities) {
+      if (!propagation.IsDefinedIn(g, root) ||
+          !propagation.IsDefinedIn(g, v)) {
+        continue;
+      }
+      Bounds bounds = propagation.GetBounds(g, root, v);
+      if (bounds.lo <= -kInfinity && bounds.hi >= kInfinity) continue;
+      std::optional<Tick> z0 = g->TickContaining(t0);
+      GM_CHECK(z0.has_value());  // root viability checked above
+      TimePoint lo = window.first;
+      TimePoint hi = window.last;
+      if (bounds.lo > -kInfinity) {
+        Tick first_tick = std::max<Tick>(*z0 + bounds.lo, 1);
+        std::optional<TimeSpan> hull = g->TickHull(first_tick);
+        GM_CHECK(hull.has_value());
+        lo = std::max(lo, hull->first);
+      }
+      if (bounds.hi < kInfinity) {
+        Tick last_tick = *z0 + bounds.hi;
+        if (last_tick < 1) {
+          window = TimeSpan::Empty();
+          break;
+        }
+        std::optional<TimeSpan> hull = g->TickHull(last_tick);
+        GM_CHECK(hull.has_value());
+        hi = std::min(hi, hull->last);
+      }
+      window = TimeSpan::Of(lo, hi);
+      if (window.empty()) break;
+    }
+    out.windows[static_cast<std::size_t>(v)] = window;
+  }
+
+  out.deadline = t0;
+  for (const TimeSpan& window : out.windows) {
+    if (window.empty()) continue;
+    out.deadline = std::max(out.deadline, window.last);
+  }
+  return out;
+}
+
+bool UsableForVariable(const PropagationResult& propagation, VariableId v,
+                       const TimeSpan& window, TimePoint t) {
+  if (!window.Contains(t)) return false;
+  for (const Granularity* g : propagation.granularities) {
+    if (propagation.IsDefinedIn(g, v) && !g->InSupport(t)) return false;
+  }
+  return true;
+}
+
+}  // namespace granmine

@@ -1,0 +1,42 @@
+#ifndef GRANMINE_MINING_WINDOWS_H_
+#define GRANMINE_MINING_WINDOWS_H_
+
+#include <vector>
+
+#include "granmine/common/time_span.h"
+#include "granmine/constraint/event_structure.h"
+#include "granmine/constraint/propagation.h"
+
+namespace granmine {
+
+/// Per-reference-occurrence windows derived from the propagation result:
+/// for a root anchored at t0, variable v must fall inside `windows[v]`
+/// (intersection over every granularity of the hull of the derived tick
+/// range). The upper ends bound how far the step-5 TAG scan must look.
+struct RootWindows {
+  /// False when t0 itself violates a definedness requirement of the root —
+  /// the §5 step-3 rule discards such reference occurrences outright.
+  bool root_viable = false;
+  /// Inclusive instant window per variable (root's is [t0, t0]). An open
+  /// upper end is kInfinity.
+  std::vector<TimeSpan> windows;
+  /// max over variables of windows[v].last (kInfinity when any is open):
+  /// events after this instant cannot matter for this reference occurrence.
+  TimePoint deadline = kInfinity;
+};
+
+/// Computes the windows for the reference occurrence at `t0`.
+RootWindows ComputeRootWindows(const EventStructure& structure,
+                               VariableId root,
+                               const PropagationResult& propagation,
+                               TimePoint t0);
+
+/// Whether an event at instant `t` could be bound to variable `v`: it lies
+/// in the variable's window and satisfies every definedness requirement the
+/// propagation derived for v.
+bool UsableForVariable(const PropagationResult& propagation, VariableId v,
+                       const TimeSpan& window, TimePoint t);
+
+}  // namespace granmine
+
+#endif  // GRANMINE_MINING_WINDOWS_H_

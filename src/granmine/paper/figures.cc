@@ -1,0 +1,51 @@
+#include "granmine/paper/figures.h"
+
+namespace granmine {
+
+namespace {
+
+Result<const Granularity*> Require(const GranularitySystem& system,
+                                   const char* name) {
+  const Granularity* g = system.Find(name);
+  if (g == nullptr) {
+    return Status::NotFound(std::string("granularity '") + name +
+                            "' is not registered in the system");
+  }
+  return g;
+}
+
+}  // namespace
+
+Result<EventStructure> BuildFigure1a(const GranularitySystem& system) {
+  GM_ASSIGN_OR_RETURN(const Granularity* b_day, Require(system, "b-day"));
+  GM_ASSIGN_OR_RETURN(const Granularity* week, Require(system, "week"));
+  GM_ASSIGN_OR_RETURN(const Granularity* hour, Require(system, "hour"));
+  EventStructure s;
+  VariableId x0 = s.AddVariable("X0");
+  VariableId x1 = s.AddVariable("X1");
+  VariableId x2 = s.AddVariable("X2");
+  VariableId x3 = s.AddVariable("X3");
+  GM_RETURN_NOT_OK(s.AddConstraint(x0, x1, Tcg::Of(1, 1, b_day)));
+  GM_RETURN_NOT_OK(s.AddConstraint(x1, x3, Tcg::Of(0, 1, week)));
+  GM_RETURN_NOT_OK(s.AddConstraint(x0, x2, Tcg::Of(0, 5, b_day)));
+  GM_RETURN_NOT_OK(s.AddConstraint(x2, x3, Tcg::Of(0, 8, hour)));
+  return s;
+}
+
+Result<EventStructure> BuildFigure1b(const GranularitySystem& system) {
+  GM_ASSIGN_OR_RETURN(const Granularity* month, Require(system, "month"));
+  GM_ASSIGN_OR_RETURN(const Granularity* year, Require(system, "year"));
+  EventStructure s;
+  VariableId x0 = s.AddVariable("X0");
+  VariableId x1 = s.AddVariable("X1");
+  VariableId x2 = s.AddVariable("X2");
+  VariableId x3 = s.AddVariable("X3");
+  GM_RETURN_NOT_OK(s.AddConstraint(x0, x1, Tcg::Of(11, 11, month)));
+  GM_RETURN_NOT_OK(s.AddConstraint(x0, x1, Tcg::Same(year)));
+  GM_RETURN_NOT_OK(s.AddConstraint(x0, x2, Tcg::Of(0, 12, month)));
+  GM_RETURN_NOT_OK(s.AddConstraint(x2, x3, Tcg::Of(11, 11, month)));
+  GM_RETURN_NOT_OK(s.AddConstraint(x2, x3, Tcg::Same(year)));
+  return s;
+}
+
+}  // namespace granmine

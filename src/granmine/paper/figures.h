@@ -1,0 +1,29 @@
+#ifndef GRANMINE_PAPER_FIGURES_H_
+#define GRANMINE_PAPER_FIGURES_H_
+
+#include "granmine/common/result.h"
+#include "granmine/constraint/event_structure.h"
+#include "granmine/granularity/system.h"
+
+namespace granmine {
+
+/// The paper's Figure 1(a) event structure (Example 1's skeleton):
+///   X0 --[1,1]b-day-->  X1 --[0,1]week--> X3
+///   X0 --[0,5]b-day-->  X2 --[0,8]hour--> X3
+/// Variables are created in order X0, X1, X2, X3 (ids 0..3).
+/// `system` must provide "b-day", "week" and "hour" (the standard
+/// second-based Gregorian system does).
+Result<EventStructure> BuildFigure1a(const GranularitySystem& system);
+
+/// The paper's Figure 1(b) event structure, whose granularity interaction
+/// expresses the disjunction "X2 is 0 or 12 months after X0":
+///   X0 --[11,11]month ∧ [0,0]year--> X1   (forces X0 into a January)
+///   X0 --[0,12]month--> X2
+///   X2 --[11,11]month ∧ [0,0]year--> X3   (forces X2 into a January)
+/// Variables are created in order X0, X1, X2, X3 (ids 0..3).
+/// `system` must provide "month" and "year".
+Result<EventStructure> BuildFigure1b(const GranularitySystem& system);
+
+}  // namespace granmine
+
+#endif  // GRANMINE_PAPER_FIGURES_H_

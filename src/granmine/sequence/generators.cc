@@ -1,0 +1,167 @@
+#include "granmine/sequence/generators.h"
+
+#include <string>
+
+#include "granmine/common/check.h"
+#include "granmine/granularity/civil_calendar.h"
+
+namespace granmine {
+
+Workload MakeRandomWorkload(const RandomWorkloadOptions& options) {
+  GM_CHECK(options.type_count >= 1);
+  Workload out;
+  for (int i = 0; i < options.type_count; ++i) {
+    out.registry.Intern("E" + std::to_string(i));
+  }
+  Rng rng(options.seed);
+  TimePoint t = options.start;
+  for (std::size_t i = 0; i < options.length; ++i) {
+    t += rng.ArrivalGap(options.mean_gap);
+    out.sequence.Add(
+        static_cast<EventTypeId>(rng.Uniform(0, options.type_count - 1)), t);
+  }
+  return out;
+}
+
+namespace {
+
+// The first instant of business-day tick z, plus an hour-of-day offset.
+TimePoint AtHour(const Granularity& b_day, Tick z, int hour, int minute = 0) {
+  std::optional<TimeSpan> hull = b_day.TickHull(z);
+  GM_CHECK(hull.has_value());
+  return hull->first + hour * 3600 + minute * 60;
+}
+
+}  // namespace
+
+Workload MakeStockWorkload(const GranularitySystem& system,
+                           const StockWorkloadOptions& options) {
+  const Granularity* b_day = system.Find("b-day");
+  GM_CHECK(b_day != nullptr) << "stock workload needs a b-day granularity";
+  Workload out;
+  EventTypeId ibm_rise = out.registry.Intern("IBM-rise");
+  EventTypeId ibm_fall = out.registry.Intern("IBM-fall");
+  EventTypeId ibm_report = out.registry.Intern("IBM-earnings-report");
+  EventTypeId hp_rise = out.registry.Intern("HP-rise");
+  EventTypeId hp_fall = out.registry.Intern("HP-fall");
+  std::vector<EventTypeId> noise_types = {ibm_rise, ibm_fall, hp_rise,
+                                          hp_fall};
+  for (int i = 0; i < options.noise_ticker_count; ++i) {
+    noise_types.push_back(
+        out.registry.Intern("T" + std::to_string(i) + "-rise"));
+    noise_types.push_back(
+        out.registry.Intern("T" + std::to_string(i) + "-fall"));
+  }
+
+  Rng rng(options.seed);
+  // Anchor every 4th business day as a potential pattern start; leave three
+  // days of room so the planted pattern fits before the next anchor.
+  for (Tick day = 1; day + 3 <= options.trading_days; day += 4) {
+    if (rng.Bernoulli(options.plant_probability)) {
+      TimePoint t0 = AtHour(*b_day, day, 10);       // IBM-rise
+      TimePoint t1 = AtHour(*b_day, day + 1, 11);   // report, [1,1]b-day
+      TimePoint t3 = AtHour(*b_day, day + 2, 15);   // IBM-fall
+      TimePoint t2 = t3 - 3 * 3600;                 // HP-rise, 3h before fall
+      out.sequence.Add(ibm_rise, t0);
+      out.sequence.Add(ibm_report, t1);
+      out.sequence.Add(hp_rise, t2);
+      out.sequence.Add(ibm_fall, t3);
+      ++out.planted;
+    } else {
+      // A lone anchor (reference occurrence without the full pattern).
+      out.sequence.Add(ibm_rise, AtHour(*b_day, day, 10));
+    }
+  }
+  // Noise: random ticker events across all trading days at random minutes
+  // of the 6.5-hour session starting 09:30.
+  const std::int64_t session_minutes = 390;
+  double expected = options.noise_events_per_day * options.trading_days;
+  std::int64_t noise_count = static_cast<std::int64_t>(expected);
+  for (std::int64_t i = 0; i < noise_count; ++i) {
+    Tick day = rng.Uniform(1, options.trading_days);
+    std::int64_t minute = rng.Uniform(0, session_minutes - 1);
+    out.sequence.Add(noise_types[rng.Index(noise_types.size())],
+                     AtHour(*b_day, day, 9, 30) + minute * 60);
+  }
+  return out;
+}
+
+Workload MakeAtmWorkload(const GranularitySystem& system,
+                         const AtmWorkloadOptions& options) {
+  const Granularity* day = system.Find("day");
+  GM_CHECK(day != nullptr);
+  Workload out;
+  std::vector<EventTypeId> deposit(options.accounts);
+  std::vector<EventTypeId> withdrawal(options.accounts);
+  std::vector<EventTypeId> large_withdrawal(options.accounts);
+  std::vector<EventTypeId> alert(options.accounts);
+  for (int a = 0; a < options.accounts; ++a) {
+    std::string suffix = "-acct" + std::to_string(a);
+    deposit[a] = out.registry.Intern("deposit" + suffix);
+    withdrawal[a] = out.registry.Intern("withdrawal" + suffix);
+    large_withdrawal[a] = out.registry.Intern("large-withdrawal" + suffix);
+    alert[a] = out.registry.Intern("alert" + suffix);
+  }
+  Rng rng(options.seed);
+  for (Tick d = 1; d + 2 <= options.days; ++d) {
+    std::optional<TimeSpan> hull = day->TickHull(d);
+    GM_CHECK(hull.has_value());
+    for (int a = 0; a < options.accounts; ++a) {
+      if (rng.Bernoulli(options.deposits_per_day / 2.0)) {
+        TimePoint td = hull->first + rng.Uniform(8, 12) * 3600;
+        out.sequence.Add(deposit[a], td);
+        if (rng.Bernoulli(options.plant_probability)) {
+          // Same-day large withdrawal, alert within two days.
+          out.sequence.Add(large_withdrawal[a],
+                           td + rng.Uniform(1, 8) * 3600);
+          std::optional<TimeSpan> alert_day =
+              day->TickHull(d + rng.Uniform(1, 2));
+          out.sequence.Add(alert[a],
+                           alert_day->first + rng.Uniform(0, 23) * 3600);
+          ++out.planted;
+        }
+      }
+      double spins = options.noise_withdrawals_per_day;
+      while (spins > 0.0) {
+        if (rng.Bernoulli(std::min(spins, 1.0))) {
+          out.sequence.Add(withdrawal[a],
+                           hull->first + rng.Uniform(0, 86399));
+        }
+        spins -= 1.0;
+      }
+    }
+  }
+  return out;
+}
+
+Workload MakePlantWorkload(const GranularitySystem& system,
+                           const PlantWorkloadOptions& options) {
+  const Granularity* day = system.Find("day");
+  const Granularity* hour = system.Find("hour");
+  GM_CHECK(day != nullptr && hour != nullptr);
+  Workload out;
+  EventTypeId overheat = out.registry.Intern("overheat-warning");
+  EventTypeId pressure = out.registry.Intern("pressure-drop");
+  EventTypeId shutdown = out.registry.Intern("emergency-shutdown");
+  EventTypeId maintenance = out.registry.Intern("maintenance-check");
+  Rng rng(options.seed);
+  for (Tick d = 1; d <= options.days; ++d) {
+    std::optional<TimeSpan> hull = day->TickHull(d);
+    std::int64_t warnings =
+        static_cast<std::int64_t>(options.warnings_per_day);
+    for (std::int64_t w = 0; w < warnings; ++w) {
+      TimePoint tw = hull->first + rng.Uniform(0, 20) * 3600;
+      out.sequence.Add(overheat, tw);
+      if (rng.Bernoulli(options.cascade_probability)) {
+        // Pressure drop within 2 hours, shutdown within 1 more hour.
+        out.sequence.Add(pressure, tw + rng.Uniform(600, 7200));
+        out.sequence.Add(shutdown, tw + rng.Uniform(7300, 10700));
+        ++out.planted;
+      }
+    }
+    out.sequence.Add(maintenance, hull->first + 6 * 3600);
+  }
+  return out;
+}
+
+}  // namespace granmine

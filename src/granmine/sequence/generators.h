@@ -1,0 +1,80 @@
+#ifndef GRANMINE_SEQUENCE_GENERATORS_H_
+#define GRANMINE_SEQUENCE_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "granmine/common/random.h"
+#include "granmine/granularity/system.h"
+#include "granmine/sequence/event.h"
+#include "granmine/sequence/sequence.h"
+
+namespace granmine {
+
+/// A generated workload: an event sequence plus its type registry and the
+/// number of pattern instances intentionally planted.
+struct Workload {
+  EventTypeRegistry registry;
+  EventSequence sequence;
+  std::size_t planted = 0;
+};
+
+/// Uniformly random events with geometric inter-arrival gaps.
+struct RandomWorkloadOptions {
+  int type_count = 8;
+  std::size_t length = 1000;
+  double mean_gap = 10.0;   ///< primitive instants between events
+  TimePoint start = 0;
+  std::uint64_t seed = 1;
+};
+Workload MakeRandomWorkload(const RandomWorkloadOptions& options);
+
+/// The Example-1 stock workload over the second-based Gregorian calendar:
+/// IBM/HP rises and falls sampled on business days, earnings reports, and —
+/// with probability `plant_probability` per candidate anchor day — a planted
+/// instance of the Figure-1(a) pattern:
+///   IBM-rise; IBM-earnings-report one business day later; HP-rise within 5
+///   business days of the rise and at most 8 hours before an IBM-fall that
+///   happens in the same or next week as the report.
+struct StockWorkloadOptions {
+  int trading_days = 120;        ///< business days generated
+  double plant_probability = 0.7;
+  double noise_events_per_day = 3.0;  ///< extra random ticker events per day
+  int noise_ticker_count = 4;        ///< extra ticker symbols (2 types each)
+  std::uint64_t seed = 1;
+};
+/// `system` must be the second-based Gregorian system (needs "b-day").
+Workload MakeStockWorkload(const GranularitySystem& system,
+                           const StockWorkloadOptions& options);
+
+/// ATM transactions (the introduction's motivating domain): deposits,
+/// withdrawals and alerts per account; plants "deposit, then a large
+/// withdrawal the same day, then an alert within 2 days" with the given
+/// probability per deposit.
+struct AtmWorkloadOptions {
+  int days = 90;
+  int accounts = 5;
+  double deposits_per_day = 1.0;
+  double plant_probability = 0.5;
+  double noise_withdrawals_per_day = 2.0;
+  std::uint64_t seed = 1;
+};
+/// `system` must be second-based Gregorian (needs "day").
+Workload MakeAtmWorkload(const GranularitySystem& system,
+                         const AtmWorkloadOptions& options);
+
+/// Industrial-plant malfunction cascades: sensor warnings escalating to
+/// shutdowns within hours, with periodic maintenance noise.
+struct PlantWorkloadOptions {
+  int days = 60;
+  double warnings_per_day = 4.0;
+  double cascade_probability = 0.4;  ///< warning escalates to a full cascade
+  std::uint64_t seed = 1;
+};
+Workload MakePlantWorkload(const GranularitySystem& system,
+                           const PlantWorkloadOptions& options);
+
+}  // namespace granmine
+
+#endif  // GRANMINE_SEQUENCE_GENERATORS_H_

@@ -1,0 +1,65 @@
+#include "granmine/sequence/sequence.h"
+
+#include <algorithm>
+
+#include "granmine/common/check.h"
+
+namespace granmine {
+
+EventSequence::EventSequence(std::vector<Event> events)
+    : events_(std::move(events)), sorted_(false) {}
+
+void EventSequence::EnsureSorted() const {
+  if (sorted_) return;
+  std::stable_sort(
+      events_.begin(), events_.end(),
+      [](const Event& a, const Event& b) { return a.time < b.time; });
+  sorted_ = true;
+}
+
+const std::vector<Event>& EventSequence::events() const {
+  EnsureSorted();
+  return events_;
+}
+
+std::vector<std::size_t> EventSequence::OccurrencesOf(EventTypeId type) const {
+  EnsureSorted();
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (events_[i].type == type) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t EventSequence::CountOf(EventTypeId type) const {
+  std::size_t count = 0;
+  for (const Event& event : events()) {
+    if (event.type == type) ++count;
+  }
+  return count;
+}
+
+std::span<const Event> EventSequence::SuffixFrom(std::size_t from) const {
+  EnsureSorted();
+  GM_CHECK(from <= events_.size());
+  return std::span<const Event>(events_).subspan(from);
+}
+
+EventSequence EventSequence::Filter(
+    const std::function<bool(const Event&)>& keep) const {
+  EventSequence out;
+  for (const Event& event : events()) {
+    if (keep(event)) out.Add(event);
+  }
+  return out;
+}
+
+std::vector<EventTypeId> EventSequence::DistinctTypes() const {
+  std::vector<EventTypeId> types;
+  for (const Event& event : events()) types.push_back(event.type);
+  std::sort(types.begin(), types.end());
+  types.erase(std::unique(types.begin(), types.end()), types.end());
+  return types;
+}
+
+}  // namespace granmine

@@ -1,0 +1,61 @@
+#ifndef GRANMINE_SEQUENCE_SEQUENCE_H_
+#define GRANMINE_SEQUENCE_SEQUENCE_H_
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "granmine/sequence/event.h"
+
+namespace granmine {
+
+/// A finite event sequence (§2), kept sorted by timestamp (stable for equal
+/// timestamps). Events are appended in any order; the container re-sorts
+/// lazily on first read access after a mutation.
+class EventSequence {
+ public:
+  EventSequence() = default;
+  explicit EventSequence(std::vector<Event> events);
+
+  void Add(EventTypeId type, TimePoint time) {
+    events_.push_back(Event{type, time});
+    sorted_ = false;
+  }
+  void Add(Event event) {
+    events_.push_back(event);
+    sorted_ = false;
+  }
+
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  /// The events in timestamp order.
+  const std::vector<Event>& events() const;
+  std::span<const Event> View() const { return events(); }
+
+  /// Indices (into events()) of the occurrences of `type`.
+  std::vector<std::size_t> OccurrencesOf(EventTypeId type) const;
+
+  /// Number of occurrences of `type`.
+  std::size_t CountOf(EventTypeId type) const;
+
+  /// The suffix starting at event index `from`.
+  std::span<const Event> SuffixFrom(std::size_t from) const;
+
+  /// A new sequence with only the events satisfying `keep`.
+  EventSequence Filter(const std::function<bool(const Event&)>& keep) const;
+
+  /// Distinct event types occurring in the sequence, ascending.
+  std::vector<EventTypeId> DistinctTypes() const;
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<Event> events_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace granmine
+
+#endif  // GRANMINE_SEQUENCE_SEQUENCE_H_

@@ -1,0 +1,173 @@
+#include "granmine/tag/builder.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "granmine/common/check.h"
+#include "granmine/tag/chains.h"
+
+namespace granmine {
+
+namespace {
+
+// Per-chain construction data (Step 2, kept implicit: the product is built
+// directly from it).
+struct ChainInfo {
+  std::vector<VariableId> variables;       // X_1 .. X_nl (X_1 = root)
+  // clock index (into the product TAG) per granularity of this chain.
+  std::map<const Granularity*, int> clock_of;
+  std::vector<int> clocks;                 // all clock indices of this chain
+  // position_of[v] = j when variables[j-1] == v (1-based position), else 0.
+  std::unordered_map<VariableId, int> position_of;
+};
+
+std::string TupleName(const std::vector<int>& tuple) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < tuple.size(); ++i) {
+    os << "S" << tuple[i];
+  }
+  return os.str();
+}
+
+}  // namespace
+
+Result<TagBuildResult> BuildTagForStructure(const EventStructure& structure) {
+  GM_RETURN_NOT_OK(structure.ValidateDag());
+  GM_ASSIGN_OR_RETURN(std::vector<std::vector<VariableId>> chains,
+                      DecomposeChains(structure));
+
+  TagBuildResult result;
+  result.chains = chains;
+  Tag& tag = result.tag;
+
+  // Clocks: one per granularity per chain (Step 2's C_l, kept disjoint
+  // across chains as the paper requires).
+  std::vector<ChainInfo> infos(chains.size());
+  for (std::size_t l = 0; l < chains.size(); ++l) {
+    ChainInfo& info = infos[l];
+    info.variables = chains[l];
+    for (std::size_t j = 0; j < info.variables.size(); ++j) {
+      info.position_of[info.variables[j]] = static_cast<int>(j) + 1;
+    }
+    for (std::size_t j = 1; j < info.variables.size(); ++j) {
+      const std::vector<Tcg>* tcgs =
+          structure.FindEdge(info.variables[j - 1], info.variables[j]);
+      GM_CHECK(tcgs != nullptr) << "chain traverses a missing edge";
+      for (const Tcg& tcg : *tcgs) {
+        if (info.clock_of.find(tcg.granularity) == info.clock_of.end()) {
+          int clock = tag.AddClock(
+              tcg.granularity, "x_" + std::string(tcg.granularity->name()) +
+                                   "_c" + std::to_string(l));
+          info.clock_of[tcg.granularity] = clock;
+          info.clocks.push_back(clock);
+          result.clock_chain.push_back(static_cast<int>(l));
+        }
+      }
+    }
+  }
+
+  // Guard of chain l's j-th transition (consuming variables[j], 1-based).
+  auto chain_guard = [&](std::size_t l, int j) {
+    const ChainInfo& info = infos[l];
+    ClockConstraint guard = ClockConstraint::True();
+    if (j >= 2) {
+      const std::vector<Tcg>* tcgs = structure.FindEdge(
+          info.variables[static_cast<std::size_t>(j) - 2],
+          info.variables[static_cast<std::size_t>(j) - 1]);
+      GM_CHECK(tcgs != nullptr);
+      for (const Tcg& tcg : *tcgs) {
+        int clock = info.clock_of.at(tcg.granularity);
+        guard = ClockConstraint::And(
+            std::move(guard),
+            ClockConstraint::Range(clock, tcg.min, tcg.max));
+      }
+    }
+    return guard;
+  };
+
+  // Which chains contain each variable (for the Step-3 product rule).
+  std::unordered_map<VariableId, std::vector<std::size_t>> chains_of;
+  for (std::size_t l = 0; l < chains.size(); ++l) {
+    for (VariableId v : chains[l]) chains_of[v].push_back(l);
+  }
+
+  // Lazy product construction over position tuples.
+  std::map<std::vector<int>, int> state_of_tuple;
+  std::vector<std::vector<int>> worklist;
+  auto intern_state = [&](const std::vector<int>& tuple) {
+    auto it = state_of_tuple.find(tuple);
+    if (it != state_of_tuple.end()) return it->second;
+    int state = tag.AddState(TupleName(tuple));
+    state_of_tuple.emplace(tuple, state);
+    worklist.push_back(tuple);
+    // ANY self-loop: skip events that are not part of the pattern.
+    tag.AddTransition(Tag::Transition{state, state, kAnySymbol, {}, {}});
+    return state;
+  };
+
+  std::vector<int> start_tuple(chains.size(), 0);
+  int start_state = intern_state(start_tuple);
+  tag.MarkStart(start_state);
+
+  while (!worklist.empty()) {
+    std::vector<int> tuple = std::move(worklist.back());
+    worklist.pop_back();
+    int from_state = state_of_tuple.at(tuple);
+    bool all_final = true;
+    for (std::size_t l = 0; l < chains.size(); ++l) {
+      if (tuple[l] != static_cast<int>(chains[l].size())) all_final = false;
+    }
+    if (all_final) {
+      tag.MarkAccepting(from_state);
+      continue;
+    }
+    // For each variable X: a product transition exists iff every chain
+    // containing X sits exactly at its pre-X position.
+    for (const auto& [variable, owner_chains] : chains_of) {
+      bool enabled = true;
+      for (std::size_t l : owner_chains) {
+        if (tuple[l] + 1 != infos[l].position_of.at(variable)) {
+          enabled = false;
+          break;
+        }
+      }
+      if (!enabled) continue;
+      std::vector<int> next_tuple = tuple;
+      ClockConstraint guard = ClockConstraint::True();
+      std::vector<int> resets;
+      for (std::size_t l : owner_chains) {
+        next_tuple[l] += 1;
+        guard = ClockConstraint::And(std::move(guard),
+                                     chain_guard(l, next_tuple[l]));
+        // Step 2 resets all of the chain's clocks on every transition.
+        resets.insert(resets.end(), infos[l].clocks.begin(),
+                      infos[l].clocks.end());
+      }
+      std::sort(resets.begin(), resets.end());
+      int to_state = intern_state(next_tuple);
+      tag.AddTransition(Tag::Transition{from_state, to_state, variable,
+                                        std::move(resets), std::move(guard)});
+    }
+  }
+
+  GM_RETURN_NOT_OK(tag.Validate());
+  return result;
+}
+
+Result<TagBuildResult> BuildTagForComplexType(
+    const EventStructure& structure, const std::vector<EventTypeId>& phi) {
+  if (static_cast<int>(phi.size()) != structure.variable_count()) {
+    return Status::Invalid("type assignment size mismatch");
+  }
+  GM_ASSIGN_OR_RETURN(TagBuildResult result, BuildTagForStructure(structure));
+  std::unordered_map<Symbol, Symbol> mapping;
+  for (VariableId v = 0; v < structure.variable_count(); ++v) {
+    mapping[v] = phi[static_cast<std::size_t>(v)];
+  }
+  GM_RETURN_NOT_OK(result.tag.SubstituteSymbols(mapping));
+  return result;
+}
+
+}  // namespace granmine

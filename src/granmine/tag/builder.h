@@ -1,0 +1,47 @@
+#ifndef GRANMINE_TAG_BUILDER_H_
+#define GRANMINE_TAG_BUILDER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "granmine/common/result.h"
+#include "granmine/constraint/event_structure.h"
+#include "granmine/sequence/event.h"
+#include "granmine/tag/tag.h"
+
+namespace granmine {
+
+/// Output of the Theorem-3 construction.
+struct TagBuildResult {
+  /// The product TAG. Symbols are *variable ids* of the structure (a
+  /// "skeleton": one skeleton serves every candidate type assignment); use
+  /// `Tag::SubstituteSymbols` or a matcher-side symbol map for Step 4.
+  Tag tag;
+  /// The chain decomposition used (Step 1); `chains.size()` is the paper's
+  /// parameter p in the Theorem-4 complexity bound.
+  std::vector<std::vector<VariableId>> chains;
+  /// Per-clock: which chain the clock belongs to.
+  std::vector<int> clock_chain;
+};
+
+/// Builds the TAG of Theorem 3 for a rooted event structure:
+///   Step 1: minimal chain decomposition (chains.h);
+///   Step 2: one linear TAG per chain, a clock per granularity per chain,
+///           all chain clocks reset on every chain transition, guards from
+///           the TCGs of the traversed edge;
+///   Step 3: lazy cross-product of the chain TAGs — a transition on symbol
+///           X exists only in states where *every* chain containing X is at
+///           its pre-X position (this makes shared variables consume the
+///           same event), plus ANY self-loops to skip unrelated events;
+///   Step 4 (separate): symbol substitution through a type assignment φ.
+Result<TagBuildResult> BuildTagForStructure(const EventStructure& structure);
+
+/// Convenience for Theorem 3 verbatim: builds the skeleton and substitutes
+/// φ (`phi[v]` = event type of variable v) into the symbols, producing the
+/// TAG of the complex event type (structure, φ).
+Result<TagBuildResult> BuildTagForComplexType(
+    const EventStructure& structure, const std::vector<EventTypeId>& phi);
+
+}  // namespace granmine
+
+#endif  // GRANMINE_TAG_BUILDER_H_

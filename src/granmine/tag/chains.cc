@@ -1,0 +1,157 @@
+#include "granmine/tag/chains.h"
+
+#include <optional>
+
+#include "granmine/common/check.h"
+#include "granmine/common/math.h"
+#include "granmine/tag/max_flow.h"
+
+namespace granmine {
+
+namespace {
+
+struct Arc {
+  VariableId from;
+  VariableId to;
+};
+
+// Attempts to find a flow of value exactly `k` from the super-source through
+// the root to the sinks with every structure arc carrying >= 1. On success
+// returns the per-arc flow.
+std::optional<std::vector<std::int64_t>> FeasibleFlow(
+    int n, VariableId root, const std::vector<Arc>& arcs,
+    const std::vector<bool>& is_sink, std::int64_t k) {
+  // Node layout: 0..n-1 structure, n = S*, n+1 = T*, n+2 = SS, n+3 = TT.
+  const int s_star = n, t_star = n + 1, ss = n + 2, tt = n + 3;
+  MaxFlow flow(n + 4);
+  std::vector<std::int64_t> excess(static_cast<std::size_t>(n) + 2, 0);
+
+  // Structure arcs: [1, INF] -> capacity INF-1 plus excess bookkeeping.
+  std::vector<int> arc_edge_ids;
+  arc_edge_ids.reserve(arcs.size());
+  for (const Arc& arc : arcs) {
+    arc_edge_ids.push_back(flow.AddEdge(arc.from, arc.to, kInfinity));
+    excess[arc.to] += 1;
+    excess[arc.from] -= 1;
+  }
+  // S* -> root with bounds [k, k]: the zero-capacity edge is omitted; only
+  // the excess bookkeeping remains (excess[root] += k, excess[S*] -= k).
+  excess[root] += k;
+  // Sinks -> T*: [0, INF].
+  for (VariableId v = 0; v < n; ++v) {
+    if (is_sink[static_cast<std::size_t>(v)]) {
+      flow.AddEdge(v, t_star, kInfinity);
+    }
+  }
+  // T* -> S* with bounds [k, k] closes the circulation:
+  // excess[S*] += k, excess[T*] -= k. Net: excess(S*) = 0, excess(T*) = -k.
+  const std::int64_t s_star_excess = 0;
+  const std::int64_t t_star_excess = -k;
+
+  std::int64_t total_positive = 0;
+  for (VariableId v = 0; v < n; ++v) {
+    std::int64_t e = excess[static_cast<std::size_t>(v)];
+    if (e > 0) {
+      flow.AddEdge(ss, v, e);
+      total_positive += e;
+    } else if (e < 0) {
+      flow.AddEdge(v, tt, -e);
+    }
+  }
+  if (s_star_excess > 0) {
+    flow.AddEdge(ss, s_star, s_star_excess);
+    total_positive += s_star_excess;
+  } else if (s_star_excess < 0) {
+    flow.AddEdge(s_star, tt, -s_star_excess);
+  }
+  if (t_star_excess > 0) {
+    flow.AddEdge(ss, t_star, t_star_excess);
+    total_positive += t_star_excess;
+  } else if (t_star_excess < 0) {
+    flow.AddEdge(t_star, tt, -t_star_excess);
+  }
+
+  if (flow.Compute(ss, tt) != total_positive) return std::nullopt;
+  std::vector<std::int64_t> per_arc(arcs.size());
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    per_arc[i] = 1 + flow.FlowOn(arc_edge_ids[i]);
+  }
+  return per_arc;
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<VariableId>>> DecomposeChains(
+    const EventStructure& structure) {
+  GM_ASSIGN_OR_RETURN(VariableId root, structure.FindRoot());
+  const int n = structure.variable_count();
+
+  std::vector<Arc> arcs;
+  for (const EventStructure::Edge& edge : structure.edges()) {
+    arcs.push_back(Arc{edge.from, edge.to});
+  }
+  std::vector<bool> has_outgoing(static_cast<std::size_t>(n), false);
+  for (const Arc& arc : arcs) {
+    has_outgoing[static_cast<std::size_t>(arc.from)] = true;
+  }
+  std::vector<bool> is_sink(static_cast<std::size_t>(n));
+  for (VariableId v = 0; v < n; ++v) {
+    is_sink[static_cast<std::size_t>(v)] =
+        !has_outgoing[static_cast<std::size_t>(v)];
+  }
+
+  if (arcs.empty()) {
+    // A single rooted variable: one chain of just the root.
+    return std::vector<std::vector<VariableId>>{{root}};
+  }
+
+  // Probe k = 1, 2, ... for the minimum feasible chain count. k = |arcs| is
+  // always feasible (each arc lies on a root-to-sink path), so this ends.
+  std::optional<std::vector<std::int64_t>> per_arc;
+  std::int64_t k = 0;
+  for (k = 1; k <= static_cast<std::int64_t>(arcs.size()); ++k) {
+    per_arc = FeasibleFlow(n, root, arcs, is_sink, k);
+    if (per_arc.has_value()) break;
+  }
+  if (!per_arc.has_value()) {
+    return Status::Internal("chain decomposition found no feasible flow");
+  }
+
+  // Decompose the flow into k root-to-sink chains.
+  std::vector<std::vector<std::size_t>> outgoing_arcs(
+      static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    outgoing_arcs[static_cast<std::size_t>(arcs[i].from)].push_back(i);
+  }
+  std::vector<std::vector<VariableId>> chains;
+  std::vector<std::int64_t> remaining = *per_arc;
+  for (std::int64_t c = 0; c < k; ++c) {
+    std::vector<VariableId> chain{root};
+    VariableId at = root;
+    while (!is_sink[static_cast<std::size_t>(at)]) {
+      bool advanced = false;
+      for (std::size_t arc_index : outgoing_arcs[static_cast<std::size_t>(at)]) {
+        if (remaining[arc_index] > 0) {
+          --remaining[arc_index];
+          at = arcs[arc_index].to;
+          chain.push_back(at);
+          advanced = true;
+          break;
+        }
+      }
+      if (!advanced) {
+        return Status::Internal(
+            "flow decomposition stalled (conservation violated)");
+      }
+    }
+    chains.push_back(std::move(chain));
+  }
+  for (std::int64_t r : remaining) {
+    if (r != 0) {
+      return Status::Internal("flow decomposition left residual flow");
+    }
+  }
+  return chains;
+}
+
+}  // namespace granmine

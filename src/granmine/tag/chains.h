@@ -1,0 +1,25 @@
+#ifndef GRANMINE_TAG_CHAINS_H_
+#define GRANMINE_TAG_CHAINS_H_
+
+#include <vector>
+
+#include "granmine/common/result.h"
+#include "granmine/constraint/event_structure.h"
+
+namespace granmine {
+
+/// Step 1 of the Theorem-3 TAG construction: decomposes a *rooted* event
+/// structure into the minimal number of chains such that (1) each chain
+/// starts at the root and ends at a variable with no outgoing arcs, and
+/// (2) every arc is contained in at least one chain.
+///
+/// Solved exactly as minimum flow with per-arc lower bound 1 (feasibility
+/// via the standard excess transformation + max-flow, minimality by probing
+/// the flow value k = 1, 2, ...). The single-variable structure decomposes
+/// into one chain containing just the root.
+Result<std::vector<std::vector<VariableId>>> DecomposeChains(
+    const EventStructure& structure);
+
+}  // namespace granmine
+
+#endif  // GRANMINE_TAG_CHAINS_H_

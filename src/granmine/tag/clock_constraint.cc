@@ -1,0 +1,181 @@
+#include "granmine/tag/clock_constraint.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "granmine/common/check.h"
+
+namespace granmine {
+
+ClockConstraint ClockConstraint::True() {
+  ClockConstraint c;
+  c.kind_ = Kind::kTrue;
+  return c;
+}
+
+ClockConstraint ClockConstraint::AtMost(int clock, std::int64_t k) {
+  GM_CHECK(clock >= 0);
+  ClockConstraint c;
+  c.kind_ = Kind::kAtMost;
+  c.clock_ = clock;
+  c.bound_ = k;
+  return c;
+}
+
+ClockConstraint ClockConstraint::AtLeast(int clock, std::int64_t k) {
+  GM_CHECK(clock >= 0);
+  ClockConstraint c;
+  c.kind_ = Kind::kAtLeast;
+  c.clock_ = clock;
+  c.bound_ = k;
+  return c;
+}
+
+ClockConstraint ClockConstraint::Range(int clock, std::int64_t lo,
+                                       std::int64_t hi) {
+  return And(AtLeast(clock, lo), AtMost(clock, hi));
+}
+
+ClockConstraint ClockConstraint::And(ClockConstraint a, ClockConstraint b) {
+  if (a.IsTriviallyTrue()) return b;
+  if (b.IsTriviallyTrue()) return a;
+  ClockConstraint c;
+  c.kind_ = Kind::kAnd;
+  c.children_.push_back(std::move(a));
+  c.children_.push_back(std::move(b));
+  return c;
+}
+
+ClockConstraint ClockConstraint::Or(ClockConstraint a, ClockConstraint b) {
+  ClockConstraint c;
+  c.kind_ = Kind::kOr;
+  c.children_.push_back(std::move(a));
+  c.children_.push_back(std::move(b));
+  return c;
+}
+
+ClockConstraint ClockConstraint::Not(ClockConstraint a) {
+  ClockConstraint c;
+  c.kind_ = Kind::kNot;
+  c.children_.push_back(std::move(a));
+  return c;
+}
+
+bool ClockConstraint::IsTriviallyTrue() const { return kind_ == Kind::kTrue; }
+
+std::optional<bool> ClockConstraint::Evaluate(
+    std::span<const std::optional<std::int64_t>> values) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kAtMost: {
+      GM_CHECK(clock_ >= 0 && clock_ < static_cast<int>(values.size()));
+      const std::optional<std::int64_t>& v = values[clock_];
+      if (!v.has_value()) return std::nullopt;
+      return *v <= bound_;
+    }
+    case Kind::kAtLeast: {
+      GM_CHECK(clock_ >= 0 && clock_ < static_cast<int>(values.size()));
+      const std::optional<std::int64_t>& v = values[clock_];
+      if (!v.has_value()) return std::nullopt;
+      return bound_ <= *v;
+    }
+    case Kind::kAnd: {
+      bool unknown = false;
+      for (const ClockConstraint& child : children_) {
+        std::optional<bool> r = child.Evaluate(values);
+        if (r == std::optional<bool>(false)) return false;
+        if (!r.has_value()) unknown = true;
+      }
+      if (unknown) return std::nullopt;
+      return true;
+    }
+    case Kind::kOr: {
+      bool unknown = false;
+      for (const ClockConstraint& child : children_) {
+        std::optional<bool> r = child.Evaluate(values);
+        if (r == std::optional<bool>(true)) return true;
+        if (!r.has_value()) unknown = true;
+      }
+      if (unknown) return std::nullopt;
+      return false;
+    }
+    case Kind::kNot: {
+      std::optional<bool> r = children_[0].Evaluate(values);
+      if (!r.has_value()) return std::nullopt;
+      return !*r;
+    }
+  }
+  return std::nullopt;
+}
+
+bool ClockConstraint::ExpiredForever(
+    std::span<const std::optional<std::int64_t>> values) const {
+  switch (kind_) {
+    case Kind::kTrue:
+    case Kind::kAtLeast:  // values only grow: satisfiable eventually
+    case Kind::kNot:      // conservatively unknown
+      return false;
+    case Kind::kAtMost: {
+      const std::optional<std::int64_t>& v = values[clock_];
+      return v.has_value() && *v > bound_;
+    }
+    case Kind::kAnd:
+      for (const ClockConstraint& child : children_) {
+        if (child.ExpiredForever(values)) return true;
+      }
+      return false;
+    case Kind::kOr:
+      for (const ClockConstraint& child : children_) {
+        if (!child.ExpiredForever(values)) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+std::vector<int> ClockConstraint::MentionedClocks() const {
+  std::vector<int> out;
+  if (kind_ == Kind::kAtMost || kind_ == Kind::kAtLeast) {
+    out.push_back(clock_);
+  }
+  for (const ClockConstraint& child : children_) {
+    std::vector<int> sub = child.MentionedClocks();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string ClockConstraint::ToString() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kTrue:
+      os << "true";
+      break;
+    case Kind::kAtMost:
+      os << "x" << clock_ << " <= " << bound_;
+      break;
+    case Kind::kAtLeast:
+      os << bound_ << " <= x" << clock_;
+      break;
+    case Kind::kAnd:
+    case Kind::kOr: {
+      const char* sep = kind_ == Kind::kAnd ? " && " : " || ";
+      os << "(";
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) os << sep;
+        os << children_[i].ToString();
+      }
+      os << ")";
+      break;
+    }
+    case Kind::kNot:
+      os << "!(" << children_[0].ToString() << ")";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace granmine

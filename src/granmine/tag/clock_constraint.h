@@ -1,0 +1,74 @@
+#ifndef GRANMINE_TAG_CLOCK_CONSTRAINT_H_
+#define GRANMINE_TAG_CLOCK_CONSTRAINT_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace granmine {
+
+/// A clock-constraint formula δ ∈ Φ(C) per §4: atoms `x ≤ k` / `k ≤ x` over
+/// clock values, closed under boolean combination. Clock values may be
+/// *undefined* (the current timestamp has no tick in the clock's
+/// granularity); evaluation uses Kleene three-valued logic and a transition
+/// is enabled only when the guard is definitely true — matching the TCG
+/// requirement that both ticks be defined.
+class ClockConstraint {
+ public:
+  /// The trivially true guard.
+  static ClockConstraint True();
+  /// value(clock) <= k.
+  static ClockConstraint AtMost(int clock, std::int64_t k);
+  /// k <= value(clock).
+  static ClockConstraint AtLeast(int clock, std::int64_t k);
+  /// lo <= value(clock) <= hi (conjunction of the two atoms).
+  static ClockConstraint Range(int clock, std::int64_t lo, std::int64_t hi);
+  static ClockConstraint And(ClockConstraint a, ClockConstraint b);
+  static ClockConstraint Or(ClockConstraint a, ClockConstraint b);
+  static ClockConstraint Not(ClockConstraint a);
+
+  /// Default-constructs the trivially true guard.
+  ClockConstraint() = default;
+
+  /// Three-valued evaluation: nullopt when the truth value depends on an
+  /// undefined clock. `values[c]` is the value of clock c, nullopt when
+  /// undefined.
+  std::optional<bool> Evaluate(
+      std::span<const std::optional<std::int64_t>> values) const;
+
+  /// True iff Evaluate(...) == true.
+  bool IsSatisfied(
+      std::span<const std::optional<std::int64_t>> values) const {
+    return Evaluate(values) == std::optional<bool>(true);
+  }
+
+  /// Indices of the clocks this formula mentions (sorted, distinct).
+  std::vector<int> MentionedClocks() const;
+
+  /// True when the formula can never again become true for this
+  /// configuration: clock values only grow between resets, so an `x <= k`
+  /// atom with a defined value already above k is dead forever, an `And`
+  /// dies with any child and an `Or` with all children. Conservative
+  /// (returns false for `Not` and undefined values).
+  bool ExpiredForever(
+      std::span<const std::optional<std::int64_t>> values) const;
+
+  /// Rendering like "(x0 <= 5 && 1 <= x2)" using clock index names.
+  std::string ToString() const;
+
+  bool IsTriviallyTrue() const;
+
+ private:
+  enum class Kind { kTrue, kAtMost, kAtLeast, kAnd, kOr, kNot };
+
+  Kind kind_ = Kind::kTrue;
+  int clock_ = -1;
+  std::int64_t bound_ = 0;
+  std::vector<ClockConstraint> children_;
+};
+
+}  // namespace granmine
+
+#endif  // GRANMINE_TAG_CLOCK_CONSTRAINT_H_

@@ -1,0 +1,77 @@
+#ifndef GRANMINE_TAG_MATCHER_H_
+#define GRANMINE_TAG_MATCHER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "granmine/common/math.h"
+#include "granmine/sequence/event.h"
+#include "granmine/sequence/sequence.h"
+#include "granmine/tag/tag.h"
+
+namespace granmine {
+
+/// Maps each event type to the TAG symbols an event of that type may drive.
+/// For a symbol-substituted TAG this is the identity; for a *skeleton* TAG
+/// (symbols = variable ids) under a candidate assignment φ it lists the
+/// variables φ maps to each type — this is how one skeleton serves all
+/// O(n^s) candidate complex types in the miner.
+struct SymbolMap {
+  std::vector<std::vector<Symbol>> symbols_by_type;
+
+  /// type i -> symbol i.
+  static SymbolMap Identity(int type_count);
+  /// type E -> { v : phi[v] == E }.
+  static SymbolMap FromAssignment(const std::vector<EventTypeId>& phi,
+                                  int type_count);
+
+  std::span<const Symbol> SymbolsFor(EventTypeId type) const;
+};
+
+struct MatchOptions {
+  /// When true, the first event of the span must be consumed by a non-ANY
+  /// transition out of a start state — it is the reference occurrence the
+  /// §5 discovery procedure anchors the automaton on.
+  bool anchored = false;
+  /// Stop scanning events whose timestamp exceeds this (kInfinity = none).
+  /// The §5 optimizations derive such deadlines from propagation windows.
+  TimePoint deadline = kInfinity;
+  /// Configuration budget; exceeding it aborts with accepted=false and
+  /// stats->budget_exhausted set.
+  std::uint64_t max_configurations = 50'000'000;
+};
+
+/// Instrumentation for the Theorem-4 complexity experiments.
+struct MatchStats {
+  std::uint64_t configurations = 0;  ///< configs created over the run
+  std::size_t peak_frontier = 0;     ///< max simultaneous configs
+  std::uint64_t events_scanned = 0;
+  bool budget_exhausted = false;
+};
+
+/// NFA-style simulation of a TAG over an event sequence (the Theorem-4
+/// procedure): the frontier holds (state, clock-reset-tick vector)
+/// configurations, deduplicated per step; clock values are reconstructed as
+/// `tick(now) − tick(reset)`, so skipped events never perturb clocks and
+/// undefined ticks only disable the guards that mention them.
+class TagMatcher {
+ public:
+  /// `tag` must outlive the matcher.
+  explicit TagMatcher(const Tag* tag);
+
+  /// Whether some run over `events` reaches an accepting state.
+  bool Accepts(std::span<const Event> events, const SymbolMap& symbols,
+               const MatchOptions& options = MatchOptions{},
+               MatchStats* stats = nullptr) const;
+
+ private:
+  const Tag* tag_;
+  /// Distinct clock granularities and each clock's index into them.
+  std::vector<const Granularity*> granularities_;
+  std::vector<int> clock_granularity_;
+};
+
+}  // namespace granmine
+
+#endif  // GRANMINE_TAG_MATCHER_H_

@@ -1,0 +1,93 @@
+#include "granmine/tag/max_flow.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "granmine/common/check.h"
+#include "granmine/common/math.h"
+
+namespace granmine {
+
+MaxFlow::MaxFlow(int node_count) : adjacency_(node_count) {
+  GM_CHECK(node_count >= 0);
+}
+
+int MaxFlow::AddEdge(int from, int to, std::int64_t capacity) {
+  GM_CHECK(from >= 0 && from < node_count());
+  GM_CHECK(to >= 0 && to < node_count());
+  GM_CHECK(capacity >= 0);
+  int forward_index = static_cast<int>(adjacency_[from].size());
+  int backward_index = static_cast<int>(adjacency_[to].size());
+  adjacency_[from].push_back(Edge{to, capacity, backward_index, capacity});
+  adjacency_[to].push_back(Edge{from, 0, forward_index, 0});
+  edge_refs_.emplace_back(from, forward_index);
+  return static_cast<int>(edge_refs_.size()) - 1;
+}
+
+bool MaxFlow::Bfs(int source, int sink) {
+  level_.assign(adjacency_.size(), -1);
+  std::queue<int> queue;
+  level_[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    int node = queue.front();
+    queue.pop();
+    for (const Edge& edge : adjacency_[node]) {
+      if (edge.capacity > 0 && level_[edge.to] < 0) {
+        level_[edge.to] = level_[node] + 1;
+        queue.push(edge.to);
+      }
+    }
+  }
+  return level_[sink] >= 0;
+}
+
+std::int64_t MaxFlow::Dfs(int node, int sink, std::int64_t limit) {
+  if (node == sink) return limit;
+  for (std::size_t& i = iter_[node]; i < adjacency_[node].size(); ++i) {
+    Edge& edge = adjacency_[node][i];
+    if (edge.capacity <= 0 || level_[edge.to] != level_[node] + 1) continue;
+    std::int64_t pushed =
+        Dfs(edge.to, sink, std::min(limit, edge.capacity));
+    if (pushed > 0) {
+      edge.capacity -= pushed;
+      adjacency_[edge.to][edge.reverse].capacity += pushed;
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+std::int64_t MaxFlow::Compute(int source, int sink) {
+  GM_CHECK(source != sink);
+  std::int64_t total = 0;
+  while (Bfs(source, sink)) {
+    iter_.assign(adjacency_.size(), 0);
+    while (std::int64_t pushed = Dfs(source, sink, kInfinity)) {
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+std::int64_t MaxFlow::FlowOn(int id) const {
+  const auto& [node, index] = edge_refs_[static_cast<std::size_t>(id)];
+  const Edge& edge = adjacency_[node][index];
+  return edge.original - edge.capacity;
+}
+
+std::int64_t MaxFlow::ResidualOn(int id) const {
+  const auto& [node, index] = edge_refs_[static_cast<std::size_t>(id)];
+  return adjacency_[node][index].capacity;
+}
+
+void MaxFlow::SetCapacity(int id, std::int64_t capacity) {
+  auto& [node, index] = edge_refs_[static_cast<std::size_t>(id)];
+  Edge& edge = adjacency_[node][index];
+  std::int64_t flow = edge.original - edge.capacity;
+  GM_CHECK(capacity >= flow);
+  edge.capacity = capacity - flow;
+  edge.original = capacity;
+}
+
+}  // namespace granmine

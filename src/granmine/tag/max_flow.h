@@ -1,0 +1,53 @@
+#ifndef GRANMINE_TAG_MAX_FLOW_H_
+#define GRANMINE_TAG_MAX_FLOW_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace granmine {
+
+/// A small Dinic max-flow solver used by the minimal chain decomposition
+/// (min flow with lower bounds) of the Theorem-3 TAG construction. Graphs
+/// here have at most a few hundred nodes, so simplicity beats raw speed.
+class MaxFlow {
+ public:
+  explicit MaxFlow(int node_count);
+
+  /// Adds a directed edge and returns its id (for FlowOn).
+  int AddEdge(int from, int to, std::int64_t capacity);
+
+  /// Computes the maximum flow from `source` to `sink`.
+  std::int64_t Compute(int source, int sink);
+
+  /// Flow currently routed through edge `id` (after Compute).
+  std::int64_t FlowOn(int id) const;
+
+  /// Remaining capacity of edge `id`.
+  std::int64_t ResidualOn(int id) const;
+
+  /// Reduces the capacity of edge `id` (used between Compute calls by the
+  /// min-flow transformation). The new capacity must be >= current flow.
+  void SetCapacity(int id, std::int64_t capacity);
+
+  int node_count() const { return static_cast<int>(adjacency_.size()); }
+
+ private:
+  struct Edge {
+    int to;
+    std::int64_t capacity;  // residual capacity
+    int reverse;            // index of the paired reverse edge
+    std::int64_t original;  // original capacity (for FlowOn)
+  };
+
+  bool Bfs(int source, int sink);
+  std::int64_t Dfs(int node, int sink, std::int64_t limit);
+
+  std::vector<std::vector<Edge>> adjacency_;
+  std::vector<std::pair<int, int>> edge_refs_;  // id -> (node, index)
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+};
+
+}  // namespace granmine
+
+#endif  // GRANMINE_TAG_MAX_FLOW_H_

@@ -1,0 +1,111 @@
+#include "granmine/tag/oracle.h"
+
+#include <algorithm>
+
+#include "granmine/common/check.h"
+
+namespace granmine {
+
+namespace {
+
+struct OracleContext {
+  const EventStructure* structure;
+  const std::vector<EventTypeId>* phi;
+  std::span<const Event> events;
+  const OracleOptions* options;
+  std::vector<std::optional<std::size_t>> chosen;  // variable -> event index
+  std::vector<bool> used;                          // event index taken
+  std::uint64_t nodes = 0;
+  std::vector<std::vector<const EventStructure::Edge*>> incident;
+};
+
+bool CompatibleWithAssigned(OracleContext& ctx, VariableId v,
+                            std::size_t event_index) {
+  TimePoint t = ctx.events[event_index].time;
+  for (const EventStructure::Edge* edge : ctx.incident[v]) {
+    VariableId other = edge->from == v ? edge->to : edge->from;
+    if (!ctx.chosen[other].has_value()) continue;
+    TimePoint t_other = ctx.events[*ctx.chosen[other]].time;
+    TimePoint t_from = edge->from == v ? t : t_other;
+    TimePoint t_to = edge->to == v ? t : t_other;
+    for (const Tcg& tcg : edge->tcgs) {
+      if (!Satisfies(tcg, t_from, t_to)) return false;
+    }
+  }
+  return true;
+}
+
+bool Assign(OracleContext& ctx, const std::vector<VariableId>& order,
+            std::size_t index) {
+  if (++ctx.nodes > ctx.options->max_nodes) return false;
+  if (index == order.size()) return true;
+  VariableId v = order[index];
+  if (ctx.chosen[v].has_value()) return Assign(ctx, order, index + 1);
+  EventTypeId type = (*ctx.phi)[static_cast<std::size_t>(v)];
+  for (std::size_t e = 0; e < ctx.events.size(); ++e) {
+    if (ctx.used[e] || ctx.events[e].type != type) continue;
+    if (!CompatibleWithAssigned(ctx, v, e)) continue;
+    ctx.chosen[v] = e;
+    ctx.used[e] = true;
+    if (Assign(ctx, order, index + 1)) return true;
+    ctx.chosen[v] = std::nullopt;
+    ctx.used[e] = false;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool OccursBruteForce(const EventStructure& structure,
+                      const std::vector<EventTypeId>& phi,
+                      std::span<const Event> events,
+                      const OracleOptions& options) {
+  return FindOccurrenceBruteForce(structure, phi, events, options)
+      .has_value();
+}
+
+std::optional<std::vector<std::size_t>> FindOccurrenceBruteForce(
+    const EventStructure& structure, const std::vector<EventTypeId>& phi,
+    std::span<const Event> events, const OracleOptions& options) {
+  GM_CHECK(static_cast<int>(phi.size()) == structure.variable_count());
+  const int n = structure.variable_count();
+  if (n == 0) return std::vector<std::size_t>{};
+
+  OracleContext ctx;
+  ctx.structure = &structure;
+  ctx.phi = &phi;
+  ctx.events = events;
+  ctx.options = &options;
+  ctx.chosen.assign(static_cast<std::size_t>(n), std::nullopt);
+  ctx.used.assign(events.size(), false);
+  ctx.incident.assign(static_cast<std::size_t>(n), {});
+  for (const EventStructure::Edge& edge : structure.edges()) {
+    ctx.incident[edge.from].push_back(&edge);
+    ctx.incident[edge.to].push_back(&edge);
+  }
+
+  Result<std::vector<VariableId>> topo = structure.TopologicalOrder();
+  GM_CHECK(topo.ok()) << topo.status();
+
+  if (options.anchored_root_index.has_value()) {
+    Result<VariableId> root = structure.FindRoot();
+    GM_CHECK(root.ok()) << "anchored matching requires a rooted structure";
+    std::size_t e = *options.anchored_root_index;
+    GM_CHECK(e < events.size());
+    if (events[e].type != phi[static_cast<std::size_t>(*root)]) {
+      return std::nullopt;
+    }
+    if (!CompatibleWithAssigned(ctx, *root, e)) return std::nullopt;
+    ctx.chosen[*root] = e;
+    ctx.used[e] = true;
+  }
+  if (!Assign(ctx, *topo, 0)) return std::nullopt;
+  std::vector<std::size_t> witness(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    GM_CHECK(ctx.chosen[v].has_value());
+    witness[static_cast<std::size_t>(v)] = *ctx.chosen[v];
+  }
+  return witness;
+}
+
+}  // namespace granmine

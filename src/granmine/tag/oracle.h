@@ -1,0 +1,40 @@
+#ifndef GRANMINE_TAG_ORACLE_H_
+#define GRANMINE_TAG_ORACLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "granmine/constraint/event_structure.h"
+#include "granmine/sequence/event.h"
+
+namespace granmine {
+
+struct OracleOptions {
+  /// When set, the root variable must be matched to exactly this event
+  /// index within the span (the §5 anchored-reference semantics).
+  std::optional<std::size_t> anchored_root_index;
+  std::uint64_t max_nodes = 100'000'000;
+};
+
+/// The §3 occurrence definition executed literally: does a one-to-one map θ
+/// from variables to events of `events` exist such that θ respects the type
+/// assignment φ and every edge's TCGs are satisfied? Exponential; used as
+/// the differential-testing oracle for Theorem 3 (TAG ⇔ occurrence).
+bool OccursBruteForce(const EventStructure& structure,
+                      const std::vector<EventTypeId>& phi,
+                      std::span<const Event> events,
+                      const OracleOptions& options = OracleOptions{});
+
+/// Like OccursBruteForce, but returns the witness θ itself — the event index
+/// (into `events`) assigned to each variable — or nullopt when the complex
+/// event type does not occur. Useful for explaining discovered patterns.
+std::optional<std::vector<std::size_t>> FindOccurrenceBruteForce(
+    const EventStructure& structure, const std::vector<EventTypeId>& phi,
+    std::span<const Event> events,
+    const OracleOptions& options = OracleOptions{});
+
+}  // namespace granmine
+
+#endif  // GRANMINE_TAG_ORACLE_H_

@@ -1,0 +1,127 @@
+#include "granmine/tag/tag.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "granmine/common/check.h"
+
+namespace granmine {
+
+int Tag::AddState(std::string name) {
+  state_names_.push_back(std::move(name));
+  outgoing_.emplace_back();
+  return static_cast<int>(state_names_.size()) - 1;
+}
+
+int Tag::AddClock(const Granularity* granularity, std::string name) {
+  GM_CHECK(granularity != nullptr);
+  clocks_.push_back(Clock{granularity, std::move(name)});
+  return static_cast<int>(clocks_.size()) - 1;
+}
+
+void Tag::AddTransition(Transition transition) {
+  GM_CHECK(transition.from >= 0 && transition.from < state_count());
+  GM_CHECK(transition.to >= 0 && transition.to < state_count());
+  outgoing_[transition.from].push_back(
+      static_cast<int>(transitions_.size()));
+  transitions_.push_back(std::move(transition));
+}
+
+void Tag::MarkStart(int state) {
+  GM_CHECK(state >= 0 && state < state_count());
+  if (std::find(start_states_.begin(), start_states_.end(), state) ==
+      start_states_.end()) {
+    start_states_.push_back(state);
+  }
+}
+
+void Tag::MarkAccepting(int state) {
+  GM_CHECK(state >= 0 && state < state_count());
+  if (std::find(accepting_.begin(), accepting_.end(), state) ==
+      accepting_.end()) {
+    accepting_.push_back(state);
+  }
+}
+
+const std::string& Tag::state_name(int state) const {
+  GM_CHECK(state >= 0 && state < state_count());
+  return state_names_[static_cast<std::size_t>(state)];
+}
+
+bool Tag::IsAccepting(int state) const {
+  return std::find(accepting_.begin(), accepting_.end(), state) !=
+         accepting_.end();
+}
+
+const std::vector<int>& Tag::OutgoingOf(int state) const {
+  GM_CHECK(state >= 0 && state < state_count());
+  return outgoing_[static_cast<std::size_t>(state)];
+}
+
+Status Tag::Validate() const {
+  if (start_states_.empty()) {
+    return Status::Invalid("TAG has no start state");
+  }
+  for (const Transition& t : transitions_) {
+    for (int clock : t.resets) {
+      if (clock < 0 || clock >= static_cast<int>(clocks_.size())) {
+        return Status::Invalid("transition resets an unknown clock");
+      }
+    }
+    for (int clock : t.guard.MentionedClocks()) {
+      if (clock < 0 || clock >= static_cast<int>(clocks_.size())) {
+        return Status::Invalid("guard mentions an unknown clock");
+      }
+    }
+    if (t.symbol < kAnySymbol) {
+      return Status::Invalid("invalid transition symbol");
+    }
+  }
+  return Status::OK();
+}
+
+Status Tag::SubstituteSymbols(
+    const std::unordered_map<Symbol, Symbol>& mapping) {
+  for (Transition& t : transitions_) {
+    if (t.symbol == kAnySymbol) continue;
+    auto it = mapping.find(t.symbol);
+    if (it == mapping.end()) {
+      return Status::Invalid("no mapping for symbol " +
+                             std::to_string(t.symbol));
+    }
+    t.symbol = it->second;
+  }
+  return Status::OK();
+}
+
+std::string Tag::ToString() const {
+  std::ostringstream os;
+  os << "TAG(" << state_count() << " states, " << clocks_.size()
+     << " clocks, " << transitions_.size() << " transitions)";
+  os << "\n  start:";
+  for (int s : start_states_) os << " " << state_name(s);
+  os << "\n  accepting:";
+  for (int s : accepting_) os << " " << state_name(s);
+  for (std::size_t i = 0; i < clocks_.size(); ++i) {
+    os << "\n  clock x" << i << " = " << clocks_[i].name << " ("
+       << clocks_[i].granularity->name() << ")";
+  }
+  for (const Transition& t : transitions_) {
+    os << "\n  " << state_name(t.from) << " --";
+    if (t.symbol == kAnySymbol) {
+      os << "ANY";
+    } else {
+      os << t.symbol;
+    }
+    if (!t.guard.IsTriviallyTrue()) os << " [" << t.guard.ToString() << "]";
+    if (!t.resets.empty()) {
+      os << " {reset";
+      for (int c : t.resets) os << " x" << c;
+      os << "}";
+    }
+    os << "--> " << state_name(t.to);
+  }
+  return os.str();
+}
+
+}  // namespace granmine

@@ -1,0 +1,81 @@
+#ifndef GRANMINE_TAG_TAG_H_
+#define GRANMINE_TAG_TAG_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "granmine/common/status.h"
+#include "granmine/granularity/granularity.h"
+#include "granmine/tag/clock_constraint.h"
+
+namespace granmine {
+
+/// A transition symbol. Skeleton TAGs built from an event structure use
+/// variable ids as symbols (the Theorem-3 footnote: the construction needs
+/// the distinct variable labels); `SubstituteSymbols` rewrites them to event
+/// types (Step 4). `kAnySymbol` matches every input event (skip loops).
+using Symbol = int;
+inline constexpr Symbol kAnySymbol = -1;
+
+/// A timed finite automaton with granularities (§4): a 6-tuple
+/// (Σ, S, S0, C, T, F) whose clocks tick in their own granularities. The
+/// class is a plain container validated by `Validate()`; semantics live in
+/// `TagMatcher` (runs/acceptance) and `BuildTagForComplexType` (Theorem 3).
+class Tag {
+ public:
+  struct Clock {
+    const Granularity* granularity;
+    std::string name;
+  };
+
+  struct Transition {
+    int from = 0;
+    int to = 0;
+    Symbol symbol = kAnySymbol;
+    std::vector<int> resets;  ///< clock indices reset to 0 (λ)
+    ClockConstraint guard;    ///< enabling condition (δ)
+  };
+
+  /// Returns the new state's index.
+  int AddState(std::string name);
+  /// Returns the new clock's index.
+  int AddClock(const Granularity* granularity, std::string name);
+  void AddTransition(Transition transition);
+  void MarkStart(int state);
+  void MarkAccepting(int state);
+
+  int state_count() const { return static_cast<int>(state_names_.size()); }
+  const std::string& state_name(int state) const;
+  const std::vector<Clock>& clocks() const { return clocks_; }
+  const std::vector<Transition>& transitions() const { return transitions_; }
+  const std::vector<int>& start_states() const { return start_states_; }
+  bool IsAccepting(int state) const;
+  const std::vector<int>& accepting_states() const { return accepting_; }
+
+  /// Transitions leaving `state` (indices into transitions()).
+  const std::vector<int>& OutgoingOf(int state) const;
+
+  /// Structural checks: indices in range, at least one start state.
+  Status Validate() const;
+
+  /// Step 4 of the Theorem-3 construction: rewrites every non-ANY symbol
+  /// through `mapping` (symbol -> new symbol). Symbols absent from the map
+  /// are rejected.
+  Status SubstituteSymbols(const std::unordered_map<Symbol, Symbol>& mapping);
+
+  /// Multi-line rendering (states, clocks, transitions) for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> state_names_;
+  std::vector<Clock> clocks_;
+  std::vector<Transition> transitions_;
+  std::vector<std::vector<int>> outgoing_;
+  std::vector<int> start_states_;
+  std::vector<int> accepting_;
+};
+
+}  // namespace granmine
+
+#endif  // GRANMINE_TAG_TAG_H_

@@ -1,0 +1,181 @@
+#include "granmine/tag/chains.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "granmine/granularity/system.h"
+#include "granmine/paper/figures.h"
+#include "granmine/tag/max_flow.h"
+
+namespace granmine {
+namespace {
+
+TEST(MaxFlowTest, SingleEdge) {
+  MaxFlow flow(2);
+  int e = flow.AddEdge(0, 1, 5);
+  EXPECT_EQ(flow.Compute(0, 1), 5);
+  EXPECT_EQ(flow.FlowOn(e), 5);
+  EXPECT_EQ(flow.ResidualOn(e), 0);
+}
+
+TEST(MaxFlowTest, BottleneckPath) {
+  MaxFlow flow(4);
+  flow.AddEdge(0, 1, 10);
+  int mid = flow.AddEdge(1, 2, 3);
+  flow.AddEdge(2, 3, 10);
+  EXPECT_EQ(flow.Compute(0, 3), 3);
+  EXPECT_EQ(flow.FlowOn(mid), 3);
+}
+
+TEST(MaxFlowTest, ParallelPaths) {
+  MaxFlow flow(4);
+  flow.AddEdge(0, 1, 2);
+  flow.AddEdge(1, 3, 2);
+  flow.AddEdge(0, 2, 3);
+  flow.AddEdge(2, 3, 3);
+  EXPECT_EQ(flow.Compute(0, 3), 5);
+}
+
+TEST(MaxFlowTest, ClassicDiamondWithCross) {
+  MaxFlow flow(6);
+  flow.AddEdge(0, 1, 10);
+  flow.AddEdge(0, 2, 10);
+  flow.AddEdge(1, 2, 2);
+  flow.AddEdge(1, 3, 4);
+  flow.AddEdge(2, 4, 9);
+  flow.AddEdge(3, 5, 10);
+  flow.AddEdge(4, 5, 10);
+  EXPECT_EQ(flow.Compute(0, 5), 13);
+}
+
+class ChainsTest : public testing::Test {
+ protected:
+  ChainsTest() : system_(GranularitySystem::GregorianDays()) {}
+  const Granularity* day() { return system_->Find("day"); }
+  // Asserts the decomposition covers every arc and each chain is a valid
+  // root-to-sink path.
+  void CheckCover(const EventStructure& s,
+                  const std::vector<std::vector<VariableId>>& chains) {
+    VariableId root = *s.FindRoot();
+    std::set<std::pair<VariableId, VariableId>> covered;
+    std::set<VariableId> has_outgoing;
+    for (const auto& edge : s.edges()) has_outgoing.insert(edge.from);
+    for (const auto& chain : chains) {
+      ASSERT_FALSE(chain.empty());
+      EXPECT_EQ(chain.front(), root);
+      EXPECT_EQ(has_outgoing.count(chain.back()), 0u) << "must end at a sink";
+      for (std::size_t i = 1; i < chain.size(); ++i) {
+        ASSERT_NE(s.FindEdge(chain[i - 1], chain[i]), nullptr);
+        covered.emplace(chain[i - 1], chain[i]);
+      }
+    }
+    EXPECT_EQ(covered.size(), s.edges().size()) << "every arc covered";
+  }
+  std::unique_ptr<GranularitySystem> system_;
+};
+
+TEST_F(ChainsTest, SingleVariable) {
+  EventStructure s;
+  s.AddVariable("X0");
+  auto chains = DecomposeChains(s);
+  ASSERT_TRUE(chains.ok());
+  ASSERT_EQ(chains->size(), 1u);
+  EXPECT_EQ((*chains)[0], std::vector<VariableId>{0});
+}
+
+TEST_F(ChainsTest, SimplePathIsOneChain) {
+  EventStructure s;
+  VariableId a = s.AddVariable("A");
+  VariableId b = s.AddVariable("B");
+  VariableId c = s.AddVariable("C");
+  ASSERT_TRUE(s.AddConstraint(a, b, Tcg::Same(day())).ok());
+  ASSERT_TRUE(s.AddConstraint(b, c, Tcg::Same(day())).ok());
+  auto chains = DecomposeChains(s);
+  ASSERT_TRUE(chains.ok());
+  ASSERT_EQ(chains->size(), 1u);
+  CheckCover(s, *chains);
+}
+
+TEST_F(ChainsTest, Figure1aNeedsTwoChains) {
+  auto seconds = GranularitySystem::Gregorian();
+  auto fig1a = BuildFigure1a(*seconds);
+  ASSERT_TRUE(fig1a.ok());
+  auto chains = DecomposeChains(*fig1a);
+  ASSERT_TRUE(chains.ok());
+  EXPECT_EQ(chains->size(), 2u);  // the paper's p = 2 for Example 1
+  CheckCover(*fig1a, *chains);
+}
+
+TEST_F(ChainsTest, FanOutNeedsOneChainPerSink) {
+  EventStructure s;
+  VariableId root = s.AddVariable("R");
+  for (int i = 0; i < 4; ++i) {
+    VariableId leaf = s.AddVariable("L" + std::to_string(i));
+    ASSERT_TRUE(s.AddConstraint(root, leaf, Tcg::Same(day())).ok());
+  }
+  auto chains = DecomposeChains(s);
+  ASSERT_TRUE(chains.ok());
+  EXPECT_EQ(chains->size(), 4u);
+  CheckCover(s, *chains);
+}
+
+TEST_F(ChainsTest, DiamondIsTwoChains) {
+  EventStructure s;
+  VariableId a = s.AddVariable("A");
+  VariableId b = s.AddVariable("B");
+  VariableId c = s.AddVariable("C");
+  VariableId d = s.AddVariable("D");
+  ASSERT_TRUE(s.AddConstraint(a, b, Tcg::Same(day())).ok());
+  ASSERT_TRUE(s.AddConstraint(a, c, Tcg::Same(day())).ok());
+  ASSERT_TRUE(s.AddConstraint(b, d, Tcg::Same(day())).ok());
+  ASSERT_TRUE(s.AddConstraint(c, d, Tcg::Same(day())).ok());
+  auto chains = DecomposeChains(s);
+  ASSERT_TRUE(chains.ok());
+  EXPECT_EQ(chains->size(), 2u);
+  CheckCover(s, *chains);
+}
+
+TEST_F(ChainsTest, WideMiddleForcesManyChains) {
+  // root -> m1..m3 -> sink: 3 chains needed (middle arcs are disjoint).
+  EventStructure s;
+  VariableId root = s.AddVariable("R");
+  VariableId sink = s.AddVariable("S");
+  for (int i = 0; i < 3; ++i) {
+    VariableId mid = s.AddVariable("M" + std::to_string(i));
+    ASSERT_TRUE(s.AddConstraint(root, mid, Tcg::Same(day())).ok());
+    ASSERT_TRUE(s.AddConstraint(mid, sink, Tcg::Same(day())).ok());
+  }
+  auto chains = DecomposeChains(s);
+  ASSERT_TRUE(chains.ok());
+  EXPECT_EQ(chains->size(), 3u);
+  CheckCover(s, *chains);
+}
+
+TEST_F(ChainsTest, SkewedDagMinimality) {
+  // root->a, root->b, a->b: chains root-a-b and root-b cover all 3 arcs.
+  EventStructure s;
+  VariableId root = s.AddVariable("R");
+  VariableId a = s.AddVariable("A");
+  VariableId b = s.AddVariable("B");
+  ASSERT_TRUE(s.AddConstraint(root, a, Tcg::Same(day())).ok());
+  ASSERT_TRUE(s.AddConstraint(root, b, Tcg::Same(day())).ok());
+  ASSERT_TRUE(s.AddConstraint(a, b, Tcg::Same(day())).ok());
+  auto chains = DecomposeChains(s);
+  ASSERT_TRUE(chains.ok());
+  EXPECT_EQ(chains->size(), 2u);
+  CheckCover(s, *chains);
+}
+
+TEST_F(ChainsTest, UnrootedFails) {
+  EventStructure s;
+  VariableId a = s.AddVariable("A");
+  VariableId b = s.AddVariable("B");
+  VariableId c = s.AddVariable("C");
+  ASSERT_TRUE(s.AddConstraint(a, c, Tcg::Same(day())).ok());
+  ASSERT_TRUE(s.AddConstraint(b, c, Tcg::Same(day())).ok());
+  EXPECT_FALSE(DecomposeChains(s).ok());
+}
+
+}  // namespace
+}  // namespace granmine

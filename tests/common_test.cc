@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+
+#include "granmine/common/math.h"
+#include "granmine/common/random.h"
+#include "granmine/common/result.h"
+#include "granmine/common/status.h"
+#include "granmine/common/time_span.h"
+
+namespace granmine {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::Invalid("bad bound");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad bound");
+  EXPECT_EQ(st.ToString(), "invalid-argument: bad bound");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status st = Status::NotFound("missing");
+  Status copy = st;
+  EXPECT_EQ(copy, st);
+  Status assigned;
+  assigned = st;
+  EXPECT_EQ(assigned, st);
+}
+
+TEST(StatusTest, CodesRoundTripNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "ok");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnsupported), "unsupported");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "internal");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "resource-exhausted");
+}
+
+TEST(StatusTest, StreamInsertion) {
+  std::ostringstream os;
+  os << Status::Internal("boom");
+  EXPECT_EQ(os.str(), "internal: boom");
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::Invalid("not positive");
+  return v;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParsePositive(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParsePositive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> DoubleIt(int v) {
+  GM_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  return parsed * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*DoubleIt(21), 42);
+  EXPECT_FALSE(DoubleIt(0).ok());
+}
+
+TEST(MathTest, SaturatingAddClampsAtInfinity) {
+  EXPECT_EQ(SaturatingAdd(1, 2), 3);
+  EXPECT_EQ(SaturatingAdd(kInfinity, 5), kInfinity);
+  EXPECT_EQ(SaturatingAdd(kInfinity, kInfinity), kInfinity);
+  EXPECT_EQ(SaturatingAdd(-kInfinity, -7), -kInfinity);
+  EXPECT_EQ(SaturatingAdd(kInfinity - 1, kInfinity - 1), kInfinity);
+}
+
+TEST(MathTest, FloorDivAndMod) {
+  EXPECT_EQ(FloorDiv(7, 3), 2);
+  EXPECT_EQ(FloorDiv(-7, 3), -3);
+  EXPECT_EQ(FloorDiv(-6, 3), -2);
+  EXPECT_EQ(FloorMod(7, 3), 1);
+  EXPECT_EQ(FloorMod(-7, 3), 2);
+  EXPECT_EQ(FloorMod(-6, 3), 0);
+}
+
+TEST(TimeSpanTest, BasicPredicates) {
+  TimeSpan span = TimeSpan::Of(10, 20);
+  EXPECT_FALSE(span.empty());
+  EXPECT_EQ(span.length(), 11);
+  EXPECT_TRUE(span.Contains(10));
+  EXPECT_TRUE(span.Contains(20));
+  EXPECT_FALSE(span.Contains(21));
+  EXPECT_TRUE(span.Contains(TimeSpan::Of(12, 15)));
+  EXPECT_FALSE(span.Contains(TimeSpan::Of(12, 25)));
+  EXPECT_TRUE(span.Contains(TimeSpan::Empty()));
+  EXPECT_TRUE(TimeSpan::Empty().empty());
+  EXPECT_EQ(TimeSpan::Empty().length(), 0);
+}
+
+TEST(TimeSpanTest, Intersection) {
+  TimeSpan a = TimeSpan::Of(0, 10);
+  TimeSpan b = TimeSpan::Of(5, 15);
+  EXPECT_EQ(a.Intersect(b), TimeSpan::Of(5, 10));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(TimeSpan::Of(11, 12)));
+  EXPECT_TRUE(a.Intersect(TimeSpan::Of(20, 30)).empty());
+}
+
+TEST(BoundsTest, IntersectAndContain) {
+  Bounds a = Bounds::Of(0, 5);
+  Bounds b = Bounds::Of(3, 9);
+  EXPECT_EQ(a.Intersect(b), Bounds::Of(3, 5));
+  EXPECT_TRUE(a.Contains(0));
+  EXPECT_FALSE(a.Contains(6));
+  EXPECT_TRUE(Bounds::Of(4, 2).empty());
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000), b.Uniform(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, ArrivalGapIsAtLeastOne) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.ArrivalGap(3.0), 1);
+  }
+}
+
+TEST(RngTest, ShuffleKeepsElements) {
+  Rng rng(11);
+  std::vector<int> v{1, 2, 3, 4, 5};
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+}  // namespace
+}  // namespace granmine

@@ -1,0 +1,170 @@
+#include "granmine/constraint/convert_constraint.h"
+
+#include <gtest/gtest.h>
+
+#include "granmine/common/random.h"
+#include "granmine/granularity/system.h"
+
+namespace granmine {
+namespace {
+
+class ConvertConstraintTest : public testing::Test {
+ protected:
+  ConvertConstraintTest() : system_(GranularitySystem::GregorianDays()) {}
+  const Granularity& Get(const char* name) {
+    const Granularity* g = system_->Find(name);
+    EXPECT_NE(g, nullptr) << name;
+    return *g;
+  }
+  GranularityTables& tables() { return system_->tables(); }
+  std::unique_ptr<GranularitySystem> system_;
+};
+
+TEST_F(ConvertConstraintTest, DayToMonthExamples) {
+  const Granularity& day = Get("day");
+  const Granularity& month = Get("month");
+  // Same day => months differ by at most 1 (and that is the paper bound:
+  // minsize(month,1)=28 >= maxsize(day,1)-1=0... covered by 0 ticks? no:
+  // D=0 means identical instants, same month).
+  EXPECT_EQ(ConvertBounds(tables(), day, month, Bounds::Of(0, 0)),
+            Bounds::Of(0, 0));
+  // Adjacent days can straddle a month boundary.
+  EXPECT_EQ(ConvertBounds(tables(), day, month, Bounds::Of(0, 1)),
+            Bounds::Of(0, 1));
+  // 40 days apart: at least 1 month boundary crossed... maxsize(month,2)=62
+  // > mingap(day,40)=40 fails; r with maxsize(month,r)>40 is 2 => lo=1.
+  Bounds b = ConvertBounds(tables(), day, month, Bounds::Of(40, 40));
+  EXPECT_EQ(b.lo, 1);
+  EXPECT_EQ(b.hi, 2);
+}
+
+TEST_F(ConvertConstraintTest, MonthToDayExamples) {
+  const Granularity& day = Get("day");
+  const Granularity& month = Get("month");
+  // Next month: 1..61 days apart (Jan 31 -> Feb 1 is 1 day; Jul 1 -> Aug 31
+  // is 61 days).
+  EXPECT_EQ(ConvertBounds(tables(), month, day, Bounds::Of(1, 1)),
+            Bounds::Of(1, 61));
+  // Same month: 0..30 days apart.
+  EXPECT_EQ(ConvertBounds(tables(), month, day, Bounds::Of(0, 0)),
+            Bounds::Of(0, 30));
+}
+
+TEST_F(ConvertConstraintTest, YearToMonthExample) {
+  // Same year: within 12 months (the slack Figure 1(b) exploits —
+  // the tight per-structure bound would be 11, but conversion alone cannot
+  // know both events are in the same year span).
+  Bounds b = ConvertBounds(tables(), Get("year"), Get("month"),
+                           Bounds::Of(0, 0));
+  EXPECT_EQ(b.lo, 0);
+  EXPECT_EQ(b.hi, 12);
+}
+
+TEST_F(ConvertConstraintTest, NoFiniteEquivalentMarker) {
+  // Converting an unbounded interval stays unbounded.
+  const Granularity& day = Get("day");
+  EXPECT_EQ(ConvertUpperBound(tables(), day, Get("month"), kInfinity),
+            kInfinity);
+}
+
+TEST_F(ConvertConstraintTest, TcgWrapperChecksFeasibility) {
+  SupportCoverageCache& coverage = system_->coverage();
+  Tcg b_day_tcg = Tcg::Of(0, 5, &Get("b-day"));
+  // b-day converts into day (full support target)...
+  std::optional<Tcg> to_day =
+      ConvertTcg(tables(), coverage, b_day_tcg, Get("day"));
+  ASSERT_TRUE(to_day.has_value());
+  EXPECT_EQ(to_day->granularity, &Get("day"));
+  EXPECT_EQ(to_day->min, 0);
+  // 6 consecutive b-days span at most 8 days => day distance <= 7.
+  EXPECT_EQ(to_day->max, 7);
+  // ...but day does NOT convert into b-day (weekends uncovered).
+  EXPECT_EQ(ConvertTcg(tables(), coverage, Tcg::Of(0, 5, &Get("day")),
+                       Get("b-day")),
+            std::nullopt);
+  // Identity conversion is a no-op.
+  std::optional<Tcg> same =
+      ConvertTcg(tables(), coverage, b_day_tcg, Get("b-day"));
+  ASSERT_TRUE(same.has_value());
+  EXPECT_EQ(same->max, 5);
+}
+
+TEST_F(ConvertConstraintTest, TightRuleNeverLooser) {
+  Rng rng(5);
+  const Granularity* types[] = {&Get("day"), &Get("week"), &Get("month"),
+                                &Get("b-day"), &Get("b-week"),
+                                &Get("b-month"), &Get("year")};
+  for (int trial = 0; trial < 200; ++trial) {
+    const Granularity& source = *types[rng.Index(std::size(types))];
+    const Granularity& target = *types[rng.Index(std::size(types))];
+    if (&source == &target) continue;
+    if (!SupportCovers(target, source)) continue;
+    std::int64_t n = rng.Uniform(0, 40);
+    std::int64_t paper = ConvertUpperBound(tables(), source, target, n,
+                                           ConversionRule::kPaper);
+    std::int64_t tight = ConvertUpperBound(tables(), source, target, n,
+                                           ConversionRule::kTight);
+    EXPECT_LE(tight, paper) << source.name() << "->" << target.name()
+                            << " n=" << n;
+  }
+}
+
+// The central soundness property (what Theorem 2's proof needs from the
+// Appendix algorithm): any timestamp pair satisfying the source constraint
+// satisfies the converted constraint.
+TEST_F(ConvertConstraintTest, ConversionIsSound) {
+  Rng rng(99);
+  SupportCoverageCache& coverage = system_->coverage();
+  const Granularity* types[] = {&Get("day"), &Get("week"), &Get("month"),
+                                &Get("b-day"), &Get("b-week"),
+                                &Get("b-month"), &Get("year")};
+  int checked = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    const Granularity& source = *types[rng.Index(std::size(types))];
+    const Granularity& target = *types[rng.Index(std::size(types))];
+    if (&source == &target) continue;
+    std::int64_t m = rng.Uniform(0, 10);
+    std::int64_t n = m + rng.Uniform(0, 10);
+    Tcg tcg = Tcg::Of(m, n, &source);
+    for (ConversionRule rule :
+         {ConversionRule::kPaper, ConversionRule::kTight}) {
+      std::optional<Tcg> converted =
+          ConvertTcg(tables(), coverage, tcg, target, rule);
+      if (!converted.has_value()) continue;
+      // Sample satisfying pairs of the source constraint.
+      for (int s = 0; s < 20; ++s) {
+        TimePoint t1 = rng.Uniform(0, 2000);
+        std::optional<Tick> z1 = source.TickContaining(t1);
+        if (!z1.has_value()) continue;
+        std::optional<TimeSpan> hull =
+            source.TickHull(*z1 + rng.Uniform(m, n));
+        ASSERT_TRUE(hull.has_value());
+        TimePoint t2 = rng.Uniform(hull->first, hull->last);
+        if (!Satisfies(tcg, t1, t2)) continue;  // t2 may be < t1 or in a gap
+        ++checked;
+        EXPECT_TRUE(Satisfies(*converted, t1, t2))
+            << tcg.ToString() << " -> " << converted->ToString() << " t1="
+            << t1 << " t2=" << t2;
+      }
+    }
+  }
+  EXPECT_GT(checked, 500);  // the property actually exercised many pairs
+}
+
+TEST_F(ConvertConstraintTest, SecondsDayInequivalence) {
+  // §3's motivating claim: [0,0]day admits pairs up to 86399 seconds apart,
+  // yet [0,86399]second accepts cross-midnight pairs that [0,0]day rejects.
+  auto seconds_system = GranularitySystem::Gregorian();
+  const Granularity& day = *seconds_system->Find("day");
+  const Granularity& second = *seconds_system->Find("second");
+  Bounds converted = ConvertBounds(seconds_system->tables(), day, second,
+                                   Bounds::Of(0, 0));
+  EXPECT_EQ(converted, Bounds::Of(0, 86399));
+  // The conversion is an implication, not an equivalence:
+  TimePoint t1 = 23 * 3600, t2 = 86400 + 4 * 3600;
+  EXPECT_TRUE(Satisfies(Tcg::Of(0, 86399, &second), t1, t2));
+  EXPECT_FALSE(Satisfies(Tcg::Same(&day), t1, t2));
+}
+
+}  // namespace
+}  // namespace granmine

@@ -1,0 +1,56 @@
+#include "granmine/io/dot.h"
+
+#include <gtest/gtest.h>
+
+#include "granmine/granularity/system.h"
+#include "granmine/paper/figures.h"
+#include "granmine/tag/builder.h"
+
+namespace granmine {
+namespace {
+
+TEST(DotTest, EventStructureRendering) {
+  auto system = GranularitySystem::Gregorian();
+  auto fig1a = BuildFigure1a(*system);
+  ASSERT_TRUE(fig1a.ok());
+  std::string dot = EventStructureToDot(*fig1a);
+  EXPECT_NE(dot.find("digraph event_structure"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"X0\""), std::string::npos);
+  EXPECT_NE(dot.find("[1,1]b-day"), std::string::npos);
+  EXPECT_NE(dot.find("v0 -> v1"), std::string::npos);
+  EXPECT_NE(dot.find("v2 -> v3"), std::string::npos);
+  // Balanced braces, ends with newline.
+  EXPECT_EQ(dot.back(), '\n');
+  EXPECT_NE(dot.find("}\n"), std::string::npos);
+}
+
+TEST(DotTest, TagRenderingWithSymbolNames) {
+  auto system = GranularitySystem::Gregorian();
+  auto fig1a = BuildFigure1a(*system);
+  ASSERT_TRUE(fig1a.ok());
+  auto built = BuildTagForStructure(*fig1a);
+  ASSERT_TRUE(built.ok());
+  const char* kNames[] = {"rise", "report", "hp", "fall"};
+  std::string dot = TagToDot(built->tag, [&](Symbol s) {
+    return std::string(kNames[s]);
+  });
+  EXPECT_NE(dot.find("digraph tag"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);  // accepting S3S3
+  EXPECT_NE(dot.find("ANY"), std::string::npos);           // skip loops
+  EXPECT_NE(dot.find("rise"), std::string::npos);
+  EXPECT_NE(dot.find("reset"), std::string::npos);
+  EXPECT_NE(dot.find("shape=point"), std::string::npos);   // start marker
+}
+
+TEST(DotTest, EscapesQuotes) {
+  auto system = GranularitySystem::Gregorian();
+  EventStructure s;
+  VariableId a = s.AddVariable("we \"quote\"");
+  VariableId b = s.AddVariable("plain");
+  ASSERT_TRUE(s.AddConstraint(a, b, Tcg::Same(system->Find("day"))).ok());
+  std::string dot = EventStructureToDot(s);
+  EXPECT_NE(dot.find("we \\\"quote\\\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace granmine

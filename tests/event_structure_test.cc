@@ -1,0 +1,161 @@
+#include "granmine/constraint/event_structure.h"
+
+#include <gtest/gtest.h>
+
+#include "granmine/constraint/propagation.h"
+#include "granmine/constraint/substructure.h"
+#include "granmine/granularity/system.h"
+#include "granmine/paper/figures.h"
+
+namespace granmine {
+namespace {
+
+class EventStructureTest : public testing::Test {
+ protected:
+  EventStructureTest() : system_(GranularitySystem::GregorianDays()) {}
+  const Granularity* Get(const char* name) { return system_->Find(name); }
+  std::unique_ptr<GranularitySystem> system_;
+};
+
+TEST_F(EventStructureTest, BuildAndQuery) {
+  EventStructure s;
+  VariableId x0 = s.AddVariable("X0");
+  VariableId x1 = s.AddVariable("X1");
+  ASSERT_TRUE(s.AddConstraint(x0, x1, Tcg::Of(0, 5, Get("b-day"))).ok());
+  ASSERT_TRUE(s.AddConstraint(x0, x1, Tcg::Same(Get("week"))).ok());
+  EXPECT_EQ(s.variable_count(), 2);
+  EXPECT_EQ(s.variable_name(x0), "X0");
+  ASSERT_EQ(s.edges().size(), 1u);  // same edge, conjunction of two TCGs
+  EXPECT_EQ(s.edges()[0].tcgs.size(), 2u);
+  const std::vector<Tcg>* tcgs = s.FindEdge(x0, x1);
+  ASSERT_NE(tcgs, nullptr);
+  EXPECT_EQ(tcgs->size(), 2u);
+  EXPECT_EQ(s.FindEdge(x1, x0), nullptr);
+  EXPECT_EQ(s.Granularities().size(), 2u);
+}
+
+TEST_F(EventStructureTest, RejectsBadConstraints) {
+  EventStructure s;
+  VariableId x0 = s.AddVariable("X0");
+  VariableId x1 = s.AddVariable("X1");
+  EXPECT_FALSE(s.AddConstraint(x0, x0, Tcg::Same(Get("day"))).ok());
+  EXPECT_FALSE(s.AddConstraint(x0, 99, Tcg::Same(Get("day"))).ok());
+  EXPECT_FALSE(s.AddConstraint(x0, x1, Tcg::Of(5, 2, Get("day"))).ok());
+  EXPECT_FALSE(s.AddConstraint(x0, x1, Tcg::Of(-1, 2, Get("day"))).ok());
+  EXPECT_FALSE(s.AddConstraint(x0, x1, Tcg{0, 0, nullptr}).ok());
+}
+
+TEST_F(EventStructureTest, DagValidation) {
+  EventStructure s;
+  VariableId x0 = s.AddVariable("X0");
+  VariableId x1 = s.AddVariable("X1");
+  VariableId x2 = s.AddVariable("X2");
+  ASSERT_TRUE(s.AddConstraint(x0, x1, Tcg::Same(Get("day"))).ok());
+  ASSERT_TRUE(s.AddConstraint(x1, x2, Tcg::Same(Get("day"))).ok());
+  EXPECT_TRUE(s.ValidateDag().ok());
+  ASSERT_TRUE(s.AddConstraint(x2, x0, Tcg::Same(Get("day"))).ok());
+  EXPECT_FALSE(s.ValidateDag().ok());
+  EXPECT_FALSE(s.TopologicalOrder().ok());
+}
+
+TEST_F(EventStructureTest, TopologicalOrderIsValid) {
+  EventStructure s;
+  VariableId x0 = s.AddVariable("X0");
+  VariableId x1 = s.AddVariable("X1");
+  VariableId x2 = s.AddVariable("X2");
+  VariableId x3 = s.AddVariable("X3");
+  ASSERT_TRUE(s.AddConstraint(x0, x1, Tcg::Same(Get("day"))).ok());
+  ASSERT_TRUE(s.AddConstraint(x0, x2, Tcg::Same(Get("day"))).ok());
+  ASSERT_TRUE(s.AddConstraint(x1, x3, Tcg::Same(Get("day"))).ok());
+  ASSERT_TRUE(s.AddConstraint(x2, x3, Tcg::Same(Get("day"))).ok());
+  auto order = s.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  std::vector<int> position(4);
+  for (int i = 0; i < 4; ++i) position[(*order)[i]] = i;
+  for (const EventStructure::Edge& edge : s.edges()) {
+    EXPECT_LT(position[edge.from], position[edge.to]);
+  }
+}
+
+TEST_F(EventStructureTest, RootDetection) {
+  auto seconds = GranularitySystem::Gregorian();
+  auto fig1a = BuildFigure1a(*seconds);
+  ASSERT_TRUE(fig1a.ok());
+  auto root = fig1a->FindRoot();
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(*root, 0);  // X0 reaches everything
+
+  // A diamond missing the top is unrooted.
+  EventStructure s;
+  VariableId a = s.AddVariable("A");
+  VariableId b = s.AddVariable("B");
+  VariableId c = s.AddVariable("C");
+  ASSERT_TRUE(s.AddConstraint(a, c, Tcg::Same(Get("day"))).ok());
+  ASSERT_TRUE(s.AddConstraint(b, c, Tcg::Same(Get("day"))).ok());
+  EXPECT_FALSE(s.FindRoot().ok());
+}
+
+TEST_F(EventStructureTest, ReachabilityMatrix) {
+  EventStructure s;
+  VariableId x0 = s.AddVariable("X0");
+  VariableId x1 = s.AddVariable("X1");
+  VariableId x2 = s.AddVariable("X2");
+  ASSERT_TRUE(s.AddConstraint(x0, x1, Tcg::Same(Get("day"))).ok());
+  ASSERT_TRUE(s.AddConstraint(x1, x2, Tcg::Same(Get("day"))).ok());
+  auto reach = s.ReachabilityMatrix();
+  EXPECT_TRUE(reach[x0][x2]);
+  EXPECT_TRUE(reach[x0][x0]);
+  EXPECT_FALSE(reach[x2][x0]);
+}
+
+TEST_F(EventStructureTest, InducedSubstructureOfFigure1a) {
+  // §5.1's worked example: the subset {X0, X3} of Figure 1(a) cannot be an
+  // exact induced sub-structure, but the *approximated* one carries derived
+  // week (and hour) constraints on (X0, X3).
+  auto seconds = GranularitySystem::Gregorian();
+  auto fig1a = BuildFigure1a(*seconds);
+  ASSERT_TRUE(fig1a.ok());
+  ConstraintPropagator propagator(&seconds->tables(), &seconds->coverage());
+  auto prop = propagator.Propagate(*fig1a);
+  ASSERT_TRUE(prop.ok());
+  auto sub = InduceSubstructure(*fig1a, *prop, {0, 3});
+  ASSERT_TRUE(sub.ok()) << sub.status();
+  EXPECT_EQ(sub->variable_count(), 2);
+  const std::vector<Tcg>* tcgs = sub->FindEdge(0, 1);
+  ASSERT_NE(tcgs, nullptr);
+  bool has_week = false;
+  for (const Tcg& tcg : *tcgs) {
+    if (tcg.granularity == seconds->Find("week")) {
+      has_week = true;
+      EXPECT_EQ(tcg.min, 0);
+      // [0,2]week, not the paper's informally quoted [0,1] — see
+      // propagation_test.cc and EXPERIMENTS.md E7.
+      EXPECT_EQ(tcg.max, 2);
+    }
+  }
+  EXPECT_TRUE(has_week);
+  // No edge in the reverse direction (no path X3 -> X0).
+  EXPECT_EQ(sub->FindEdge(1, 0), nullptr);
+}
+
+TEST_F(EventStructureTest, SubstructureRejectsBadInput) {
+  auto fig1a = BuildFigure1a(*GranularitySystem::Gregorian());
+  ASSERT_TRUE(fig1a.ok());
+  PropagationResult fake;  // defaulted: consistent, no granularities
+  EXPECT_FALSE(InduceSubstructure(*fig1a, fake, {0, 99}).ok());
+  fake.consistent = false;
+  EXPECT_FALSE(InduceSubstructure(*fig1a, fake, {0, 1}).ok());
+}
+
+TEST_F(EventStructureTest, ToStringMentionsEverything) {
+  auto seconds = GranularitySystem::Gregorian();
+  auto fig1a = BuildFigure1a(*seconds);
+  ASSERT_TRUE(fig1a.ok());
+  std::string repr = fig1a->ToString();
+  EXPECT_NE(repr.find("X0"), std::string::npos);
+  EXPECT_NE(repr.find("[0,5]b-day"), std::string::npos);
+  EXPECT_NE(repr.find("[0,1]week"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace granmine

@@ -1,0 +1,208 @@
+#include "granmine/constraint/exact.h"
+
+#include <gtest/gtest.h>
+
+#include "granmine/common/random.h"
+#include "granmine/constraint/subset_sum.h"
+#include "granmine/granularity/system.h"
+
+namespace granmine {
+namespace {
+
+class ExactTest : public testing::Test {
+ protected:
+  ExactTest() {
+    unit_ = toy_.AddUniform("unit", 1);
+    three_ = toy_.AddUniform("three", 3);
+    five_ = toy_.AddUniform("five", 5);
+    gapped_ = toy_.AddSynthetic("gapped", 4, {TimeSpan::Of(0, 2)});
+  }
+  ExactResult Check(const EventStructure& s,
+                    ExactOptions options = ExactOptions{}) {
+    ExactConsistencyChecker checker(&toy_.tables(), &toy_.coverage(),
+                                    options);
+    Result<ExactResult> result = checker.Check(s);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return std::move(result).value();
+  }
+  GranularitySystem toy_;
+  const Granularity* unit_;
+  const Granularity* three_;
+  const Granularity* five_;
+  const Granularity* gapped_;
+};
+
+TEST_F(ExactTest, TrivialStructures) {
+  EventStructure s;
+  EXPECT_TRUE(Check(s).consistent);
+  s.AddVariable("X0");
+  ExactResult one = Check(s);
+  EXPECT_TRUE(one.consistent);
+  EXPECT_EQ(one.witness.size(), 1u);
+}
+
+TEST_F(ExactTest, SimpleChainWitness) {
+  EventStructure s;
+  VariableId x0 = s.AddVariable("X0");
+  VariableId x1 = s.AddVariable("X1");
+  VariableId x2 = s.AddVariable("X2");
+  ASSERT_TRUE(s.AddConstraint(x0, x1, Tcg::Of(1, 1, three_)).ok());
+  ASSERT_TRUE(s.AddConstraint(x1, x2, Tcg::Of(2, 2, three_)).ok());
+  ExactResult result = Check(s);
+  ASSERT_TRUE(result.consistent);
+  EXPECT_TRUE(SatisfiesAllConstraints(s, result.witness));
+  EXPECT_EQ(TickDifference(*three_, result.witness[0], result.witness[2]), 3);
+}
+
+TEST_F(ExactTest, DisjunctionViaGranularityInteraction) {
+  // three-blocks of 'unit' with both same-three and unit-distance pins.
+  EventStructure s;
+  VariableId x0 = s.AddVariable("X0");
+  VariableId x1 = s.AddVariable("X1");
+  ASSERT_TRUE(s.AddConstraint(x0, x1, Tcg::Same(three_)).ok());
+  ASSERT_TRUE(s.AddConstraint(x0, x1, Tcg::Of(2, 2, unit_)).ok());
+  // Satisfiable: x0 at the start of a three-tick, x1 two units later.
+  ExactResult result = Check(s);
+  ASSERT_TRUE(result.consistent);
+  EXPECT_EQ(result.witness[1] - result.witness[0], 2);
+  EXPECT_EQ(result.witness[0] % 3, 0);
+}
+
+TEST_F(ExactTest, InfeasibleCombination) {
+  // Same three-tick but 4 units apart: impossible (tick is 3 wide).
+  EventStructure s;
+  VariableId x0 = s.AddVariable("X0");
+  VariableId x1 = s.AddVariable("X1");
+  ASSERT_TRUE(s.AddConstraint(x0, x1, Tcg::Same(three_)).ok());
+  ASSERT_TRUE(s.AddConstraint(x0, x1, Tcg::Of(4, 4, unit_)).ok());
+  EXPECT_FALSE(Check(s).consistent);
+}
+
+TEST_F(ExactTest, GappedSupportMatters) {
+  // 'gapped' covers [0,2] of each 4-cycle. Forcing a unit distance of 3
+  // within the same gapped tick is impossible; distance 2 is fine.
+  EventStructure s;
+  VariableId x0 = s.AddVariable("X0");
+  VariableId x1 = s.AddVariable("X1");
+  ASSERT_TRUE(s.AddConstraint(x0, x1, Tcg::Same(gapped_)).ok());
+  ASSERT_TRUE(s.AddConstraint(x0, x1, Tcg::Of(3, 3, unit_)).ok());
+  EXPECT_FALSE(Check(s).consistent);
+
+  EventStructure s2;
+  x0 = s2.AddVariable("X0");
+  x1 = s2.AddVariable("X1");
+  ASSERT_TRUE(s2.AddConstraint(x0, x1, Tcg::Same(gapped_)).ok());
+  ASSERT_TRUE(s2.AddConstraint(x0, x1, Tcg::Of(2, 2, unit_)).ok());
+  EXPECT_TRUE(Check(s2).consistent);
+}
+
+TEST_F(ExactTest, CellRepresentativesMatchFullEnumeration) {
+  // Differential property: the cell-representative search agrees with
+  // exhaustive instant enumeration on random small structures.
+  Rng rng(777);
+  const Granularity* types[] = {unit_, three_, five_, gapped_};
+  int disagreements = 0, consistent = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    EventStructure s;
+    const int n = static_cast<int>(rng.Uniform(2, 4));
+    for (int v = 0; v < n; ++v) s.AddVariable("X" + std::to_string(v));
+    int edges = static_cast<int>(rng.Uniform(1, 4));
+    for (int e = 0; e < edges; ++e) {
+      int a = static_cast<int>(rng.Uniform(0, n - 2));
+      int b = static_cast<int>(rng.Uniform(a + 1, n - 1));
+      std::int64_t lo = rng.Uniform(0, 3);
+      ASSERT_TRUE(
+          s.AddConstraint(a, b,
+                          Tcg::Of(lo, lo + rng.Uniform(0, 2),
+                                  types[rng.Index(4)]))
+              .ok());
+    }
+    ExactOptions cells;
+    cells.horizon_span = 80;
+    ExactOptions full = cells;
+    full.cell_representatives = false;
+    bool with_cells = Check(s, cells).consistent;
+    bool with_full = Check(s, full).consistent;
+    if (with_cells != with_full) ++disagreements;
+    if (with_full) ++consistent;
+  }
+  EXPECT_EQ(disagreements, 0);
+  EXPECT_GT(consistent, 20);  // the family is not degenerate
+}
+
+TEST_F(ExactTest, NodeBudgetIsReported) {
+  EventStructure s;
+  VariableId x0 = s.AddVariable("X0");
+  VariableId x1 = s.AddVariable("X1");
+  ASSERT_TRUE(s.AddConstraint(x0, x1, Tcg::Of(0, 5, unit_)).ok());
+  ExactOptions options;
+  options.max_nodes = 1;
+  ExactConsistencyChecker checker(&toy_.tables(), &toy_.coverage(), options);
+  auto result = checker.Check(s);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+class SubsetSumTest : public testing::Test {
+ protected:
+  SubsetSumTest() {
+    // A toy 30-unit "month" keeps the reduction search tractable.
+    month_ = toy_.AddUniform("toy-month", 30);
+  }
+  std::optional<std::vector<bool>> Solve(std::vector<std::int64_t> numbers,
+                                         std::int64_t target) {
+    SubsetSumInstance instance{std::move(numbers), target};
+    ExactOptions options;
+    options.max_nodes = 5'000'000;
+    auto result = SolveSubsetSum(&toy_, month_, instance, options);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return *result;
+  }
+  GranularitySystem toy_;
+  const Granularity* month_;
+};
+
+TEST_F(SubsetSumTest, StructureShape) {
+  SubsetSumInstance instance{{2, 3}, 5};
+  auto reduction = BuildSubsetSumStructure(&toy_, month_, instance);
+  ASSERT_TRUE(reduction.ok()) << reduction.status();
+  // k=2: X1..X3, V1..V2, U1..U2 = 7 variables.
+  EXPECT_EQ(reduction->structure.variable_count(), 7);
+  EXPECT_TRUE(reduction->structure.ValidateDag().ok());
+  // Multi-source: no root.
+  EXPECT_FALSE(reduction->structure.FindRoot().ok());
+  // The n-month granularities got registered.
+  EXPECT_NE(toy_.Find("2xtoy-month"), nullptr);
+  EXPECT_NE(toy_.Find("3xtoy-month"), nullptr);
+}
+
+TEST_F(SubsetSumTest, SolvesPositiveInstances) {
+  auto full = Solve({2, 3}, 5);
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(*full, (std::vector<bool>{true, true}));
+
+  auto partial = Solve({2, 3}, 3);
+  ASSERT_TRUE(partial.has_value());
+  EXPECT_EQ(*partial, (std::vector<bool>{false, true}));
+
+  auto empty = Solve({2, 3}, 0);
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_EQ(*empty, (std::vector<bool>{false, false}));
+}
+
+TEST_F(SubsetSumTest, RejectsNegativeInstances) {
+  EXPECT_FALSE(Solve({2, 3}, 4).has_value());
+  EXPECT_FALSE(Solve({2, 3}, 6).has_value());
+  EXPECT_FALSE(Solve({3, 5}, 4).has_value());
+}
+
+TEST_F(SubsetSumTest, ThreeElementInstances) {
+  auto found = Solve({2, 3, 5}, 7);
+  ASSERT_TRUE(found.has_value());
+  // {2, 5} is the unique subset summing to 7.
+  EXPECT_EQ(*found, (std::vector<bool>{true, false, true}));
+  EXPECT_FALSE(Solve({2, 3, 5}, 9).has_value());
+}
+
+}  // namespace
+}  // namespace granmine

@@ -1,0 +1,82 @@
+#include "granmine/mining/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "granmine/granularity/system.h"
+#include "granmine/mining/miner.h"
+#include "granmine/paper/figures.h"
+#include "granmine/sequence/generators.h"
+
+namespace granmine {
+namespace {
+
+TEST(ExplainTest, ProducesCheckableWitnesses) {
+  auto system = GranularitySystem::Gregorian();
+  StockWorkloadOptions options;
+  options.trading_days = 40;
+  options.plant_probability = 1.0;
+  options.noise_events_per_day = 1.0;
+  options.seed = 17;
+  Workload workload = MakeStockWorkload(*system, options);
+
+  auto structure = BuildFigure1a(*system);
+  ASSERT_TRUE(structure.ok());
+  DiscoveryProblem problem;
+  problem.structure = &*structure;
+  problem.min_confidence = 0.5;
+  problem.reference_type = *workload.registry.Find("IBM-rise");
+  problem.allowed.assign(4, {});
+  problem.allowed[1] = {*workload.registry.Find("IBM-earnings-report")};
+  problem.allowed[2] = {*workload.registry.Find("HP-rise")};
+  problem.allowed[3] = {*workload.registry.Find("IBM-fall")};
+  Miner miner(system.get());
+  auto report = miner.Mine(problem, workload.sequence);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->solutions.size(), 1u);
+
+  auto explanations =
+      ExplainSolution(*structure, report->solutions[0],
+                      problem.reference_type, workload.sequence, 3);
+  ASSERT_TRUE(explanations.ok()) << explanations.status();
+  ASSERT_EQ(explanations->size(), 3u);
+  for (const Explanation& explanation : *explanations) {
+    // Witness types follow the assignment and satisfy every TCG.
+    std::vector<TimePoint> times(4);
+    for (VariableId v = 0; v < 4; ++v) {
+      const Event& event =
+          workload.sequence.events()[explanation.witness[v]];
+      EXPECT_EQ(event.type, report->solutions[0].assignment[v]);
+      times[static_cast<std::size_t>(v)] = event.time;
+    }
+    for (const EventStructure::Edge& edge : structure->edges()) {
+      for (const Tcg& tcg : edge.tcgs) {
+        EXPECT_TRUE(Satisfies(tcg, times[edge.from], times[edge.to]));
+      }
+    }
+    // The root variable is bound to the reference occurrence itself.
+    EXPECT_EQ(explanation.witness[0], explanation.root_event);
+  }
+
+  std::string rendered = FormatExplanation(
+      *structure, explanations->front(), workload.sequence,
+      workload.registry);
+  EXPECT_NE(rendered.find("X0 = IBM-rise @ "), std::string::npos);
+  EXPECT_NE(rendered.find("X2 = HP-rise @ "), std::string::npos);
+}
+
+TEST(ExplainTest, RejectsMismatchedSolutions) {
+  auto system = GranularitySystem::Gregorian();
+  auto structure = BuildFigure1a(*system);
+  ASSERT_TRUE(structure.ok());
+  EventSequence seq;
+  seq.Add(0, 0);
+  DiscoveredType wrong_size;
+  wrong_size.assignment = {0, 1};
+  EXPECT_FALSE(ExplainSolution(*structure, wrong_size, 0, seq).ok());
+  DiscoveredType wrong_root;
+  wrong_root.assignment = {5, 1, 2, 3};
+  EXPECT_FALSE(ExplainSolution(*structure, wrong_root, 0, seq).ok());
+}
+
+}  // namespace
+}  // namespace granmine

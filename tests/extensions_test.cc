@@ -1,0 +1,196 @@
+#include "granmine/mining/extensions.h"
+
+#include <gtest/gtest.h>
+
+#include "granmine/granularity/civil_calendar.h"
+#include "granmine/granularity/system.h"
+#include "granmine/mining/miner.h"
+#include "granmine/sequence/generators.h"
+
+namespace granmine {
+namespace {
+
+TEST(BoundaryEventsTest, InjectsOnePerTick) {
+  auto system = GranularitySystem::GregorianDays();
+  const Granularity& week = *system->Find("week");
+  EventSequence seq;
+  seq.Add(0, 0);    // Thu week 1
+  seq.Add(0, 20);   // week 4 (days 18..24)
+  EventSequence copy = seq;
+  std::size_t added = InjectBoundaryEvents(week, 9, &copy);
+  // Weeks 1..4 intersect [0, 20].
+  EXPECT_EQ(added, 4u);
+  EXPECT_EQ(copy.CountOf(9), 4u);
+  // The first boundary is clamped into the observed range.
+  EXPECT_EQ(copy.events().front().time, 0);
+  // Later boundaries sit at week starts: Mon day 4, 11, 18.
+  std::vector<std::size_t> marks = copy.OccurrencesOf(9);
+  EXPECT_EQ(copy.events()[marks[1]].time, 4);
+  EXPECT_EQ(copy.events()[marks[2]].time, 11);
+  EXPECT_EQ(copy.events()[marks[3]].time, 18);
+}
+
+TEST(BoundaryEventsTest, WhatHappensInMostWeeks) {
+  // Maintenance runs every day at 06:00; discover that "in every week, a
+  // maintenance-check happens within the week" via a week-boundary anchor.
+  auto system = GranularitySystem::Gregorian();
+  PlantWorkloadOptions options;
+  options.days = 56;  // 8 weeks
+  options.cascade_probability = 0.2;
+  Workload workload = MakePlantWorkload(*system, options);
+  EventTypeId week_start = workload.registry.Intern("week-start");
+  std::size_t added = InjectBoundaryEvents(*system->Find("week"), week_start,
+                                           &workload.sequence);
+  ASSERT_GT(added, 5u);
+
+  const Granularity* week = system->Find("week");
+  EventStructure structure;
+  VariableId x0 = structure.AddVariable("week-start");
+  VariableId x1 = structure.AddVariable("weekly-event");
+  ASSERT_TRUE(structure.AddConstraint(x0, x1, Tcg::Same(week)).ok());
+
+  DiscoveryProblem problem;
+  problem.structure = &structure;
+  problem.min_confidence = 0.9;
+  problem.reference_type = week_start;
+
+  Miner miner(system.get());
+  auto report = miner.Mine(problem, workload.sequence);
+  ASSERT_TRUE(report.ok()) << report.status();
+  bool maintenance_weekly = false;
+  for (const DiscoveredType& found : report->solutions) {
+    if (found.assignment[1] ==
+        *workload.registry.Find("maintenance-check")) {
+      maintenance_weekly = true;
+      EXPECT_GT(found.frequency, 0.9);
+    }
+  }
+  EXPECT_TRUE(maintenance_weekly);
+}
+
+TEST(ReferenceSetTest, CombinedTypeAnchorsAllMembers) {
+  EventTypeRegistry registry;
+  EventTypeId a = registry.Intern("A");
+  EventTypeId b = registry.Intern("B");
+  EventTypeId c = registry.Intern("C");
+  EventSequence seq;
+  seq.Add(a, 10);
+  seq.Add(b, 20);
+  seq.Add(c, 30);
+  seq.Add(a, 40);
+  std::vector<EventTypeId> set = {a, b};
+  EventTypeId combined =
+      CombineReferenceTypes(set, "A-or-B", &registry, &seq);
+  EXPECT_EQ(seq.CountOf(combined), 3u);  // two A's and one B
+  // Copies share their originals' timestamps.
+  for (std::size_t i : seq.OccurrencesOf(combined)) {
+    TimePoint t = seq.events()[i].time;
+    EXPECT_TRUE(t == 10 || t == 20 || t == 40);
+  }
+}
+
+TEST(ReferenceSetTest, MiningOverAReferenceSet) {
+  // Pattern: X follows either A or B within 3 units.
+  GranularitySystem toy;
+  const Granularity* unit = toy.AddUniform("unit", 1);
+  EventTypeRegistry registry;
+  EventTypeId a = registry.Intern("A");
+  EventTypeId b = registry.Intern("B");
+  EventTypeId x = registry.Intern("X");
+  EventSequence seq;
+  for (int i = 0; i < 10; ++i) {
+    TimePoint base = i * 20;
+    seq.Add(i % 2 == 0 ? a : b, base);
+    seq.Add(x, base + 2);
+  }
+  std::vector<EventTypeId> set = {a, b};
+  EventTypeId combined = CombineReferenceTypes(set, "A|B", &registry, &seq);
+
+  EventStructure structure;
+  VariableId x0 = structure.AddVariable("anchor");
+  VariableId x1 = structure.AddVariable("follower");
+  ASSERT_TRUE(structure.AddConstraint(x0, x1, Tcg::Of(1, 3, unit)).ok());
+
+  DiscoveryProblem problem;
+  problem.structure = &structure;
+  problem.min_confidence = 0.9;
+  problem.reference_type = combined;
+  problem.allowed.assign(2, {});
+  problem.allowed[1] = {x};
+
+  Miner miner(&toy);
+  auto report = miner.Mine(problem, seq);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->total_roots, 10u);  // every A and every B anchors
+  ASSERT_EQ(report->solutions.size(), 1u);
+  EXPECT_DOUBLE_EQ(report->solutions[0].frequency, 1.0);
+}
+
+TEST(TypeConstraintTest, SameAndDifferentTypeFiltering) {
+  GranularitySystem toy;
+  const Granularity* unit = toy.AddUniform("unit", 1);
+  // Root R, two followers within 5 units each.
+  EventStructure structure;
+  VariableId r = structure.AddVariable("R");
+  VariableId y1 = structure.AddVariable("Y1");
+  VariableId y2 = structure.AddVariable("Y2");
+  ASSERT_TRUE(structure.AddConstraint(r, y1, Tcg::Of(1, 5, unit)).ok());
+  ASSERT_TRUE(structure.AddConstraint(y1, y2, Tcg::Of(1, 5, unit)).ok());
+  // Sequence: R at 0, then types 1 and 2 twice each within range.
+  EventSequence seq;
+  for (int i = 0; i < 8; ++i) {
+    TimePoint base = i * 30;
+    seq.Add(0, base);
+    seq.Add(1, base + 2);
+    seq.Add(2, base + 3);
+    seq.Add(1, base + 4);
+    seq.Add(2, base + 5);
+  }
+  DiscoveryProblem problem;
+  problem.structure = &structure;
+  problem.min_confidence = 0.5;
+  problem.reference_type = 0;
+  problem.allowed.assign(3, {});
+  problem.allowed[1] = {1, 2};
+  problem.allowed[2] = {1, 2};
+
+  Miner miner(&toy);
+  auto unconstrained = miner.Mine(problem, seq);
+  ASSERT_TRUE(unconstrained.ok());
+  EXPECT_EQ(unconstrained->solutions.size(), 4u);  // all pairs occur
+
+  problem.type_constraints = {
+      {TypeConstraint::Kind::kSameType, y1, y2}};
+  auto same = miner.Mine(problem, seq);
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(same->solutions.size(), 2u);  // (1,1) and (2,2)
+  for (const DiscoveredType& found : same->solutions) {
+    EXPECT_EQ(found.assignment[1], found.assignment[2]);
+  }
+
+  problem.type_constraints = {
+      {TypeConstraint::Kind::kDifferentType, y1, y2}};
+  auto different = miner.Mine(problem, seq);
+  ASSERT_TRUE(different.ok());
+  EXPECT_EQ(different->solutions.size(), 2u);  // (1,2) and (2,1)
+  for (const DiscoveredType& found : different->solutions) {
+    EXPECT_NE(found.assignment[1], found.assignment[2]);
+  }
+}
+
+TEST(TypeConstraintTest, RejectsUnknownVariables) {
+  GranularitySystem toy;
+  toy.AddUniform("unit", 1);
+  EventStructure structure;
+  structure.AddVariable("R");
+  DiscoveryProblem problem;
+  problem.structure = &structure;
+  problem.type_constraints = {{TypeConstraint::Kind::kSameType, 0, 7}};
+  EventSequence seq;
+  seq.Add(0, 1);
+  Miner miner(&toy);
+  EXPECT_FALSE(miner.Mine(problem, seq).ok());
+}
+
+}  // namespace
+}  // namespace granmine

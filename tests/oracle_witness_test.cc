@@ -1,0 +1,92 @@
+#include "granmine/tag/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "granmine/granularity/civil_calendar.h"
+#include "granmine/granularity/system.h"
+#include "granmine/paper/figures.h"
+#include "granmine/sequence/sequence.h"
+
+namespace granmine {
+namespace {
+
+TEST(OracleWitnessTest, ReturnsAValidAssignment) {
+  auto system = GranularitySystem::Gregorian();
+  auto fig1a = BuildFigure1a(*system);
+  ASSERT_TRUE(fig1a.ok());
+  // Day 4 = Monday 1970-01-05.
+  auto at = [](std::int64_t day, int hour) {
+    return day * kSecondsPerDay + hour * 3600;
+  };
+  EventSequence seq;
+  seq.Add(4, at(4, 9));   // noise type 4
+  seq.Add(0, at(4, 10));  // rise
+  seq.Add(1, at(5, 11));  // report
+  seq.Add(2, at(6, 12));  // hp
+  seq.Add(3, at(6, 15));  // fall
+  std::vector<EventTypeId> phi = {0, 1, 2, 3};
+  auto witness = FindOccurrenceBruteForce(*fig1a, phi, seq.View());
+  ASSERT_TRUE(witness.has_value());
+  ASSERT_EQ(witness->size(), 4u);
+  // Each variable maps to an event of its type; all TCGs hold.
+  std::vector<TimePoint> times(4);
+  std::vector<bool> used(seq.size(), false);
+  for (int v = 0; v < 4; ++v) {
+    std::size_t e = (*witness)[static_cast<std::size_t>(v)];
+    EXPECT_EQ(seq.events()[e].type, phi[static_cast<std::size_t>(v)]);
+    EXPECT_FALSE(used[e]);  // injective
+    used[e] = true;
+    times[static_cast<std::size_t>(v)] = seq.events()[e].time;
+  }
+  for (const EventStructure::Edge& edge : fig1a->edges()) {
+    for (const Tcg& tcg : edge.tcgs) {
+      EXPECT_TRUE(Satisfies(tcg, times[edge.from], times[edge.to]))
+          << tcg.ToString();
+    }
+  }
+}
+
+TEST(OracleWitnessTest, NulloptWhenNoOccurrence) {
+  auto system = GranularitySystem::Gregorian();
+  auto fig1a = BuildFigure1a(*system);
+  ASSERT_TRUE(fig1a.ok());
+  EventSequence seq;
+  seq.Add(0, 4 * kSecondsPerDay);  // a lone rise
+  std::vector<EventTypeId> phi = {0, 1, 2, 3};
+  EXPECT_EQ(FindOccurrenceBruteForce(*fig1a, phi, seq.View()), std::nullopt);
+}
+
+TEST(FiscalCalendarTest, PhasedGroupsFormFiscalYears) {
+  // Fiscal year = 12 months starting April: phase 3 over months.
+  auto system = GranularitySystem::GregorianDays();
+  const Granularity* fiscal =
+      system->AddGroup("fiscal-year", system->Find("month"), 12, /*phase=*/3);
+  // FY1 = Apr 1970 .. Mar 1971.
+  std::int64_t apr1 = DaysFromCivil(1970, 4, 1);
+  std::int64_t mar31 = DaysFromCivil(1971, 3, 31);
+  EXPECT_EQ(fiscal->TickHull(1), TimeSpan::Of(apr1, mar31));
+  // January-March 1970 precede fiscal tick 1.
+  EXPECT_EQ(fiscal->TickContaining(0), std::nullopt);
+  EXPECT_EQ(fiscal->TickContaining(apr1), 1);
+  EXPECT_EQ(fiscal->TickContaining(mar31), 1);
+  EXPECT_EQ(fiscal->TickContaining(mar31 + 1), 2);
+  // Same fiscal year: Dec 1970 and Feb 1971.
+  Tcg same_fy = Tcg::Same(fiscal);
+  EXPECT_TRUE(Satisfies(same_fy, DaysFromCivil(1970, 12, 15),
+                        DaysFromCivil(1971, 2, 15)));
+  // Different fiscal years: Feb 1971 and Apr 1971.
+  EXPECT_FALSE(Satisfies(same_fy, DaysFromCivil(1971, 2, 15),
+                         DaysFromCivil(1971, 4, 2)));
+  // Same calendar year but different fiscal years: Feb and May 1971.
+  EXPECT_TRUE(Satisfies(Tcg::Same(system->Find("year")),
+                        DaysFromCivil(1971, 2, 15),
+                        DaysFromCivil(1971, 5, 15)));
+  EXPECT_FALSE(Satisfies(same_fy, DaysFromCivil(1971, 2, 15),
+                         DaysFromCivil(1971, 5, 15)));
+  // Tables work through the phased type.
+  EXPECT_EQ(system->tables().MinSize(*fiscal, 1), 365);
+  EXPECT_EQ(system->tables().MaxSize(*fiscal, 1), 366);
+}
+
+}  // namespace
+}  // namespace granmine

@@ -1,0 +1,166 @@
+#include "granmine/sequence/sequence.h"
+
+#include <gtest/gtest.h>
+
+#include "granmine/constraint/exact.h"
+#include "granmine/granularity/civil_calendar.h"
+#include "granmine/paper/figures.h"
+#include "granmine/sequence/generators.h"
+#include "granmine/tag/oracle.h"
+
+namespace granmine {
+namespace {
+
+TEST(EventTypeRegistryTest, InternAndLookup) {
+  EventTypeRegistry registry;
+  EventTypeId a = registry.Intern("deposit");
+  EventTypeId b = registry.Intern("withdrawal");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(registry.Intern("deposit"), a);
+  EXPECT_EQ(registry.size(), 2);
+  EXPECT_EQ(registry.name(a), "deposit");
+  EXPECT_EQ(registry.Find("withdrawal"), b);
+  EXPECT_EQ(registry.Find("unknown"), std::nullopt);
+}
+
+TEST(EventSequenceTest, SortsOnAccess) {
+  EventSequence seq;
+  seq.Add(0, 30);
+  seq.Add(1, 10);
+  seq.Add(2, 20);
+  const std::vector<Event>& events = seq.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].time, 10);
+  EXPECT_EQ(events[1].time, 20);
+  EXPECT_EQ(events[2].time, 30);
+}
+
+TEST(EventSequenceTest, StableForEqualTimestamps) {
+  EventSequence seq;
+  seq.Add(5, 10);
+  seq.Add(6, 10);
+  seq.Add(7, 10);
+  EXPECT_EQ(seq.events()[0].type, 5);
+  EXPECT_EQ(seq.events()[1].type, 6);
+  EXPECT_EQ(seq.events()[2].type, 7);
+}
+
+TEST(EventSequenceTest, OccurrencesAndCounts) {
+  EventSequence seq;
+  seq.Add(0, 1);
+  seq.Add(1, 2);
+  seq.Add(0, 3);
+  EXPECT_EQ(seq.OccurrencesOf(0), (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(seq.CountOf(0), 2u);
+  EXPECT_EQ(seq.CountOf(9), 0u);
+  EXPECT_EQ(seq.SuffixFrom(1).size(), 2u);
+  EXPECT_EQ(seq.DistinctTypes(), (std::vector<EventTypeId>{0, 1}));
+}
+
+TEST(EventSequenceTest, Filter) {
+  EventSequence seq;
+  for (int i = 0; i < 10; ++i) seq.Add(i % 2, i);
+  EventSequence evens =
+      seq.Filter([](const Event& e) { return e.type == 0; });
+  EXPECT_EQ(evens.size(), 5u);
+  for (const Event& e : evens.events()) EXPECT_EQ(e.type, 0);
+}
+
+TEST(GeneratorsTest, RandomWorkloadShape) {
+  RandomWorkloadOptions options;
+  options.type_count = 5;
+  options.length = 500;
+  options.seed = 42;
+  Workload workload = MakeRandomWorkload(options);
+  EXPECT_EQ(workload.sequence.size(), 500u);
+  EXPECT_EQ(workload.registry.size(), 5);
+  // Deterministic for a fixed seed.
+  Workload again = MakeRandomWorkload(options);
+  EXPECT_EQ(workload.sequence.events(), again.sequence.events());
+  // Timestamps strictly increasing (gaps >= 1).
+  for (std::size_t i = 1; i < workload.sequence.size(); ++i) {
+    EXPECT_GT(workload.sequence.events()[i].time,
+              workload.sequence.events()[i - 1].time);
+  }
+}
+
+TEST(GeneratorsTest, StockWorkloadPlantsRealPatterns) {
+  auto system = GranularitySystem::Gregorian();
+  StockWorkloadOptions options;
+  options.trading_days = 60;
+  options.plant_probability = 1.0;  // plant at every anchor
+  options.noise_events_per_day = 0.0;
+  options.seed = 7;
+  Workload workload = MakeStockWorkload(*system, options);
+  EXPECT_GT(workload.planted, 5u);
+
+  // Every planted pattern is a §3 occurrence of the Figure-1(a) type.
+  auto fig1a = BuildFigure1a(*system);
+  ASSERT_TRUE(fig1a.ok());
+  std::vector<EventTypeId> phi = {
+      *workload.registry.Find("IBM-rise"),
+      *workload.registry.Find("IBM-earnings-report"),
+      *workload.registry.Find("HP-rise"),
+      *workload.registry.Find("IBM-fall")};
+  std::size_t matched = 0;
+  for (std::size_t at : workload.sequence.OccurrencesOf(phi[0])) {
+    OracleOptions anchored;
+    anchored.anchored_root_index = 0;
+    if (OccursBruteForce(*fig1a, phi, workload.sequence.SuffixFrom(at),
+                         anchored)) {
+      ++matched;
+    }
+  }
+  EXPECT_EQ(matched, workload.planted);
+}
+
+TEST(GeneratorsTest, StockWorkloadUnplantedAnchorsDontMatch) {
+  auto system = GranularitySystem::Gregorian();
+  StockWorkloadOptions options;
+  options.trading_days = 60;
+  options.plant_probability = 0.0;  // only lone anchors
+  options.noise_events_per_day = 0.0;
+  Workload workload = MakeStockWorkload(*system, options);
+  EXPECT_EQ(workload.planted, 0u);
+  auto fig1a = BuildFigure1a(*system);
+  ASSERT_TRUE(fig1a.ok());
+  EventTypeId rise = *workload.registry.Find("IBM-rise");
+  std::vector<EventTypeId> phi = {
+      rise, *workload.registry.Find("IBM-earnings-report"),
+      *workload.registry.Find("HP-rise"),
+      *workload.registry.Find("IBM-fall")};
+  for (std::size_t at : workload.sequence.OccurrencesOf(rise)) {
+    OracleOptions anchored;
+    anchored.anchored_root_index = 0;
+    EXPECT_FALSE(OccursBruteForce(*fig1a, phi,
+                                  workload.sequence.SuffixFrom(at), anchored));
+  }
+}
+
+TEST(GeneratorsTest, AtmWorkloadIsPopulated) {
+  auto system = GranularitySystem::Gregorian();
+  AtmWorkloadOptions options;
+  options.days = 30;
+  options.accounts = 2;
+  options.seed = 3;
+  Workload workload = MakeAtmWorkload(*system, options);
+  EXPECT_GT(workload.sequence.size(), 20u);
+  EXPECT_TRUE(workload.registry.Find("deposit-acct0").has_value());
+  EXPECT_TRUE(workload.registry.Find("alert-acct1").has_value());
+  // Planted cascades satisfy same-day and two-day constraints by design.
+  EXPECT_GT(workload.planted, 0u);
+}
+
+TEST(GeneratorsTest, PlantWorkloadCascades) {
+  auto system = GranularitySystem::Gregorian();
+  PlantWorkloadOptions options;
+  options.days = 30;
+  options.cascade_probability = 1.0;
+  Workload workload = MakePlantWorkload(*system, options);
+  EXPECT_GT(workload.planted, 0u);
+  EventTypeId shutdown = *workload.registry.Find("emergency-shutdown");
+  EXPECT_EQ(workload.sequence.CountOf(shutdown), workload.planted);
+}
+
+}  // namespace
+}  // namespace granmine

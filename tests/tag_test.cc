@@ -1,0 +1,128 @@
+#include "granmine/tag/tag.h"
+
+#include <gtest/gtest.h>
+
+#include "granmine/granularity/system.h"
+#include "granmine/tag/matcher.h"
+
+namespace granmine {
+namespace {
+
+TEST(ClockConstraintTest, AtomsEvaluate) {
+  std::vector<std::optional<std::int64_t>> values = {5, std::nullopt};
+  EXPECT_EQ(ClockConstraint::True().Evaluate(values), true);
+  EXPECT_EQ(ClockConstraint::AtMost(0, 5).Evaluate(values), true);
+  EXPECT_EQ(ClockConstraint::AtMost(0, 4).Evaluate(values), false);
+  EXPECT_EQ(ClockConstraint::AtLeast(0, 5).Evaluate(values), true);
+  EXPECT_EQ(ClockConstraint::AtLeast(0, 6).Evaluate(values), false);
+  // Undefined clocks yield unknown.
+  EXPECT_EQ(ClockConstraint::AtMost(1, 100).Evaluate(values), std::nullopt);
+}
+
+TEST(ClockConstraintTest, RangeIsConjunction) {
+  std::vector<std::optional<std::int64_t>> values = {5};
+  EXPECT_EQ(ClockConstraint::Range(0, 0, 10).Evaluate(values), true);
+  EXPECT_EQ(ClockConstraint::Range(0, 6, 10).Evaluate(values), false);
+  EXPECT_EQ(ClockConstraint::Range(0, 0, 4).Evaluate(values), false);
+}
+
+TEST(ClockConstraintTest, KleeneThreeValuedLogic) {
+  std::vector<std::optional<std::int64_t>> values = {5, std::nullopt};
+  ClockConstraint unknown = ClockConstraint::AtMost(1, 3);
+  ClockConstraint yes = ClockConstraint::AtMost(0, 9);
+  ClockConstraint no = ClockConstraint::AtLeast(0, 9);
+  // false && unknown == false; true && unknown == unknown.
+  EXPECT_EQ(ClockConstraint::And(no, unknown).Evaluate(values), false);
+  EXPECT_EQ(ClockConstraint::And(yes, unknown).Evaluate(values),
+            std::nullopt);
+  // true || unknown == true; false || unknown == unknown.
+  EXPECT_EQ(ClockConstraint::Or(yes, unknown).Evaluate(values), true);
+  EXPECT_EQ(ClockConstraint::Or(no, unknown).Evaluate(values), std::nullopt);
+  // !unknown == unknown.
+  EXPECT_EQ(ClockConstraint::Not(unknown).Evaluate(values), std::nullopt);
+  EXPECT_EQ(ClockConstraint::Not(yes).Evaluate(values), false);
+  // IsSatisfied demands definite truth.
+  EXPECT_FALSE(ClockConstraint::And(yes, unknown).IsSatisfied(values));
+}
+
+TEST(ClockConstraintTest, AndWithTrueSimplifies) {
+  ClockConstraint c =
+      ClockConstraint::And(ClockConstraint::True(),
+                           ClockConstraint::AtMost(0, 3));
+  EXPECT_EQ(c.ToString(), "x0 <= 3");
+  EXPECT_EQ(ClockConstraint::Range(0, 1, 2).MentionedClocks(),
+            (std::vector<int>{0}));
+}
+
+TEST(TagContainerTest, BuildValidateRender) {
+  auto system = GranularitySystem::GregorianDays();
+  Tag tag;
+  int s0 = tag.AddState("S0");
+  int s1 = tag.AddState("S1");
+  int x = tag.AddClock(system->Find("day"), "x_day");
+  tag.MarkStart(s0);
+  tag.MarkAccepting(s1);
+  tag.AddTransition(Tag::Transition{s0, s0, kAnySymbol, {}, {}});
+  tag.AddTransition(
+      Tag::Transition{s0, s1, 7, {x}, ClockConstraint::Range(x, 0, 3)});
+  EXPECT_TRUE(tag.Validate().ok());
+  EXPECT_EQ(tag.state_count(), 2);
+  EXPECT_TRUE(tag.IsAccepting(s1));
+  EXPECT_FALSE(tag.IsAccepting(s0));
+  EXPECT_EQ(tag.OutgoingOf(s0).size(), 2u);
+  EXPECT_EQ(tag.OutgoingOf(s1).size(), 0u);
+  std::string repr = tag.ToString();
+  EXPECT_NE(repr.find("x_day"), std::string::npos);
+  EXPECT_NE(repr.find("ANY"), std::string::npos);
+}
+
+TEST(TagContainerTest, ValidationCatchesBadPieces) {
+  auto system = GranularitySystem::GregorianDays();
+  Tag no_start;
+  no_start.AddState("S0");
+  EXPECT_FALSE(no_start.Validate().ok());
+
+  Tag bad_reset;
+  int s = bad_reset.AddState("S0");
+  bad_reset.MarkStart(s);
+  bad_reset.AddTransition(Tag::Transition{s, s, 0, {5}, {}});
+  EXPECT_FALSE(bad_reset.Validate().ok());
+
+  Tag bad_guard;
+  s = bad_guard.AddState("S0");
+  bad_guard.MarkStart(s);
+  bad_guard.AddTransition(
+      Tag::Transition{s, s, 0, {}, ClockConstraint::AtMost(3, 1)});
+  EXPECT_FALSE(bad_guard.Validate().ok());
+}
+
+TEST(TagContainerTest, SymbolSubstitution) {
+  Tag tag;
+  int s0 = tag.AddState("S0");
+  int s1 = tag.AddState("S1");
+  tag.MarkStart(s0);
+  tag.AddTransition(Tag::Transition{s0, s1, 0, {}, {}});
+  tag.AddTransition(Tag::Transition{s0, s0, kAnySymbol, {}, {}});
+  EXPECT_FALSE(tag.SubstituteSymbols({{5, 7}}).ok());  // symbol 0 unmapped
+  ASSERT_TRUE(tag.SubstituteSymbols({{0, 42}}).ok());
+  EXPECT_EQ(tag.transitions()[0].symbol, 42);
+  EXPECT_EQ(tag.transitions()[1].symbol, kAnySymbol);  // ANY untouched
+}
+
+TEST(SymbolMapTest, IdentityAndAssignment) {
+  SymbolMap identity = SymbolMap::Identity(3);
+  EXPECT_EQ(identity.SymbolsFor(2).size(), 1u);
+  EXPECT_EQ(identity.SymbolsFor(2)[0], 2);
+  EXPECT_TRUE(identity.SymbolsFor(9).empty());
+
+  // phi: X0 -> type 1, X1 -> type 0, X2 -> type 1.
+  SymbolMap by_phi = SymbolMap::FromAssignment({1, 0, 1}, 2);
+  ASSERT_EQ(by_phi.SymbolsFor(0).size(), 1u);
+  EXPECT_EQ(by_phi.SymbolsFor(0)[0], 1);
+  ASSERT_EQ(by_phi.SymbolsFor(1).size(), 2u);
+  EXPECT_EQ(by_phi.SymbolsFor(1)[0], 0);
+  EXPECT_EQ(by_phi.SymbolsFor(1)[1], 2);
+}
+
+}  // namespace
+}  // namespace granmine

@@ -1,0 +1,93 @@
+#include "granmine/constraint/tcg.h"
+
+#include <gtest/gtest.h>
+
+#include "granmine/granularity/civil_calendar.h"
+#include "granmine/granularity/system.h"
+
+namespace granmine {
+namespace {
+
+class TcgTest : public testing::Test {
+ protected:
+  TcgTest() : system_(GranularitySystem::Gregorian()) {}
+  const Granularity* Get(const char* name) {
+    const Granularity* g = system_->Find(name);
+    EXPECT_NE(g, nullptr) << name;
+    return g;
+  }
+  std::unique_ptr<GranularitySystem> system_;
+};
+
+TEST_F(TcgTest, PaperDayExample) {
+  // §3: event e1 at 11pm of one day, e2 at 4am the next day. They do NOT
+  // satisfy [0,0]day, but DO satisfy [0,86399]second — showing that TCGs in
+  // coarse granularities cannot be translated exactly into seconds.
+  TimePoint t1 = 23 * 3600;               // 11pm, day 1
+  TimePoint t2 = kSecondsPerDay + 4 * 3600;  // 4am, day 2
+  EXPECT_FALSE(Satisfies(Tcg::Same(Get("day")), t1, t2));
+  EXPECT_TRUE(Satisfies(Tcg::Of(0, 86399, Get("second")), t1, t2));
+  // Same-day pair satisfies both.
+  EXPECT_TRUE(Satisfies(Tcg::Same(Get("day")), t1, t1 + 1800));
+  EXPECT_TRUE(Satisfies(Tcg::Of(0, 86399, Get("second")), t1, t1 + 1800));
+}
+
+TEST_F(TcgTest, HourWindowExample) {
+  // §3: e1 and e2 satisfy [0,2]hour iff e2 is in the same second or within
+  // two hour-ticks after e1.
+  Tcg tcg = Tcg::Of(0, 2, Get("hour"));
+  EXPECT_TRUE(Satisfies(tcg, 100, 100));
+  EXPECT_TRUE(Satisfies(tcg, 100, 3600 + 100));   // next hour
+  EXPECT_TRUE(Satisfies(tcg, 100, 2 * 3600));     // two hours later
+  EXPECT_FALSE(Satisfies(tcg, 100, 3 * 3600));    // three hour-ticks apart
+  EXPECT_FALSE(Satisfies(tcg, 3600, 100));        // order violated
+}
+
+TEST_F(TcgTest, NextMonthExample) {
+  // §3: [1,1]month — e2 occurs in the month right after e1's month.
+  Tcg tcg = Tcg::Of(1, 1, Get("month"));
+  TimePoint jan31 = (DaysFromCivil(1970, 1, 31)) * kSecondsPerDay;
+  TimePoint feb1 = (DaysFromCivil(1970, 2, 1)) * kSecondsPerDay;
+  TimePoint mar1 = (DaysFromCivil(1970, 3, 1)) * kSecondsPerDay;
+  EXPECT_TRUE(Satisfies(tcg, jan31, feb1));
+  EXPECT_FALSE(Satisfies(tcg, jan31, mar1));
+  EXPECT_FALSE(Satisfies(tcg, jan31, jan31));
+}
+
+TEST_F(TcgTest, OrderIsOnTimestampsNotTicks) {
+  // t1 <= t2 is required even when the tick difference is fine.
+  Tcg tcg = Tcg::Same(Get("day"));
+  EXPECT_TRUE(Satisfies(tcg, 100, 200));
+  EXPECT_FALSE(Satisfies(tcg, 200, 100));
+  EXPECT_TRUE(Satisfies(tcg, 100, 100));
+}
+
+TEST_F(TcgTest, UndefinedTicksFailTheConstraint) {
+  // A weekend timestamp has no b-day tick, so any b-day TCG is unsatisfied.
+  const Granularity* b_day = Get("b-day");
+  TimePoint thursday = 0;
+  TimePoint saturday = 2 * kSecondsPerDay;
+  TimePoint monday = 4 * kSecondsPerDay;
+  EXPECT_FALSE(Satisfies(Tcg::Of(0, 5, b_day), thursday, saturday));
+  EXPECT_FALSE(Satisfies(Tcg::Of(0, 5, b_day), saturday, monday));
+  EXPECT_TRUE(Satisfies(Tcg::Of(0, 5, b_day), thursday, monday));
+}
+
+TEST_F(TcgTest, BusinessDayDistanceSkipsWeekends) {
+  // Thu -> next Tue is 3 business days even though 5 calendar days passed.
+  Tcg three = Tcg::Of(3, 3, Get("b-day"));
+  TimePoint thursday = 0;
+  TimePoint tuesday = 5 * kSecondsPerDay;
+  EXPECT_TRUE(Satisfies(three, thursday, tuesday));
+  EXPECT_FALSE(Satisfies(Tcg::Of(5, 5, Get("b-day")), thursday, tuesday));
+  EXPECT_TRUE(Satisfies(Tcg::Of(5, 5, Get("day")), thursday, tuesday));
+}
+
+TEST_F(TcgTest, ToStringRendering) {
+  EXPECT_EQ(Tcg::Of(0, 5, Get("b-day")).ToString(), "[0,5]b-day");
+  EXPECT_EQ(Tcg::Same(Get("day")).ToString(), "[0,0]day");
+  EXPECT_EQ(Tcg::Of(1, kInfinity, Get("hour")).ToString(), "[1,inf]hour");
+}
+
+}  // namespace
+}  // namespace granmine

@@ -1,0 +1,158 @@
+// Unit tests for the miner internals: per-root windows (step 3), sequence
+// reduction (step 2) and window screening (step 4, k=1).
+
+#include "granmine/mining/windows.h"
+
+#include <gtest/gtest.h>
+
+#include "granmine/constraint/propagation.h"
+#include "granmine/granularity/civil_calendar.h"
+#include "granmine/granularity/system.h"
+#include "granmine/mining/reduction.h"
+#include "granmine/mining/screening.h"
+#include "granmine/paper/figures.h"
+
+namespace granmine {
+namespace {
+
+class WindowsTest : public testing::Test {
+ protected:
+  WindowsTest() : system_(GranularitySystem::Gregorian()) {}
+  PropagationResult Propagate(const EventStructure& s) {
+    ConstraintPropagator propagator(&system_->tables(), &system_->coverage());
+    auto result = propagator.Propagate(s);
+    EXPECT_TRUE(result.ok()) << result.status();
+    EXPECT_TRUE(result->consistent);
+    return *std::move(result);
+  }
+  std::unique_ptr<GranularitySystem> system_;
+};
+
+TEST_F(WindowsTest, SimpleDayWindow) {
+  // X1 is 1..2 days after X0.
+  EventStructure s;
+  VariableId x0 = s.AddVariable("X0");
+  VariableId x1 = s.AddVariable("X1");
+  ASSERT_TRUE(
+      s.AddConstraint(x0, x1, Tcg::Of(1, 2, system_->Find("day"))).ok());
+  PropagationResult propagation = Propagate(s);
+  TimePoint t0 = 10 * kSecondsPerDay + 5 * 3600;  // day 11 at 05:00
+  RootWindows windows = ComputeRootWindows(s, x0, propagation, t0);
+  ASSERT_TRUE(windows.root_viable);
+  EXPECT_EQ(windows.windows[x0], TimeSpan::Point(t0));
+  // Days 12..13 entirely: [start of day 12, end of day 13].
+  EXPECT_EQ(windows.windows[x1],
+            TimeSpan::Of(11 * kSecondsPerDay, 13 * kSecondsPerDay - 1));
+  EXPECT_EQ(windows.deadline, 13 * kSecondsPerDay - 1);
+}
+
+TEST_F(WindowsTest, IntersectsAcrossGranularities) {
+  // Same week AND 2..3 days after: the window is the intersection.
+  EventStructure s;
+  VariableId x0 = s.AddVariable("X0");
+  VariableId x1 = s.AddVariable("X1");
+  ASSERT_TRUE(
+      s.AddConstraint(x0, x1, Tcg::Same(system_->Find("week"))).ok());
+  ASSERT_TRUE(
+      s.AddConstraint(x0, x1, Tcg::Of(2, 3, system_->Find("day"))).ok());
+  PropagationResult propagation = Propagate(s);
+  // Monday 1970-01-05 = day 4, 08:00.
+  TimePoint t0 = 4 * kSecondsPerDay + 8 * 3600;
+  RootWindows windows = ComputeRootWindows(s, x0, propagation, t0);
+  ASSERT_TRUE(windows.root_viable);
+  // Day window: days 6..7 (Wed..Thu); week window: through Sunday day 10.
+  EXPECT_EQ(windows.windows[x1],
+            TimeSpan::Of(6 * kSecondsPerDay, 8 * kSecondsPerDay - 1));
+}
+
+TEST_F(WindowsTest, RootViabilityRequiresDefinedTicks) {
+  // A b-day constraint makes a Saturday root unviable.
+  EventStructure s;
+  VariableId x0 = s.AddVariable("X0");
+  VariableId x1 = s.AddVariable("X1");
+  ASSERT_TRUE(
+      s.AddConstraint(x0, x1, Tcg::Of(0, 5, system_->Find("b-day"))).ok());
+  PropagationResult propagation = Propagate(s);
+  TimePoint saturday = 2 * kSecondsPerDay + 12 * 3600;
+  EXPECT_FALSE(ComputeRootWindows(s, x0, propagation, saturday).root_viable);
+  TimePoint monday = 4 * kSecondsPerDay + 12 * 3600;
+  EXPECT_TRUE(ComputeRootWindows(s, x0, propagation, monday).root_viable);
+}
+
+TEST_F(WindowsTest, UsableForVariableChecksSupport) {
+  EventStructure s;
+  VariableId x0 = s.AddVariable("X0");
+  VariableId x1 = s.AddVariable("X1");
+  ASSERT_TRUE(
+      s.AddConstraint(x0, x1, Tcg::Of(0, 5, system_->Find("b-day"))).ok());
+  PropagationResult propagation = Propagate(s);
+  TimeSpan window = TimeSpan::Of(0, 10 * kSecondsPerDay);
+  TimePoint friday = kSecondsPerDay + 10 * 3600;
+  TimePoint saturday = 2 * kSecondsPerDay + 10 * 3600;
+  EXPECT_TRUE(UsableForVariable(propagation, x1, window, friday));
+  EXPECT_FALSE(UsableForVariable(propagation, x1, window, saturday));
+  EXPECT_FALSE(UsableForVariable(propagation, x1, TimeSpan::Of(0, 10),
+                                 friday));  // outside window
+}
+
+TEST_F(WindowsTest, ReductionKeepsOnlyBindableEvents) {
+  auto fig1a = BuildFigure1a(*system_);
+  ASSERT_TRUE(fig1a.ok());
+  PropagationResult propagation = Propagate(*fig1a);
+  // allowed: X0 -> {0}, X1 -> {1}, X2 -> {2}, X3 -> {3}.
+  std::vector<std::vector<EventTypeId>> allowed = {{0}, {1}, {2}, {3}};
+  EventSequence seq;
+  seq.Add(0, 4 * kSecondsPerDay);       // Monday: bindable to X0
+  seq.Add(1, 2 * kSecondsPerDay);       // Saturday: X1 needs b-day ticks
+  seq.Add(7, 4 * kSecondsPerDay);       // type no variable may take
+  seq.Add(3, 5 * kSecondsPerDay);       // bindable to X3
+  EventSequence reduced = ReduceSequence(seq, propagation, allowed);
+  ASSERT_EQ(reduced.size(), 2u);
+  EXPECT_EQ(reduced.events()[0].type, 0);
+  EXPECT_EQ(reduced.events()[1].type, 3);
+}
+
+TEST_F(WindowsTest, ScreeningPrunesRareTypes) {
+  // Roots at days 4, 11, 18 (Mondays); X1 one day after. Type 1 follows
+  // every root, type 2 follows one root only.
+  EventStructure s;
+  VariableId x0 = s.AddVariable("X0");
+  VariableId x1 = s.AddVariable("X1");
+  ASSERT_TRUE(
+      s.AddConstraint(x0, x1, Tcg::Of(1, 1, system_->Find("day"))).ok());
+  PropagationResult propagation = Propagate(s);
+  EventSequence seq;
+  std::vector<RootWindows> windows;
+  for (std::int64_t day : {4, 11, 18}) {
+    TimePoint t0 = day * kSecondsPerDay + 9 * 3600;
+    seq.Add(0, t0);
+    seq.Add(1, t0 + 24 * 3600);
+    windows.push_back(ComputeRootWindows(s, x0, propagation, t0));
+  }
+  seq.Add(2, 5 * kSecondsPerDay + 10 * 3600);  // follows the first root only
+  std::vector<std::vector<EventTypeId>> allowed = {{0}, {1, 2}};
+  ScreenByWindows(propagation, seq, windows, x0, /*total_roots=*/3,
+                  /*min_confidence=*/0.5, &allowed);
+  EXPECT_EQ(allowed[1], (std::vector<EventTypeId>{1}));
+  // At a lower threshold type 2 (frequency 1/3) survives.
+  allowed = {{0}, {1, 2}};
+  ScreenByWindows(propagation, seq, windows, x0, 3, 0.2, &allowed);
+  EXPECT_EQ(allowed[1], (std::vector<EventTypeId>{1, 2}));
+}
+
+TEST_F(WindowsTest, FirstEventAtOrAfterBinarySearch) {
+  EventSequence seq;
+  seq.Add(0, 10);
+  seq.Add(0, 20);
+  seq.Add(0, 20);
+  seq.Add(0, 30);
+  EXPECT_EQ(FirstEventAtOrAfter(seq, 5), 0u);
+  EXPECT_EQ(FirstEventAtOrAfter(seq, 10), 0u);
+  EXPECT_EQ(FirstEventAtOrAfter(seq, 11), 1u);
+  EXPECT_EQ(FirstEventAtOrAfter(seq, 20), 1u);
+  EXPECT_EQ(FirstEventAtOrAfter(seq, 21), 3u);
+  EXPECT_EQ(FirstEventAtOrAfter(seq, 31), 4u);
+}
+
+}  // namespace
+}  // namespace granmine

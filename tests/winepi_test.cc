@@ -1,0 +1,168 @@
+#include "granmine/baseline/winepi.h"
+
+#include <gtest/gtest.h>
+
+#include "granmine/common/random.h"
+
+namespace granmine {
+namespace {
+
+EventSequence Seq(std::initializer_list<std::pair<EventTypeId, TimePoint>>
+                      items) {
+  EventSequence seq;
+  for (const auto& [type, time] : items) seq.Add(type, time);
+  return seq;
+}
+
+TEST(EpisodeTest, SerialOccurrenceInWindow) {
+  EventSequence seq = Seq({{0, 10}, {1, 12}, {2, 15}});
+  Episode abc{Episode::Kind::kSerial, {0, 1, 2}};
+  EXPECT_TRUE(OccursInWindow(abc, seq, 10, 6));
+  EXPECT_FALSE(OccursInWindow(abc, seq, 11, 6));  // misses event at 10
+  EXPECT_FALSE(OccursInWindow(abc, seq, 10, 5));  // window ends at 14
+  Episode cba{Episode::Kind::kSerial, {2, 1, 0}};
+  EXPECT_FALSE(OccursInWindow(cba, seq, 10, 6));  // wrong order
+}
+
+TEST(EpisodeTest, ParallelOccurrenceIgnoresOrder) {
+  EventSequence seq = Seq({{2, 10}, {1, 12}, {0, 15}});
+  Episode abc{Episode::Kind::kParallel, {0, 1, 2}};
+  EXPECT_TRUE(OccursInWindow(abc, seq, 10, 6));
+  Episode with_multiplicity{Episode::Kind::kParallel, {1, 1}};
+  EXPECT_FALSE(OccursInWindow(with_multiplicity, seq, 10, 6));
+  seq.Add(1, 14);
+  EXPECT_TRUE(OccursInWindow(with_multiplicity, seq, 10, 6));
+}
+
+TEST(EpisodeTest, WindowCountMatchesMtv95Domain) {
+  // Events at 10 and 12; width 3: window starts range over [8, 12].
+  EventSequence seq = Seq({{0, 10}, {1, 12}});
+  Episode single{Episode::Kind::kSerial, {0}};
+  WindowCount count = CountWindows(single, seq, 3);
+  EXPECT_EQ(count.total, 5);
+  // Windows [8,10],[9,11],[10,12] contain the type-0 event.
+  EXPECT_EQ(count.contained, 3);
+}
+
+TEST(EpisodeTest, CountWindowsDifferentialAgainstDirectScan) {
+  Rng rng(77);
+  for (int trial = 0; trial < 40; ++trial) {
+    EventSequence seq;
+    TimePoint t = 0;
+    int length = static_cast<int>(rng.Uniform(5, 25));
+    for (int i = 0; i < length; ++i) {
+      t += rng.Uniform(0, 4);
+      seq.Add(static_cast<EventTypeId>(rng.Uniform(0, 3)), t);
+    }
+    std::int64_t width = rng.Uniform(2, 10);
+    Episode episode;
+    episode.kind = rng.Bernoulli(0.5) ? Episode::Kind::kSerial
+                                      : Episode::Kind::kParallel;
+    int size = static_cast<int>(rng.Uniform(1, 3));
+    for (int i = 0; i < size; ++i) {
+      episode.types.push_back(static_cast<EventTypeId>(rng.Uniform(0, 3)));
+    }
+    if (episode.kind == Episode::Kind::kParallel) {
+      std::sort(episode.types.begin(), episode.types.end());
+    }
+    WindowCount fast = CountWindows(episode, seq, width);
+    std::int64_t slow = 0;
+    TimePoint first = seq.events().front().time;
+    TimePoint last = seq.events().back().time;
+    for (TimePoint w = first - width + 1; w <= last; ++w) {
+      if (OccursInWindow(episode, seq, w, width)) ++slow;
+    }
+    EXPECT_EQ(fast.contained, slow)
+        << episode.ToString() << " width=" << width << " trial=" << trial;
+    EXPECT_EQ(fast.total, last - (first - width + 1) + 1);
+  }
+}
+
+TEST(WinepiTest, FindsPlantedSerialEpisode) {
+  // Plant A -> B -> C every 10 units; noise D events elsewhere.
+  EventSequence seq;
+  for (int i = 0; i < 50; ++i) {
+    TimePoint base = i * 10;
+    seq.Add(0, base);
+    seq.Add(1, base + 2);
+    seq.Add(2, base + 4);
+    seq.Add(3, base + 7);
+  }
+  WinepiOptions options;
+  options.kind = Episode::Kind::kSerial;
+  // The planted span is 4 units; width 8 puts the ABC occurrence in 4 of
+  // every 10 window positions => frequency 0.4.
+  options.window_width = 8;
+  options.min_frequency = 0.3;
+  options.max_size = 3;
+  WinepiReport report = MineFrequentEpisodes(seq, options);
+  bool found_abc = false;
+  for (const FrequentEpisode& f : report.frequent) {
+    if (f.episode.types == std::vector<EventTypeId>{0, 1, 2}) {
+      found_abc = true;
+      EXPECT_GT(f.frequency, 0.3);
+    }
+    // Reversed order must not be frequent.
+    EXPECT_NE(f.episode.types, (std::vector<EventTypeId>{2, 1, 0}));
+  }
+  EXPECT_TRUE(found_abc);
+  EXPECT_GT(report.candidates_evaluated, 4u);
+}
+
+TEST(WinepiTest, ParallelMiningFindsCooccurrence) {
+  EventSequence seq;
+  for (int i = 0; i < 50; ++i) {
+    TimePoint base = i * 10;
+    seq.Add(1, base + 1);
+    seq.Add(0, base + 2);  // always together, order varies
+    if (i % 2 == 0) seq.Add(2, base + 5);
+  }
+  WinepiOptions options;
+  options.kind = Episode::Kind::kParallel;
+  options.window_width = 5;
+  options.min_frequency = 0.25;
+  options.max_size = 2;
+  WinepiReport report = MineFrequentEpisodes(seq, options);
+  bool found_pair = false;
+  for (const FrequentEpisode& f : report.frequent) {
+    if (f.episode.types == std::vector<EventTypeId>{0, 1}) found_pair = true;
+  }
+  EXPECT_TRUE(found_pair);
+}
+
+TEST(WinepiTest, AprioriMonotonicity) {
+  // Every frequent episode's subepisodes are frequent at the same threshold.
+  Rng rng(123);
+  EventSequence seq;
+  TimePoint t = 0;
+  for (int i = 0; i < 200; ++i) {
+    t += rng.Uniform(1, 3);
+    seq.Add(static_cast<EventTypeId>(rng.Uniform(0, 4)), t);
+  }
+  WinepiOptions options;
+  options.kind = Episode::Kind::kSerial;
+  options.window_width = 12;
+  options.min_frequency = 0.2;
+  options.max_size = 3;
+  WinepiReport report = MineFrequentEpisodes(seq, options);
+  for (const FrequentEpisode& f : report.frequent) {
+    if (f.episode.types.size() < 2) continue;
+    for (std::size_t drop = 0; drop < f.episode.types.size(); ++drop) {
+      Episode sub = f.episode;
+      sub.types.erase(sub.types.begin() + static_cast<std::ptrdiff_t>(drop));
+      WindowCount count = CountWindows(sub, seq, options.window_width);
+      EXPECT_GE(count.Frequency() + 1e-12, f.frequency)
+          << sub.ToString() << " vs " << f.episode.ToString();
+    }
+  }
+  EXPECT_FALSE(report.frequent.empty());
+}
+
+TEST(WinepiTest, EmptySequence) {
+  WinepiOptions options;
+  WinepiReport report = MineFrequentEpisodes(EventSequence(), options);
+  EXPECT_TRUE(report.frequent.empty());
+}
+
+}  // namespace
+}  // namespace granmine
