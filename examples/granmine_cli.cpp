@@ -2,6 +2,7 @@
 //
 //   granmine_cli mine  --structure S.txt --events E.txt --reference TYPE
 //                      [--confidence 0.5] [--pin VAR=TYPE]... [--naive]
+//                      [--threads N]
 //   granmine_cli check --structure S.txt [--exact]
 //   granmine_cli dot   --structure S.txt [--tag]
 //   granmine_cli demo
@@ -13,6 +14,7 @@
 // raw seconds or "YYYY-MM-DD[ HH:MM:SS]".
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -37,7 +39,7 @@ int Usage() {
                "usage:\n"
                "  granmine_cli mine  --structure FILE --events FILE "
                "--reference TYPE [--confidence C] [--pin VAR=TYPE]... "
-               "[--naive]\n"
+               "[--naive] [--threads N]\n"
                "  granmine_cli check --structure FILE [--exact]\n"
                "  granmine_cli dot   --structure FILE [--tag]\n"
                "  granmine_cli demo\n");
@@ -147,8 +149,21 @@ int RunMine(const Args& args) {
         *type_id};
   }
 
-  Miner miner(system.get(),
-              args.naive ? MinerOptions::Naive() : MinerOptions{});
+  MinerOptions options = args.naive ? MinerOptions::Naive() : MinerOptions{};
+  if (args.flags.count("threads")) {
+    const std::string& text = args.flags.at("threads");
+    char* end = nullptr;
+    long threads = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || threads < 0 || threads > 1024) {
+      std::fprintf(stderr,
+                   "--threads expects an integer in [0, 1024] "
+                   "(0 = hardware concurrency), got '%s'\n",
+                   text.c_str());
+      return 64;
+    }
+    options.num_threads = static_cast<int>(threads);
+  }
+  Miner miner(system.get(), options);
   auto report = miner.Mine(problem, *sequence);
   if (!report.ok()) {
     std::fprintf(stderr, "mining: %s\n", report.status().ToString().c_str());

@@ -1,0 +1,88 @@
+#include "granmine/common/executor.h"
+
+#include <algorithm>
+
+#include "granmine/common/check.h"
+
+namespace granmine {
+
+Executor::Executor(int num_threads)
+    : num_threads_(num_threads > 0
+                       ? num_threads
+                       : std::max(1u, std::thread::hardware_concurrency())) {
+  workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int w = 1; w < num_threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  job_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void Executor::DrainJob(Job* job, int worker) {
+  while (true) {
+    std::size_t index = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (index >= job->count) break;
+    (*job->body)(index, worker);
+  }
+}
+
+void Executor::WorkerLoop(int worker) {
+  std::uint64_t seen_epoch = 0;
+  while (true) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      job_ready_.wait(lock, [&] {
+        return shutdown_ || (job_ != nullptr && job_epoch_ != seen_epoch);
+      });
+      if (shutdown_) return;
+      seen_epoch = job_epoch_;
+      job = job_;
+    }
+    DrainJob(job, worker);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++job->workers_finished;  // last access to the job; see Job comment
+    }
+    job_done_.notify_all();
+  }
+}
+
+void Executor::ParallelFor(std::size_t count,
+                           const std::function<void(std::size_t, int)>& body) {
+  if (count == 0) return;
+  if (num_threads_ == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i, 0);
+    return;
+  }
+  Job job;
+  job.count = count;
+  job.body = &body;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    GM_CHECK(job_ == nullptr) << "Executor::ParallelFor is not reentrant";
+    job_ = &job;
+    ++job_epoch_;
+  }
+  job_ready_.notify_all();
+  // The calling thread is worker 0.
+  DrainJob(&job, 0);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Every pool worker visits each job exactly once (the epoch check), so
+    // draining is complete — and the stack-allocated job safe to destroy —
+    // exactly when all of them have checked back in.
+    job_done_.wait(lock,
+                   [&] { return job.workers_finished == num_threads_ - 1; });
+    job_ = nullptr;
+  }
+}
+
+}  // namespace granmine

@@ -1,0 +1,84 @@
+#ifndef GRANMINE_COMMON_EXECUTOR_H_
+#define GRANMINE_COMMON_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace granmine {
+
+/// A small fixed thread pool for data-parallel loops. An executor with
+/// `num_threads == 1` runs everything inline on the calling thread and never
+/// spawns a worker, so serial callers pay nothing; with more threads the
+/// calling thread participates as worker 0 alongside `num_threads - 1` pool
+/// threads.
+///
+/// Work items are claimed from a shared atomic counter (dynamic load
+/// balancing), but results are always collected by item index, so
+/// `ParallelMap` output order — and anything a caller merges in index order —
+/// is deterministic regardless of scheduling.
+///
+/// One parallel loop runs at a time per executor; the entry points block
+/// until every item has finished. Body functions must not throw.
+class Executor {
+ public:
+  /// `num_threads <= 0` means "use the hardware concurrency".
+  explicit Executor(int num_threads);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs `body(index, worker)` for every index in [0, count); `worker` is in
+  /// [0, num_threads) and is stable within one body invocation — use it to
+  /// index per-worker scratch state. Blocks until all items complete.
+  void ParallelFor(std::size_t count,
+                   const std::function<void(std::size_t, int)>& body);
+
+  /// ParallelFor that collects one result per index, in index order.
+  template <typename T>
+  std::vector<T> ParallelMap(
+      std::size_t count, const std::function<T(std::size_t, int)>& body) {
+    std::vector<T> results(count);
+    ParallelFor(count, [&](std::size_t index, int worker) {
+      results[index] = body(index, worker);
+    });
+    return results;
+  }
+
+ private:
+  struct Job {
+    std::size_t count = 0;
+    const std::function<void(std::size_t, int)>* body = nullptr;
+    std::atomic<std::size_t> next{0};
+    /// Pool workers that have fully detached from this job; guarded by
+    /// mutex_. ParallelFor's Job lives on the caller's stack, so it may only
+    /// return once every worker is past its last access — "all items done"
+    /// alone would let a late-waking worker touch a destroyed job.
+    int workers_finished = 0;
+  };
+
+  void WorkerLoop(int worker);
+  /// Claims items from `job` until none remain.
+  static void DrainJob(Job* job, int worker);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable job_ready_;
+  std::condition_variable job_done_;
+  Job* job_ = nullptr;          // guarded by mutex_
+  std::uint64_t job_epoch_ = 0; // bumped per ParallelFor; guarded by mutex_
+  bool shutdown_ = false;       // guarded by mutex_
+};
+
+}  // namespace granmine
+
+#endif  // GRANMINE_COMMON_EXECUTOR_H_

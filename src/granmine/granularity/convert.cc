@@ -1,7 +1,9 @@
 #include "granmine/granularity/convert.h"
 
 #include <algorithm>
+#include <mutex>
 #include <numeric>
+#include <shared_mutex>
 #include <vector>
 
 #include "granmine/common/check.h"
@@ -99,11 +101,19 @@ bool SupportCovers(const Granularity& target, const Granularity& source,
 
 bool SupportCoverageCache::Covers(const Granularity& target,
                                   const Granularity& source) {
-  auto key = std::make_pair(&target, &source);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  const Key key = std::make_pair(&target, &source);
+  Shard& shard = ShardFor(key);
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    if (auto it = shard.cache.find(key); it != shard.cache.end()) {
+      return it->second;
+    }
+  }
+  // SupportCovers is deterministic, so computing outside the lock at worst
+  // duplicates work; emplace keeps the first answer (they are all equal).
   bool result = SupportCovers(target, source);
-  cache_.emplace(key, result);
+  std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  shard.cache.emplace(key, result);
   return result;
 }
 

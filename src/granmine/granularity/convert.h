@@ -1,9 +1,11 @@
 #ifndef GRANMINE_GRANULARITY_CONVERT_H_
 #define GRANMINE_GRANULARITY_CONVERT_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <map>
 #include <optional>
+#include <shared_mutex>
+#include <unordered_map>
 #include <utility>
 
 #include "granmine/granularity/granularity.h"
@@ -30,13 +32,39 @@ bool SupportCovers(const Granularity& target, const Granularity& source,
                    std::int64_t scan_cap = std::int64_t{1} << 20);
 
 /// Memoizing wrapper around SupportCovers, keyed by granularity addresses.
-/// Not thread-safe; must not outlive the granularities it has seen.
+/// Must not outlive the granularities it has seen.
+///
+/// Thread safety: `Covers` may be called concurrently. The memo is split
+/// into address-hashed shards, each behind a `std::shared_mutex`; hits take
+/// only the shared lock, and misses compute `SupportCovers` (a pure
+/// function) outside any lock, so a race at worst recomputes the same value.
 class SupportCoverageCache {
  public:
   bool Covers(const Granularity& target, const Granularity& source);
 
  private:
-  std::map<std::pair<const Granularity*, const Granularity*>, bool> cache_;
+  using Key = std::pair<const Granularity*, const Granularity*>;
+
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const {
+      std::size_t h = std::hash<const void*>()(key.first);
+      return h ^ (std::hash<const void*>()(key.second) +
+                  std::size_t{0x9e3779b97f4a7c15ULL} + (h << 6) + (h >> 2));
+    }
+  };
+
+  static constexpr std::size_t kShards = 8;
+
+  struct Shard {
+    std::shared_mutex mutex;
+    std::unordered_map<Key, bool, KeyHash> cache;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    return shards_[KeyHash()(key) % kShards];
+  }
+
+  Shard shards_[kShards];
 };
 
 }  // namespace granmine

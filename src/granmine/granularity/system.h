@@ -24,6 +24,12 @@ namespace granmine {
 /// shared caches (Appendix-A.1 tables and support-coverage results) that the
 /// constraint algorithms consult. The registry is append-only; granularity
 /// pointers remain valid for the lifetime of the system.
+///
+/// Thread safety: the caches returned by `tables()` and `coverage()` are
+/// internally synchronized, so a fully built system may be shared by any
+/// number of reader/query threads — every worker warms the same tables
+/// instead of rebuilding them. Registration (`Add*`) is not synchronized;
+/// finish building the family before sharing the system across threads.
 class GranularitySystem {
  public:
   GranularitySystem() = default;

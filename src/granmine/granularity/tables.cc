@@ -1,6 +1,7 @@
 #include "granmine/granularity/tables.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "granmine/common/check.h"
 #include "granmine/common/math.h"
@@ -12,7 +13,16 @@ GranularityTables::GranularityTables() : GranularityTables(Options{}) {}
 GranularityTables::GranularityTables(Options options) : options_(options) {}
 
 GranularityTables::Entry& GranularityTables::EntryFor(const Granularity& g) {
-  return entries_[&g];
+  {
+    std::shared_lock<std::shared_mutex> lock(entries_mutex_);
+    if (auto it = entries_.find(&g); it != entries_.end()) {
+      return *it->second;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(entries_mutex_);
+  std::unique_ptr<Entry>& slot = entries_[&g];
+  if (slot == nullptr) slot = std::make_unique<Entry>();
+  return *slot;
 }
 
 std::optional<TimeSpan> GranularityTables::HullAt(Entry& entry,
@@ -41,6 +51,47 @@ std::int64_t GranularityTables::ScanStarts(const Granularity& g) const {
   return g.LastDeviantTick() + g.periodicity().ticks_per_period;
 }
 
+std::optional<std::int64_t> GranularityTables::ScannedValue(
+    Table table, const Granularity& g, std::int64_t k) {
+  Entry& entry = EntryFor(g);
+  auto memo_of = [&](Entry& e) -> std::unordered_map<std::int64_t,
+                                                     std::int64_t>& {
+    switch (table) {
+      case Table::kMinSize:
+        return e.minsize;
+      case Table::kMaxSize:
+        return e.maxsize;
+      default:
+        return e.mingap;
+    }
+  };
+  {
+    std::shared_lock<std::shared_mutex> lock(entry.mutex);
+    const auto& memo = memo_of(entry);
+    if (auto it = memo.find(k); it != memo.end()) return it->second;
+  }
+  // Miss: scan under the exclusive lock (HullAt mutates the hull cache).
+  // Re-check first — another thread may have computed k while we waited.
+  std::unique_lock<std::shared_mutex> lock(entry.mutex);
+  auto& memo = memo_of(entry);
+  if (auto it = memo.find(k); it != memo.end()) return it->second;
+  const bool maximize = table == Table::kMaxSize;
+  const Tick hi_offset = table == Table::kMinGap ? k : k - 1;
+  std::int64_t starts = ScanStarts(g);
+  std::int64_t best = maximize ? 0 : kInfinity;
+  for (Tick i = 1; i <= starts; ++i) {
+    std::optional<TimeSpan> lo = HullAt(entry, g, i);
+    std::optional<TimeSpan> hi = HullAt(entry, g, i + hi_offset);
+    if (!lo.has_value() || !hi.has_value()) return std::nullopt;
+    std::int64_t value = table == Table::kMinGap
+                             ? hi->first - lo->last
+                             : hi->last - lo->first + 1;
+    best = maximize ? std::max(best, value) : std::min(best, value);
+  }
+  memo.emplace(k, best);
+  return best;
+}
+
 std::optional<std::int64_t> GranularityTables::MinSize(const Granularity& g,
                                                        std::int64_t k) {
   GM_CHECK(k >= 0);
@@ -48,20 +99,7 @@ std::optional<std::int64_t> GranularityTables::MinSize(const Granularity& g,
   if (std::optional<std::int64_t> v = g.AnalyticMinSize(k); v.has_value()) {
     return v;
   }
-  Entry& entry = EntryFor(g);
-  if (auto it = entry.minsize.find(k); it != entry.minsize.end()) {
-    return it->second;
-  }
-  std::int64_t starts = ScanStarts(g);
-  std::int64_t best = kInfinity;
-  for (Tick i = 1; i <= starts; ++i) {
-    std::optional<TimeSpan> lo = HullAt(entry, g, i);
-    std::optional<TimeSpan> hi = HullAt(entry, g, i + k - 1);
-    if (!lo.has_value() || !hi.has_value()) return std::nullopt;
-    best = std::min(best, hi->last - lo->first + 1);
-  }
-  entry.minsize.emplace(k, best);
-  return best;
+  return ScannedValue(Table::kMinSize, g, k);
 }
 
 std::optional<std::int64_t> GranularityTables::MaxSize(const Granularity& g,
@@ -71,20 +109,7 @@ std::optional<std::int64_t> GranularityTables::MaxSize(const Granularity& g,
   if (std::optional<std::int64_t> v = g.AnalyticMaxSize(k); v.has_value()) {
     return v;
   }
-  Entry& entry = EntryFor(g);
-  if (auto it = entry.maxsize.find(k); it != entry.maxsize.end()) {
-    return it->second;
-  }
-  std::int64_t starts = ScanStarts(g);
-  std::int64_t best = 0;
-  for (Tick i = 1; i <= starts; ++i) {
-    std::optional<TimeSpan> lo = HullAt(entry, g, i);
-    std::optional<TimeSpan> hi = HullAt(entry, g, i + k - 1);
-    if (!lo.has_value() || !hi.has_value()) return std::nullopt;
-    best = std::max(best, hi->last - lo->first + 1);
-  }
-  entry.maxsize.emplace(k, best);
-  return best;
+  return ScannedValue(Table::kMaxSize, g, k);
 }
 
 std::optional<std::int64_t> GranularityTables::MinGap(const Granularity& g,
@@ -98,20 +123,7 @@ std::optional<std::int64_t> GranularityTables::MinGap(const Granularity& g,
   if (std::optional<std::int64_t> v = g.AnalyticMinGap(k); v.has_value()) {
     return v;
   }
-  Entry& entry = EntryFor(g);
-  if (auto it = entry.mingap.find(k); it != entry.mingap.end()) {
-    return it->second;
-  }
-  std::int64_t starts = ScanStarts(g);
-  std::int64_t best = kInfinity;
-  for (Tick i = 1; i <= starts; ++i) {
-    std::optional<TimeSpan> lo = HullAt(entry, g, i);
-    std::optional<TimeSpan> hi = HullAt(entry, g, i + k);
-    if (!lo.has_value() || !hi.has_value()) return std::nullopt;
-    best = std::min(best, hi->first - lo->last);
-  }
-  entry.mingap.emplace(k, best);
-  return best;
+  return ScannedValue(Table::kMinGap, g, k);
 }
 
 std::optional<std::int64_t> GranularityTables::LeastTicksCovering(

@@ -2,7 +2,9 @@
 #define GRANMINE_GRANULARITY_TABLES_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -25,7 +27,13 @@ namespace granmine {
 /// configured cap; callers treat that conservatively (no bound derived).
 ///
 /// Granularities are keyed by address; a table instance must not outlive the
-/// granularities it has been queried with. Not thread-safe.
+/// granularities it has been queried with.
+///
+/// Thread safety: all queries may be issued concurrently from any number of
+/// threads. Entries are sharded per granularity behind a `std::shared_mutex`
+/// each (memo hits take only the shared lock; a miss computes under the
+/// exclusive lock, so each value is scanned once and then shared), and the
+/// shard directory itself is guarded the same way. See docs/concurrency.md.
 class GranularityTables {
  public:
   struct Options {
@@ -59,21 +67,34 @@ class GranularityTables {
                                                          std::int64_t x);
 
  private:
+  /// One per-granularity shard: its own lock plus the memoized tables.
   struct Entry {
+    std::shared_mutex mutex;
     std::vector<TimeSpan> hulls;  // hulls[i] = hull of tick i+1
     std::unordered_map<std::int64_t, std::int64_t> minsize;
     std::unordered_map<std::int64_t, std::int64_t> maxsize;
     std::unordered_map<std::int64_t, std::int64_t> mingap;
   };
 
+  /// The table function a scan computes; selects memo map and fold.
+  enum class Table { kMinSize, kMaxSize, kMinGap };
+
   Entry& EntryFor(const Granularity& g);
+  /// Memoized lookup/compute of one table value for k >= 1 (analytic paths
+  /// already exhausted by the caller). Locks the entry internally.
+  std::optional<std::int64_t> ScannedValue(Table table, const Granularity& g,
+                                           std::int64_t k);
   /// Hull of tick z via the per-granularity cache; nullopt past the cap.
+  /// Requires the entry's exclusive lock.
   std::optional<TimeSpan> HullAt(Entry& entry, const Granularity& g, Tick z);
   /// Number of distinct scan start positions needed for exactness.
   std::int64_t ScanStarts(const Granularity& g) const;
 
   Options options_;
-  std::unordered_map<const Granularity*, Entry> entries_;
+  std::shared_mutex entries_mutex_;
+  // unique_ptr values keep Entry addresses stable and the map movable even
+  // though Entry itself (owning a mutex) is not.
+  std::unordered_map<const Granularity*, std::unique_ptr<Entry>> entries_;
 };
 
 }  // namespace granmine

@@ -1,8 +1,10 @@
 #include "granmine/mining/miner.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "granmine/common/check.h"
+#include "granmine/common/executor.h"
 #include "granmine/common/math.h"
 #include "granmine/constraint/propagation.h"
 #include "granmine/constraint/substructure.h"
@@ -93,6 +95,44 @@ bool ForEachCandidate(const std::vector<std::vector<EventTypeId>>& allowed,
     }
     if (v < 0) return true;
   }
+}
+
+// The odometer state ForEachCandidate would hold after `index` advances:
+// candidate enumeration is mixed-radix over the non-root variables with the
+// last variable least significant, so chunked workers can seek straight to
+// their slice of the candidate space.
+std::vector<std::size_t> OdometerAt(
+    const std::vector<std::vector<EventTypeId>>& allowed, VariableId root,
+    std::uint64_t index) {
+  const int n = static_cast<int>(allowed.size());
+  std::vector<std::size_t> odometer(static_cast<std::size_t>(n), 0);
+  for (int v = n - 1; v >= 0 && index > 0; --v) {
+    if (static_cast<VariableId>(v) == root) continue;
+    std::uint64_t size = allowed[static_cast<std::size_t>(v)].size();
+    odometer[static_cast<std::size_t>(v)] =
+        static_cast<std::size_t>(index % size);
+    index /= size;
+  }
+  return odometer;
+}
+
+// One ForEachCandidate advance step (root pinned); false when wrapped.
+bool AdvanceOdometer(const std::vector<std::vector<EventTypeId>>& allowed,
+                     VariableId root, std::vector<std::size_t>* odometer) {
+  int v = static_cast<int>(allowed.size()) - 1;
+  while (v >= 0) {
+    if (static_cast<VariableId>(v) == root) {
+      --v;
+      continue;
+    }
+    if (++(*odometer)[static_cast<std::size_t>(v)] <
+        allowed[static_cast<std::size_t>(v)].size()) {
+      return true;
+    }
+    (*odometer)[static_cast<std::size_t>(v)] = 0;
+    --v;
+  }
+  return false;
 }
 
 // All size-k subsets of non-root variables that form a chain under
@@ -283,11 +323,24 @@ Result<MiningReport> Miner::Mine(const DiscoveryProblem& problem,
   }
 
   // Step 5: one skeleton TAG for all candidates; anchored scans per root.
+  // The skeleton, the reduced sequence, the windows and the system caches
+  // are all read-only from here on, so the candidate space can fan out
+  // across threads; per-candidate outcomes are merged back in candidate
+  // (= lexicographic assignment) order, keeping the report deterministic.
   GM_ASSIGN_OR_RETURN(TagBuildResult skeleton,
                       BuildTagForStructure(structure));
   TagMatcher matcher(&skeleton.tag);
-  Status scan_status = Status::OK();
-  ForEachCandidate(allowed, root, [&](const std::vector<EventTypeId>& phi) {
+
+  struct ScanOutcome {
+    std::vector<DiscoveredType> solutions;
+    std::uint64_t tag_runs = 0;
+    std::uint64_t configurations = 0;
+    bool budget_exhausted = false;
+  };
+
+  // Scans one candidate φ; false aborts the enumeration (budget exhausted).
+  auto scan_candidate = [&](const std::vector<EventTypeId>& phi,
+                            MatchScratch* scratch, ScanOutcome* out) {
     for (const TypeConstraint& constraint : problem.type_constraints) {
       if (!constraint.SatisfiedBy(phi)) return true;  // skip candidate
     }
@@ -302,12 +355,11 @@ Result<MiningReport> Miner::Mine(const DiscoveryProblem& problem,
       }
       MatchStats stats;
       bool accepted = matcher.Accepts(working.SuffixFrom(surviving[i]),
-                                      symbols, match_options, &stats);
-      ++report.tag_runs;
-      report.matcher_configurations += stats.configurations;
+                                      symbols, match_options, &stats, scratch);
+      ++out->tag_runs;
+      out->configurations += stats.configurations;
       if (stats.budget_exhausted) {
-        scan_status = Status::ResourceExhausted(
-            "TAG matcher exceeded its configuration budget");
+        out->budget_exhausted = true;
         return false;
       }
       if (accepted) ++matched;
@@ -315,10 +367,75 @@ Result<MiningReport> Miner::Mine(const DiscoveryProblem& problem,
     double frequency = static_cast<double>(matched) /
                        static_cast<double>(report.total_roots);
     if (frequency > problem.min_confidence) {
-      report.solutions.push_back(DiscoveredType{phi, frequency, matched});
+      out->solutions.push_back(DiscoveredType{phi, frequency, matched});
     }
     return true;
-  });
+  };
+
+  Status scan_status = Status::OK();
+  if (options_.num_threads == 1) {
+    ScanOutcome out;
+    MatchScratch scratch;
+    ForEachCandidate(allowed, root, [&](const std::vector<EventTypeId>& phi) {
+      return scan_candidate(phi, &scratch, &out);
+    });
+    report.tag_runs += out.tag_runs;
+    report.matcher_configurations += out.configurations;
+    if (out.budget_exhausted) {
+      scan_status = Status::ResourceExhausted(
+          "TAG matcher exceeded its configuration budget");
+    }
+    for (DiscoveredType& solution : out.solutions) {
+      report.solutions.push_back(std::move(solution));
+    }
+  } else {
+    Executor executor(options_.num_threads);
+    const std::uint64_t count = report.candidates_after_screening;
+    // Chunks keep per-item dispatch cheap while staying numerous enough to
+    // balance load; chunk size never affects the merged report.
+    const std::uint64_t per_worker =
+        count / (8 * static_cast<std::uint64_t>(executor.num_threads())) + 1;
+    const std::uint64_t chunk_size =
+        std::max<std::uint64_t>(1, std::min<std::uint64_t>(1024, per_worker));
+    const std::size_t chunk_count =
+        static_cast<std::size_t>((count + chunk_size - 1) / chunk_size);
+    std::vector<MatchScratch> scratches(
+        static_cast<std::size_t>(executor.num_threads()));
+    std::atomic<bool> abort{false};
+    std::vector<ScanOutcome> outcomes = executor.ParallelMap<ScanOutcome>(
+        chunk_count, [&](std::size_t chunk, int worker) {
+          ScanOutcome out;
+          if (abort.load(std::memory_order_relaxed)) return out;
+          const std::uint64_t begin = chunk * chunk_size;
+          const std::uint64_t end = std::min(count, begin + chunk_size);
+          std::vector<std::size_t> odometer = OdometerAt(allowed, root, begin);
+          const std::size_t n = allowed.size();
+          std::vector<EventTypeId> phi(n);
+          for (std::uint64_t index = begin; index < end; ++index) {
+            for (std::size_t v = 0; v < n; ++v) {
+              phi[v] = allowed[v][odometer[v]];
+            }
+            if (!scan_candidate(
+                    phi, &scratches[static_cast<std::size_t>(worker)], &out)) {
+              abort.store(true, std::memory_order_relaxed);
+              break;
+            }
+            AdvanceOdometer(allowed, root, &odometer);
+          }
+          return out;
+        });
+    for (ScanOutcome& out : outcomes) {
+      report.tag_runs += out.tag_runs;
+      report.matcher_configurations += out.configurations;
+      if (out.budget_exhausted && scan_status.ok()) {
+        scan_status = Status::ResourceExhausted(
+            "TAG matcher exceeded its configuration budget");
+      }
+      for (DiscoveredType& solution : out.solutions) {
+        report.solutions.push_back(std::move(solution));
+      }
+    }
+  }
   GM_RETURN_NOT_OK(scan_status);
   return report;
 }

@@ -36,6 +36,13 @@ struct MinerOptions {
   int max_induced_problems = 64;
   /// Matcher budget per anchored run.
   std::uint64_t max_configurations_per_run = 50'000'000;
+  /// Step-5 parallelism: worker threads fanning the (candidate × reference
+  /// occurrence) TAG scans across an Executor. 1 (the default) runs the
+  /// serial path, bit-identical to the single-threaded implementation;
+  /// values <= 0 use the hardware concurrency. Any value yields the same
+  /// MiningReport solutions in the same (lexicographic assignment) order —
+  /// results are merged back in candidate-index order.
+  int num_threads = 1;
 
   static MinerOptions Naive() {
     MinerOptions options;
@@ -50,7 +57,11 @@ struct MinerOptions {
 
 /// The §5 discovery procedure: steps 1-4 shrink the search space, step 5
 /// scans the sequence with one anchored TAG run per (candidate, reference
-/// occurrence), using a single skeleton TAG for every candidate.
+/// occurrence), using a single skeleton TAG for every candidate. With
+/// `MinerOptions::num_threads > 1` the step-5 scans fan out across a fixed
+/// thread pool: the skeleton TAG, the reduced sequence and the shared
+/// granularity caches are read-only by then, each worker keeps its own
+/// match scratch, and per-candidate results are merged deterministically.
 class Miner {
  public:
   /// `system` provides the shared table/coverage caches; it must own every

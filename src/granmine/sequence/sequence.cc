@@ -7,23 +7,26 @@
 namespace granmine {
 
 EventSequence::EventSequence(std::vector<Event> events)
-    : events_(std::move(events)), sorted_(false) {}
-
-void EventSequence::EnsureSorted() const {
-  if (sorted_) return;
+    : events_(std::move(events)) {
   std::stable_sort(
       events_.begin(), events_.end(),
       [](const Event& a, const Event& b) { return a.time < b.time; });
-  sorted_ = true;
 }
 
-const std::vector<Event>& EventSequence::events() const {
-  EnsureSorted();
-  return events_;
+void EventSequence::Add(Event event) {
+  if (events_.empty() || events_.back().time <= event.time) {
+    events_.push_back(event);
+    return;
+  }
+  // upper_bound keeps equal-timestamp events in insertion order, matching
+  // the stable sort the lazy implementation used to apply.
+  auto pos = std::upper_bound(
+      events_.begin(), events_.end(), event,
+      [](const Event& a, const Event& b) { return a.time < b.time; });
+  events_.insert(pos, event);
 }
 
 std::vector<std::size_t> EventSequence::OccurrencesOf(EventTypeId type) const {
-  EnsureSorted();
   std::vector<std::size_t> out;
   for (std::size_t i = 0; i < events_.size(); ++i) {
     if (events_[i].type == type) out.push_back(i);
@@ -33,14 +36,13 @@ std::vector<std::size_t> EventSequence::OccurrencesOf(EventTypeId type) const {
 
 std::size_t EventSequence::CountOf(EventTypeId type) const {
   std::size_t count = 0;
-  for (const Event& event : events()) {
+  for (const Event& event : events_) {
     if (event.type == type) ++count;
   }
   return count;
 }
 
 std::span<const Event> EventSequence::SuffixFrom(std::size_t from) const {
-  EnsureSorted();
   GM_CHECK(from <= events_.size());
   return std::span<const Event>(events_).subspan(from);
 }
@@ -48,7 +50,7 @@ std::span<const Event> EventSequence::SuffixFrom(std::size_t from) const {
 EventSequence EventSequence::Filter(
     const std::function<bool(const Event&)>& keep) const {
   EventSequence out;
-  for (const Event& event : events()) {
+  for (const Event& event : events_) {
     if (keep(event)) out.Add(event);
   }
   return out;
@@ -56,7 +58,7 @@ EventSequence EventSequence::Filter(
 
 std::vector<EventTypeId> EventSequence::DistinctTypes() const {
   std::vector<EventTypeId> types;
-  for (const Event& event : events()) types.push_back(event.type);
+  for (const Event& event : events_) types.push_back(event.type);
   std::sort(types.begin(), types.end());
   types.erase(std::unique(types.begin(), types.end()), types.end());
   return types;

@@ -10,29 +10,27 @@
 
 namespace granmine {
 
-/// A finite event sequence (§2), kept sorted by timestamp (stable for equal
-/// timestamps). Events are appended in any order; the container re-sorts
-/// lazily on first read access after a mutation.
+/// A finite event sequence (§2), kept sorted by timestamp at all times
+/// (stable for equal timestamps: later additions order after earlier ones).
+/// `Add` inserts in sorted position — O(1) amortized for the common
+/// append-in-time-order case, O(n) for an out-of-order insert — and the
+/// vector constructor sorts eagerly, so every const accessor is a genuinely
+/// read-only operation and a fully built sequence may be shared across
+/// threads without synchronization.
 class EventSequence {
  public:
   EventSequence() = default;
   explicit EventSequence(std::vector<Event> events);
 
-  void Add(EventTypeId type, TimePoint time) {
-    events_.push_back(Event{type, time});
-    sorted_ = false;
-  }
-  void Add(Event event) {
-    events_.push_back(event);
-    sorted_ = false;
-  }
+  void Add(EventTypeId type, TimePoint time) { Add(Event{type, time}); }
+  void Add(Event event);
 
   std::size_t size() const { return events_.size(); }
   bool empty() const { return events_.empty(); }
 
   /// The events in timestamp order.
-  const std::vector<Event>& events() const;
-  std::span<const Event> View() const { return events(); }
+  const std::vector<Event>& events() const { return events_; }
+  std::span<const Event> View() const { return events_; }
 
   /// Indices (into events()) of the occurrences of `type`.
   std::vector<std::size_t> OccurrencesOf(EventTypeId type) const;
@@ -50,10 +48,7 @@ class EventSequence {
   std::vector<EventTypeId> DistinctTypes() const;
 
  private:
-  void EnsureSorted() const;
-
-  mutable std::vector<Event> events_;
-  mutable bool sorted_ = true;
+  std::vector<Event> events_;
 };
 
 }  // namespace granmine

@@ -32,7 +32,45 @@ struct ConfigHash {
   }
 };
 
+// A search node inside one equal-timestamp group: a configuration plus how
+// many events of each group type it has consumed via labeled transitions
+// (`used`), and whether it still must consume the anchor (anchored matching,
+// first group only).
+struct GroupNode {
+  Config config;
+  std::vector<int> used;
+  bool pre_anchor = false;
+
+  bool operator==(const GroupNode&) const = default;
+};
+
+struct GroupNodeHash {
+  std::size_t operator()(const GroupNode& node) const {
+    std::size_t h = ConfigHash()(node.config);
+    for (int u : node.used) {
+      h ^= std::hash<int>()(u) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h * 2 + (node.pre_anchor ? 1 : 0);
+  }
+};
+
 }  // namespace
+
+/// The per-run buffers; reused across runs when the caller keeps a scratch.
+struct MatchScratch::Impl {
+  std::unordered_set<Config, ConfigHash> frontier;
+  std::unordered_set<GroupNode, GroupNodeHash> visited;
+  std::vector<GroupNode> queue;
+  std::vector<std::int64_t> now;
+  std::vector<std::optional<std::int64_t>> values;
+  std::vector<EventTypeId> group_types;
+  std::vector<int> available;
+};
+
+MatchScratch::MatchScratch() = default;
+MatchScratch::~MatchScratch() = default;
+MatchScratch::MatchScratch(MatchScratch&&) noexcept = default;
+MatchScratch& MatchScratch::operator=(MatchScratch&&) noexcept = default;
 
 SymbolMap SymbolMap::Identity(int type_count) {
   SymbolMap map;
@@ -79,52 +117,34 @@ TagMatcher::TagMatcher(const Tag* tag) : tag_(tag) {
   }
 }
 
-namespace {
-
-// A search node inside one equal-timestamp group: a configuration plus how
-// many events of each group type it has consumed via labeled transitions
-// (`used`), and whether it still must consume the anchor (anchored matching,
-// first group only).
-struct GroupNode {
-  Config config;
-  std::vector<int> used;
-  bool pre_anchor = false;
-
-  bool operator==(const GroupNode&) const = default;
-};
-
-struct GroupNodeHash {
-  std::size_t operator()(const GroupNode& node) const {
-    std::size_t h = ConfigHash()(node.config);
-    for (int u : node.used) {
-      h ^= std::hash<int>()(u) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-    }
-    return h * 2 + (node.pre_anchor ? 1 : 0);
-  }
-};
-
-}  // namespace
-
 bool TagMatcher::Accepts(std::span<const Event> events,
                          const SymbolMap& symbols, const MatchOptions& options,
-                         MatchStats* stats) const {
+                         MatchStats* stats, MatchScratch* scratch) const {
   MatchStats local_stats;
   MatchStats& st = stats != nullptr ? *stats : local_stats;
   st = MatchStats{};
+
+  MatchScratch local_scratch;
+  MatchScratch& sc = scratch != nullptr ? *scratch : local_scratch;
+  if (sc.impl_ == nullptr) sc.impl_ = std::make_unique<MatchScratch::Impl>();
+  MatchScratch::Impl& s = *sc.impl_;
 
   const std::size_t clock_count = tag_->clocks().size();
 
   // Empty input: accepted iff a start state is accepting (and the run is
   // not required to anchor on a first event).
   if (!options.anchored) {
-    for (int s : tag_->start_states()) {
-      if (tag_->IsAccepting(s)) return true;
+    for (int state : tag_->start_states()) {
+      if (tag_->IsAccepting(state)) return true;
     }
   }
 
-  std::unordered_set<Config, ConfigHash> frontier;
-  std::vector<std::int64_t> now(granularities_.size());
-  std::vector<std::optional<std::int64_t>> values(clock_count);
+  std::unordered_set<Config, ConfigHash>& frontier = s.frontier;
+  frontier.clear();
+  s.now.assign(granularities_.size(), 0);
+  std::vector<std::int64_t>& now = s.now;
+  s.values.assign(clock_count, std::nullopt);
+  std::vector<std::optional<std::int64_t>>& values = s.values;
 
   // Events with equal timestamps form one *group*: the §3 occurrence
   // definition is insensitive to their listing order, so within a group the
@@ -148,8 +168,10 @@ bool TagMatcher::Accepts(std::span<const Event> events,
     }
 
     // Per-type availability within the group.
-    std::vector<EventTypeId> group_types;
-    std::vector<int> available;
+    std::vector<EventTypeId>& group_types = s.group_types;
+    std::vector<int>& available = s.available;
+    group_types.clear();
+    available.clear();
     for (std::size_t i = group_start; i < group_end; ++i) {
       EventTypeId type = events[i].type;
       auto it = std::find(group_types.begin(), group_types.end(), type);
@@ -169,8 +191,8 @@ bool TagMatcher::Accepts(std::span<const Event> events,
       for (std::size_t c = 0; c < clock_count; ++c) {
         seed.resets[c] = now[clock_granularity_[c]];
       }
-      for (int s : tag_->start_states()) {
-        seed.state = s;
+      for (int state : tag_->start_states()) {
+        seed.state = state;
         frontier.insert(seed);
       }
       st.configurations += frontier.size();
@@ -179,8 +201,10 @@ bool TagMatcher::Accepts(std::span<const Event> events,
     // BFS closure over labeled consumptions within the group. Every reached
     // configuration (except pre-anchor ones) is a valid post-group state:
     // unconsumed events are absorbed by ANY self-loops.
-    std::unordered_set<GroupNode, GroupNodeHash> visited;
-    std::vector<GroupNode> queue;
+    std::unordered_set<GroupNode, GroupNodeHash>& visited = s.visited;
+    std::vector<GroupNode>& queue = s.queue;
+    visited.clear();
+    queue.clear();
     const bool anchoring = options.anchored && first_group;
     for (const Config& config : frontier) {
       GroupNode node{config, std::vector<int>(group_types.size(), 0),

@@ -2,6 +2,7 @@
 #define GRANMINE_TAG_MATCHER_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -50,20 +51,47 @@ struct MatchStats {
   bool budget_exhausted = false;
 };
 
+/// Reusable search buffers (frontier, visited set, BFS queue, clock
+/// valuations) for `TagMatcher::Accepts`. One scratch belongs to one worker
+/// thread at a time; reusing it across runs keeps hash-table capacity warm
+/// instead of reallocating per anchored scan. Default-constructed lazily —
+/// passing nullptr to Accepts simply allocates fresh buffers for that run.
+class MatchScratch {
+ public:
+  MatchScratch();
+  ~MatchScratch();
+  MatchScratch(MatchScratch&&) noexcept;
+  MatchScratch& operator=(MatchScratch&&) noexcept;
+
+ private:
+  friend class TagMatcher;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 /// NFA-style simulation of a TAG over an event sequence (the Theorem-4
 /// procedure): the frontier holds (state, clock-reset-tick vector)
 /// configurations, deduplicated per step; clock values are reconstructed as
 /// `tick(now) − tick(reset)`, so skipped events never perturb clocks and
 /// undefined ticks only disable the guards that mention them.
+///
+/// A matcher is an *immutable compiled view* of its TAG (the clock →
+/// granularity indexing is resolved once at construction): after that, every
+/// member is read-only and `Accepts` keeps all run state on the stack or in
+/// the caller's `MatchScratch`. One matcher over one skeleton TAG may
+/// therefore be shared by any number of threads, each passing its own
+/// scratch.
 class TagMatcher {
  public:
   /// `tag` must outlive the matcher.
   explicit TagMatcher(const Tag* tag);
 
-  /// Whether some run over `events` reaches an accepting state.
+  /// Whether some run over `events` reaches an accepting state. `scratch`,
+  /// when given, must not be used concurrently by another thread.
   bool Accepts(std::span<const Event> events, const SymbolMap& symbols,
                const MatchOptions& options = MatchOptions{},
-               MatchStats* stats = nullptr) const;
+               MatchStats* stats = nullptr,
+               MatchScratch* scratch = nullptr) const;
 
  private:
   const Tag* tag_;
