@@ -1,0 +1,224 @@
+// E10 — governor overhead and graceful degradation. Claim (DESIGN §6,
+// docs/robustness.md): threading a ResourceGovernor through the matching
+// and mining hot loops costs ≤ 2% wall time at the default check stride,
+// because the per-iteration cost is one local countdown decrement plus a
+// relaxed atomic load, with the clock read amortized across the stride.
+// Series: (a) GovernorTicket::Charge microbenchmark (detached / attached at
+// several strides), (b) TAG matching with and without a governor, (c) a
+// full mining run with and without a governor, (d) the degradation curve —
+// decided candidates as the step budget shrinks under the partial policy.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "granmine/common/governor.h"
+#include "granmine/common/random.h"
+#include "granmine/granularity/system.h"
+#include "granmine/mining/miner.h"
+#include "granmine/tag/builder.h"
+#include "granmine/tag/matcher.h"
+
+namespace granmine {
+namespace {
+
+const Granularity* Unit() {
+  static GranularitySystem* system = [] {
+    auto owned = std::make_unique<GranularitySystem>();
+    owned->AddUniform("unit", 1);
+    return owned.release();
+  }();
+  return system->Find("unit");
+}
+
+GranularitySystem* UnitSystem() {
+  static GranularitySystem* system = [] {
+    auto owned = std::make_unique<GranularitySystem>();
+    owned->AddUniform("unit", 1);
+    return owned.release();
+  }();
+  return system;
+}
+
+// ---------------------------------------------------------------------------
+// (a) The ticket fast path itself.
+
+void BM_TicketCharge_Detached(benchmark::State& state) {
+  GovernorTicket ticket;
+  std::uint64_t index = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ticket.Charge(index++));
+  }
+}
+BENCHMARK(BM_TicketCharge_Detached);
+
+void BM_TicketCharge_Attached(benchmark::State& state) {
+  GovernorLimits limits;
+  limits.check_stride = static_cast<std::uint32_t>(state.range(0));
+  ResourceGovernor governor(limits);
+  GovernorTicket ticket(&governor, GovernorScope::kGeneral);
+  std::uint64_t index = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ticket.Charge(index++));
+  }
+  state.counters["steps"] = static_cast<double>(governor.steps());
+}
+BENCHMARK(BM_TicketCharge_Attached)->Arg(1)->Arg(64)->Arg(1024);
+
+// ---------------------------------------------------------------------------
+// (b) TAG matching with and without a governor.
+
+EventStructure ChainStructure(int variables, std::int64_t k) {
+  EventStructure s;
+  for (int v = 0; v < variables; ++v) {
+    s.AddVariable("X" + std::to_string(v));
+  }
+  for (int v = 1; v < variables; ++v) {
+    (void)s.AddConstraint(v - 1, v, Tcg::Of(0, k, Unit()));
+  }
+  return s;
+}
+
+EventSequence RandomSequence(Rng& rng, std::size_t length, int type_count) {
+  EventSequence seq;
+  TimePoint t = 0;
+  for (std::size_t i = 0; i < length; ++i) {
+    t += rng.Uniform(1, 3);
+    seq.Add(static_cast<EventTypeId>(rng.Uniform(0, type_count - 1)), t);
+  }
+  return seq;
+}
+
+// state.range(0) is the governor check stride; 0 means no governor at all.
+void BM_Match_GovernorOverhead(benchmark::State& state) {
+  constexpr int kTypes = 6;
+  EventStructure s = ChainStructure(4, 4);
+  Result<TagBuildResult> built = BuildTagForStructure(s);
+  if (!built.ok()) {
+    state.SkipWithError("TAG build failed");
+    return;
+  }
+  TagMatcher matcher(&built->tag);
+  Rng rng(99);
+  EventSequence seq = RandomSequence(rng, 4096, kTypes);
+  std::vector<EventTypeId> phi;
+  for (int v = 0; v < s.variable_count(); ++v) phi.push_back(v % kTypes);
+  SymbolMap symbols = SymbolMap::FromAssignment(phi, kTypes);
+
+  std::unique_ptr<ResourceGovernor> governor;
+  MatchOptions options;
+  if (state.range(0) > 0) {
+    GovernorLimits limits;
+    limits.check_stride = static_cast<std::uint32_t>(state.range(0));
+    governor = std::make_unique<ResourceGovernor>(limits);
+    options.governor = governor.get();
+  }
+  std::uint64_t configurations = 0;
+  for (auto _ : state) {
+    MatchStats stats;
+    MatchOutcome outcome = matcher.Run(seq.View(), symbols, options, &stats);
+    benchmark::DoNotOptimize(outcome);
+    configurations += stats.configurations;
+  }
+  state.counters["configs"] = benchmark::Counter(
+      static_cast<double>(configurations), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_Match_GovernorOverhead)
+    ->Arg(0)   // baseline: no governor
+    ->Arg(64)  // the default stride
+    ->Arg(1)   // worst case: every configuration takes the slow path
+    ->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// (c, d) Full mining runs: overhead and the degradation curve.
+
+struct MiningFixture {
+  EventStructure structure;
+  EventSequence sequence;
+  DiscoveryProblem problem;
+
+  MiningFixture() {
+    structure = ChainStructure(3, 10);
+    Rng rng(4242);
+    sequence = RandomSequence(rng, 1200, 10);
+    problem.structure = &structure;
+    problem.reference_type = 0;
+    problem.min_confidence = 0.05;
+  }
+};
+
+// state.range(0): governor check stride, 0 = no governor.
+void BM_Mine_GovernorOverhead(benchmark::State& state) {
+  MiningFixture fixture;
+  Miner miner(UnitSystem());
+  std::unique_ptr<ResourceGovernor> governor;
+  if (state.range(0) > 0) {
+    GovernorLimits limits;
+    limits.check_stride = static_cast<std::uint32_t>(state.range(0));
+    governor = std::make_unique<ResourceGovernor>(limits);
+  }
+  std::uint64_t confirmed = 0;
+  for (auto _ : state) {
+    auto report = miner.Mine(fixture.problem, fixture.sequence, governor.get());
+    if (!report.ok()) {
+      state.SkipWithError("mining failed");
+      return;
+    }
+    confirmed += report->completeness.confirmed;
+  }
+  state.counters["confirmed"] = benchmark::Counter(
+      static_cast<double>(confirmed), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_Mine_GovernorOverhead)
+    ->Arg(0)
+    ->Arg(64)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// state.range(0): the governor step budget. The counters record how much of
+// the candidate space was decided before the budget tripped — the
+// degradation curve for EXPERIMENTS.md E10 (deterministic, unlike a
+// wall-clock deadline).
+void BM_Mine_StepBudgetDegradation(benchmark::State& state) {
+  MiningFixture fixture;
+  MinerOptions options;
+  options.on_exhaustion = MinerOptions::ExhaustionPolicy::kPartial;
+  Miner miner(UnitSystem(), options);
+  std::uint64_t decided = 0;
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    GovernorLimits limits;
+    limits.max_steps = static_cast<std::uint64_t>(state.range(0));
+    // Stride 1 makes step accounting exact: at stride s, a matcher run with
+    // fewer than s configurations flushes no steps at all, so a coarse
+    // stride under-counts exactly the workloads a tight budget targets.
+    limits.check_stride = 1;
+    ResourceGovernor governor(limits);
+    auto report = miner.Mine(fixture.problem, fixture.sequence, &governor);
+    if (!report.ok()) {
+      state.SkipWithError("mining failed");
+      return;
+    }
+    decided += report->completeness.confirmed + report->completeness.refuted;
+    total += report->candidates_after_screening;
+  }
+  state.counters["decided"] = benchmark::Counter(
+      static_cast<double>(decided), benchmark::Counter::kAvgIterations);
+  state.counters["candidates"] = benchmark::Counter(
+      static_cast<double>(total), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_Mine_StepBudgetDegradation)
+    ->Arg(2'000)
+    ->Arg(10'000)
+    ->Arg(50'000)
+    ->Arg(250'000)
+    ->Arg(2'000'000)
+    ->Arg(20'000'000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace granmine
+
+BENCHMARK_MAIN();

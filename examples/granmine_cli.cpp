@@ -2,7 +2,8 @@
 //
 //   granmine_cli mine  --structure S.txt --events E.txt --reference TYPE
 //                      [--confidence 0.5] [--pin VAR=TYPE]... [--naive]
-//                      [--threads N]
+//                      [--threads N] [--deadline-ms N]
+//                      [--on-budget abort|partial]
 //   granmine_cli check --structure S.txt [--exact]
 //   granmine_cli dot   --structure S.txt [--tag]
 //   granmine_cli demo
@@ -18,6 +19,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -39,7 +41,8 @@ int Usage() {
                "usage:\n"
                "  granmine_cli mine  --structure FILE --events FILE "
                "--reference TYPE [--confidence C] [--pin VAR=TYPE]... "
-               "[--naive] [--threads N]\n"
+               "[--naive] [--threads N] [--deadline-ms N] "
+               "[--on-budget abort|partial]\n"
                "  granmine_cli check --structure FILE [--exact]\n"
                "  granmine_cli dot   --structure FILE [--tag]\n"
                "  granmine_cli demo\n");
@@ -80,6 +83,9 @@ Result<Args> ParseArgs(int argc, char** argv) {
       args.explain = true;
     } else if (flag == "--pin" && i + 1 < argc) {
       args.pins.emplace_back(argv[++i]);
+    } else if (flag.rfind("--", 0) == 0 && flag.find('=') != std::string::npos) {
+      std::size_t eq = flag.find('=');
+      args.flags[flag.substr(2, eq - 2)] = flag.substr(eq + 1);
     } else if (flag.rfind("--", 0) == 0 && i + 1 < argc) {
       args.flags[flag.substr(2)] = argv[++i];
     } else {
@@ -163,8 +169,39 @@ int RunMine(const Args& args) {
     }
     options.num_threads = static_cast<int>(threads);
   }
+  if (args.flags.count("on-budget")) {
+    const std::string& policy = args.flags.at("on-budget");
+    if (policy == "abort") {
+      options.on_exhaustion = MinerOptions::ExhaustionPolicy::kAbort;
+    } else if (policy == "partial") {
+      options.on_exhaustion = MinerOptions::ExhaustionPolicy::kPartial;
+    } else {
+      std::fprintf(stderr, "--on-budget expects 'abort' or 'partial', got '%s'\n",
+                   policy.c_str());
+      return 64;
+    }
+  }
+  std::unique_ptr<ResourceGovernor> governor;
+  if (args.flags.count("deadline-ms")) {
+    const std::string& text = args.flags.at("deadline-ms");
+    char* end = nullptr;
+    long deadline_ms = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || deadline_ms <= 0) {
+      std::fprintf(stderr, "--deadline-ms expects a positive integer, got '%s'\n",
+                   text.c_str());
+      return 64;
+    }
+    // A deadline without an explicit policy degrades gracefully: report
+    // whatever was decided instead of failing the whole run.
+    if (!args.flags.count("on-budget")) {
+      options.on_exhaustion = MinerOptions::ExhaustionPolicy::kPartial;
+    }
+    GovernorLimits limits;
+    limits.deadline_ms = deadline_ms;
+    governor = std::make_unique<ResourceGovernor>(limits);
+  }
   Miner miner(system.get(), options);
-  auto report = miner.Mine(problem, *sequence);
+  auto report = miner.Mine(problem, *sequence, governor.get());
   if (!report.ok()) {
     std::fprintf(stderr, "mining: %s\n", report.status().ToString().c_str());
     return 70;
@@ -181,7 +218,33 @@ int RunMine(const Args& args) {
     std::printf("structure is INCONSISTENT (refuted by propagation)\n");
     return 0;
   }
-  std::printf("%zu solution(s) with frequency > %.3f:\n",
+  const MiningCompleteness& completeness = report->completeness;
+  if (!completeness.complete) {
+    std::printf(
+        "PARTIAL result (stopped by %s): %llu confirmed, %llu refuted, "
+        "%llu unknown, %llu not evaluated\n",
+        std::string(StopCauseToString(completeness.stop)).c_str(),
+        static_cast<unsigned long long>(completeness.confirmed),
+        static_cast<unsigned long long>(completeness.refuted),
+        static_cast<unsigned long long>(completeness.unknown),
+        static_cast<unsigned long long>(completeness.not_evaluated));
+    for (const UnknownCandidate& unknown : report->unknown_sample) {
+      std::printf("  unknown (%s):",
+                  std::string(StopCauseToString(unknown.reason)).c_str());
+      for (std::size_t v = 0; v < unknown.assignment.size(); ++v) {
+        std::printf(" %s=%s", names[v].c_str(),
+                    registry.name(unknown.assignment[v]).c_str());
+      }
+      std::printf("\n");
+    }
+    if (completeness.unknown > report->unknown_sample.size()) {
+      std::printf("  ... and %llu more unknown candidate(s)\n",
+                  static_cast<unsigned long long>(
+                      completeness.unknown - report->unknown_sample.size()));
+    }
+  }
+  std::printf("%s%zu solution(s) with frequency > %.3f:\n",
+              completeness.complete ? "" : "at least ",
               report->solutions.size(), problem.min_confidence);
   for (const DiscoveredType& found : report->solutions) {
     std::printf("  freq %.3f:", found.frequency);

@@ -27,9 +27,25 @@ Executor::~Executor() {
 
 void Executor::DrainJob(Job* job, int worker) {
   while (true) {
+    if (job->failed.load(std::memory_order_relaxed)) break;
+    if (job->cancel != nullptr &&
+        job->cancel->load(std::memory_order_relaxed)) {
+      break;
+    }
     std::size_t index = job->next.fetch_add(1, std::memory_order_relaxed);
     if (index >= job->count) break;
-    (*job->body)(index, worker);
+    try {
+      (*job->body)(index, worker);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(job->failure_mutex);
+        if (job->first_exception == nullptr) {
+          job->first_exception = std::current_exception();
+        }
+      }
+      job->failed.store(true, std::memory_order_relaxed);
+      break;
+    }
   }
 }
 
@@ -56,15 +72,22 @@ void Executor::WorkerLoop(int worker) {
 }
 
 void Executor::ParallelFor(std::size_t count,
-                           const std::function<void(std::size_t, int)>& body) {
+                           const std::function<void(std::size_t, int)>& body,
+                           const std::atomic<bool>* cancel) {
   if (count == 0) return;
   if (num_threads_ == 1) {
-    for (std::size_t i = 0; i < count; ++i) body(i, 0);
+    // Inline path: exceptions propagate naturally; the cancel token is
+    // observed between items, mirroring the pool's claim-time check.
+    for (std::size_t i = 0; i < count; ++i) {
+      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) break;
+      body(i, 0);
+    }
     return;
   }
   Job job;
   job.count = count;
   job.body = &body;
+  job.cancel = cancel;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     GM_CHECK(job_ == nullptr) << "Executor::ParallelFor is not reentrant";
@@ -82,6 +105,11 @@ void Executor::ParallelFor(std::size_t count,
     job_done_.wait(lock,
                    [&] { return job.workers_finished == num_threads_ - 1; });
     job_ = nullptr;
+  }
+  // All workers have detached, so first_exception is stable without the
+  // failure mutex. Rethrow on the caller per the executor.h guarantee.
+  if (job.first_exception != nullptr) {
+    std::rethrow_exception(job.first_exception);
   }
 }
 

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -23,7 +24,22 @@ namespace granmine {
 /// is deterministic regardless of scheduling.
 ///
 /// One parallel loop runs at a time per executor; the entry points block
-/// until every item has finished. Body functions must not throw.
+/// until every item has finished or been abandoned.
+///
+/// Failure guarantee: a body that throws does NOT take the process down.
+/// The first exception (first to be *caught*, not lowest index) is captured,
+/// every not-yet-claimed item is abandoned, in-flight items on other workers
+/// run to completion, and the exception is rethrown on the calling thread
+/// after all workers have detached. Items abandoned after a failure are
+/// simply never run — `ParallelMap` slots for them keep their
+/// default-constructed value, so callers that can fail mid-loop should carry
+/// an explicit "ran" marker in their result type.
+///
+/// Cancellation guarantee: when `cancel` is given (e.g.
+/// `ResourceGovernor::stop_flag()`), workers observe it before claiming each
+/// item and stop claiming once it reads true. In-flight bodies are never
+/// interrupted — cancellation is cooperative and the body is responsible for
+/// observing the same token internally if it runs long.
 class Executor {
  public:
   /// `num_threads <= 0` means "use the hardware concurrency".
@@ -37,18 +53,26 @@ class Executor {
 
   /// Runs `body(index, worker)` for every index in [0, count); `worker` is in
   /// [0, num_threads) and is stable within one body invocation — use it to
-  /// index per-worker scratch state. Blocks until all items complete.
+  /// index per-worker scratch state. Blocks until all items complete (or are
+  /// abandoned after a failure/cancellation; see the class comment).
   void ParallelFor(std::size_t count,
-                   const std::function<void(std::size_t, int)>& body);
+                   const std::function<void(std::size_t, int)>& body,
+                   const std::atomic<bool>* cancel = nullptr);
 
   /// ParallelFor that collects one result per index, in index order.
+  /// Abandoned indices (failure or cancellation) keep value-initialized
+  /// results.
   template <typename T>
-  std::vector<T> ParallelMap(
-      std::size_t count, const std::function<T(std::size_t, int)>& body) {
+  std::vector<T> ParallelMap(std::size_t count,
+                             const std::function<T(std::size_t, int)>& body,
+                             const std::atomic<bool>* cancel = nullptr) {
     std::vector<T> results(count);
-    ParallelFor(count, [&](std::size_t index, int worker) {
-      results[index] = body(index, worker);
-    });
+    ParallelFor(
+        count,
+        [&](std::size_t index, int worker) {
+          results[index] = body(index, worker);
+        },
+        cancel);
     return results;
   }
 
@@ -57,6 +81,13 @@ class Executor {
     std::size_t count = 0;
     const std::function<void(std::size_t, int)>* body = nullptr;
     std::atomic<std::size_t> next{0};
+    /// External cooperative-cancellation token; may be null.
+    const std::atomic<bool>* cancel = nullptr;
+    /// Set on the first body exception: remaining items are abandoned.
+    std::atomic<bool> failed{false};
+    /// First exception caught, rethrown by ParallelFor on the caller.
+    std::exception_ptr first_exception;  // guarded by failure_mutex
+    std::mutex failure_mutex;
     /// Pool workers that have fully detached from this job; guarded by
     /// mutex_. ParallelFor's Job lives on the caller's stack, so it may only
     /// return once every worker is past its last access — "all items done"
@@ -65,7 +96,8 @@ class Executor {
   };
 
   void WorkerLoop(int worker);
-  /// Claims items from `job` until none remain.
+  /// Claims items from `job` until none remain, the job failed, or the
+  /// cancel token reads true.
   static void DrainJob(Job* job, int worker);
 
   const int num_threads_;

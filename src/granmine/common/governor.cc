@@ -1,0 +1,41 @@
+#include "granmine/common/governor.h"
+
+#include <string>
+
+namespace granmine {
+
+std::string_view StopCauseToString(StopCause cause) {
+  switch (cause) {
+    case StopCause::kNone:
+      return "none";
+    case StopCause::kDeadline:
+      return "deadline";
+    case StopCause::kStepBudget:
+      return "step-budget";
+    case StopCause::kCancelled:
+      return "cancelled";
+    case StopCause::kFaultInjected:
+      return "fault-injected";
+  }
+  return "unknown";
+}
+
+Status StopCauseToStatus(StopCause cause, std::string_view what) {
+  std::string subject(what);
+  switch (cause) {
+    case StopCause::kNone:
+      return Status::OK();
+    case StopCause::kDeadline:
+      return Status::ResourceExhausted(subject + " exceeded its deadline");
+    case StopCause::kStepBudget:
+      return Status::ResourceExhausted(subject + " exceeded its step budget");
+    case StopCause::kCancelled:
+      return Status::Cancelled(subject + " was cancelled");
+    case StopCause::kFaultInjected:
+      return Status::ResourceExhausted(subject +
+                                       " stopped by an injected fault");
+  }
+  return Status::Internal(subject + " stopped for an unknown cause");
+}
+
+}  // namespace granmine

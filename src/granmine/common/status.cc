@@ -16,6 +16,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "internal";
     case StatusCode::kResourceExhausted:
       return "resource-exhausted";
+    case StatusCode::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }

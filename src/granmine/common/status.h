@@ -25,6 +25,8 @@ enum class StatusCode {
   kInternal,
   /// A configured resource limit (horizon, iteration cap, ...) was exceeded.
   kResourceExhausted,
+  /// The operation was cooperatively cancelled before completion.
+  kCancelled,
 };
 
 /// Returns the canonical lowercase name of `code` ("ok", "invalid-argument"...).
@@ -59,6 +61,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string message) {
     return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
   }
 
   bool ok() const { return state_ == nullptr; }

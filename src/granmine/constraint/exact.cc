@@ -35,6 +35,8 @@ struct SearchContext {
   std::vector<std::optional<TimePoint>> assigned;
   ExactResult* result;
   bool node_budget_exhausted = false;
+  GovernorTicket ticket;
+  StopCause stopped = StopCause::kNone;
 
   // Edges incident to each variable, precomputed.
   std::vector<std::vector<const EventStructure::Edge*>> incident;
@@ -174,6 +176,11 @@ bool Search(SearchContext& ctx, const std::vector<VariableId>& order,
     ctx.node_budget_exhausted = true;
     return false;
   }
+  if (StopCause cause = ctx.ticket.Charge(ctx.result->nodes_explored);
+      cause != StopCause::kNone) {
+    ctx.stopped = cause;
+    return false;
+  }
   if (index == order.size()) return true;
   VariableId v = order[index];
   TimeSpan window = WindowFor(ctx, v);
@@ -187,7 +194,9 @@ bool Search(SearchContext& ctx, const std::vector<VariableId>& order,
     ctx.assigned[v] = t;
     if (Search(ctx, order, index + 1)) return true;
     ctx.assigned[v] = std::nullopt;
-    if (ctx.node_budget_exhausted) return false;
+    if (ctx.node_budget_exhausted || ctx.stopped != StopCause::kNone) {
+      return false;
+    }
   }
   return false;
 }
@@ -249,7 +258,9 @@ Result<ExactResult> ExactConsistencyChecker::Check(
 
   PropagationResult propagation;
   if (options_.prune_with_propagation) {
-    ConstraintPropagator propagator(tables_, coverage_);
+    PropagationOptions propagation_options;
+    propagation_options.governor = options_.governor;
+    ConstraintPropagator propagator(tables_, coverage_, propagation_options);
     GM_ASSIGN_OR_RETURN(propagation, propagator.Propagate(structure));
     if (!propagation.consistent) {
       result.consistent = false;
@@ -258,6 +269,7 @@ Result<ExactResult> ExactConsistencyChecker::Check(
   }
 
   SearchContext ctx;
+  ctx.ticket = GovernorTicket(options_.governor, GovernorScope::kExactSearch);
   ctx.structure = &structure;
   ctx.propagation = options_.prune_with_propagation ? &propagation : nullptr;
   ctx.tables = tables_;
@@ -314,6 +326,10 @@ Result<ExactResult> ExactConsistencyChecker::Check(
   if (ctx.node_budget_exhausted) {
     return Status::ResourceExhausted(
         "exact consistency search exceeded its node/candidate budget");
+  }
+  if (ctx.stopped != StopCause::kNone) {
+    result.stopped = ctx.stopped;  // three-valued: undecided, not refuted
+    return result;
   }
   result.consistent = found;
   if (found) {

@@ -30,6 +30,11 @@ struct ExactOptions {
   /// Search-node cap; exceeding it yields ResourceExhausted (Theorem 1 says
   /// this is unavoidable in the worst case).
   std::uint64_t max_nodes = 50'000'000;
+  /// Shared per-request governor; may be null. Checked once per search node
+  /// under GovernorScope::kExactSearch with `nodes_explored` as the
+  /// deterministic index. A trip returns OK with ExactResult::stopped set
+  /// (an *undecided* result) rather than an error.
+  const ResourceGovernor* governor = nullptr;
 };
 
 struct ExactResult {
@@ -38,6 +43,13 @@ struct ExactResult {
   std::vector<TimePoint> witness;
   std::uint64_t nodes_explored = 0;
   std::uint64_t candidates_generated = 0;
+  /// kNone when the search ran to a decision; otherwise the governor cause
+  /// that interrupted it, in which case `consistent` is meaningless.
+  StopCause stopped = StopCause::kNone;
+
+  /// Whether `consistent` is an actual decision (three-valued verdict:
+  /// !decided() means *unknown*, not inconsistent).
+  bool decided() const { return stopped == StopCause::kNone; }
 };
 
 /// Whether `timestamps` (one per variable) satisfies every TCG of the

@@ -106,9 +106,18 @@ Result<PropagationResult> ConstraintPropagator::Propagate(
   for (StpNetwork& network : result.networks) network.ConsumeChangedFlag();
 
   // Fixpoint loop: path consistency per group, then cross-granularity
-  // translation of every derived distance.
+  // translation of every derived distance. Stopping at any iteration is
+  // sound: derivations only ever tighten bounds, so a truncated run yields
+  // valid (looser) windows and never a wrong refutation.
+  GovernorTicket ticket(options_.governor, GovernorScope::kGeneral);
   for (result.iterations = 1; result.iterations <= options_.max_iterations;
        ++result.iterations) {
+    if (StopCause cause =
+            ticket.Charge(static_cast<std::uint64_t>(result.iterations));
+        cause != StopCause::kNone) {
+      result.stopped = cause;
+      return result;
+    }
     for (StpNetwork& network : result.networks) {
       if (!network.PropagateToMinimal()) {
         result.consistent = false;

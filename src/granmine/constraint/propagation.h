@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "granmine/common/governor.h"
 #include "granmine/common/result.h"
 #include "granmine/constraint/convert_constraint.h"
 #include "granmine/constraint/event_structure.h"
@@ -23,6 +24,12 @@ struct PropagationOptions {
   bool derive_order_constraints = true;
   /// Safety net; Theorem 2 guarantees termination long before this.
   int max_iterations = 100000;
+  /// Shared per-request governor; may be null. Checked once per fixpoint
+  /// iteration under GovernorScope::kGeneral. A trip stops early with
+  /// PropagationResult::stopped set — the partial result is still *sound*
+  /// (every derivation only tightens bounds monotonically, so any prefix of
+  /// the fixpoint yields valid, merely looser, windows), just not minimal.
+  const ResourceGovernor* governor = nullptr;
 };
 
 /// Output of propagation: one minimal STP network per granularity in M,
@@ -38,6 +45,11 @@ struct PropagationResult {
   /// granularities[gi] for every matching complex event.
   std::vector<std::vector<bool>> defined;
   int iterations = 0;
+  /// kNone when the fixpoint was reached; otherwise the governor cause that
+  /// stopped iteration early. The bounds are then sound but not minimal, and
+  /// `consistent == false` can no longer be concluded from them alone —
+  /// early-stopped runs always report consistent (not refuted).
+  StopCause stopped = StopCause::kNone;
 
   /// Index of `g` within `granularities`, or -1.
   int IndexOf(const Granularity* g) const;

@@ -74,6 +74,11 @@ Result<std::optional<std::vector<bool>>> SolveSubsetSum(
   ExactConsistencyChecker checker(&system->tables(), &system->coverage(),
                                   options);
   GM_ASSIGN_OR_RETURN(ExactResult result, checker.Check(reduction.structure));
+  if (!result.decided()) {
+    // An interrupted search is *unknown*: claiming "no subset" here would be
+    // a silent wrong answer.
+    return StopCauseToStatus(result.stopped, "SUBSET SUM search");
+  }
   if (!result.consistent) {
     return std::optional<std::vector<bool>>(std::nullopt);
   }

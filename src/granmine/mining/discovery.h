@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "granmine/common/governor.h"
 #include "granmine/constraint/event_structure.h"
 #include "granmine/sequence/event.h"
 
@@ -52,9 +53,47 @@ struct DiscoveredType {
   std::size_t matched_roots = 0;
 };
 
+/// A candidate whose frequency could not be decided before the run stopped
+/// (matcher budget, governor deadline/step budget, cancellation, injected
+/// fault). It is neither confirmed nor refuted — resuming with a larger
+/// budget may flip it either way.
+struct UnknownCandidate {
+  std::vector<EventTypeId> assignment;  ///< φ, indexed by variable id
+  StopCause reason = StopCause::kNone;
+};
+
+/// How much of the candidate space a mining run actually decided. With
+/// `ExhaustionPolicy::kPartial` an interrupted run still returns OK plus
+/// this record; callers must treat `solutions` as a *lower bound* whenever
+/// `complete` is false.
+///
+/// Invariant: confirmed + refuted + unknown + not_evaluated ==
+/// candidates_after_screening (or the clamped candidate count when
+/// max_candidates truncated the space).
+struct MiningCompleteness {
+  bool complete = true;
+  /// First cause that stopped the scan, kNone when complete.
+  StopCause stop = StopCause::kNone;
+  std::uint64_t confirmed = 0;      ///< frequency decided, above threshold
+  std::uint64_t refuted = 0;        ///< frequency decided, at/below threshold
+  std::uint64_t unknown = 0;        ///< scan started but interrupted
+  std::uint64_t not_evaluated = 0;  ///< never scanned at all
+};
+
+/// Cap on `MiningReport::unknown_sample` (the first unknowns in candidate
+/// order); the full count lives in `completeness.unknown`.
+inline constexpr std::size_t kUnknownSampleCap = 32;
+
 /// Solutions plus per-step instrumentation (the E5/E6 benchmark series).
 struct MiningReport {
   std::vector<DiscoveredType> solutions;
+
+  /// Partial-result accounting; `completeness.complete` is true for a fully
+  /// decided run (the only possibility under ExhaustionPolicy::kAbort).
+  MiningCompleteness completeness;
+  /// The first (candidate order) undecided candidates, at most
+  /// kUnknownSampleCap, with the cause that interrupted each.
+  std::vector<UnknownCandidate> unknown_sample;
 
   /// Occurrences of E0 in the *input* sequence (the frequency denominator).
   std::size_t total_roots = 0;

@@ -66,41 +66,10 @@ bool WindowSatisfiable(const EventSequence& sequence,
   return false;
 }
 
-// Enumerates assignments over `allowed` (root pinned), calling `body` with
-// each φ; `body` returns false to abort.
-template <typename Body>
-bool ForEachCandidate(const std::vector<std::vector<EventTypeId>>& allowed,
-                      VariableId root, Body&& body) {
-  const int n = static_cast<int>(allowed.size());
-  std::vector<std::size_t> odometer(static_cast<std::size_t>(n), 0);
-  std::vector<EventTypeId> phi(static_cast<std::size_t>(n));
-  while (true) {
-    for (int v = 0; v < n; ++v) {
-      phi[static_cast<std::size_t>(v)] =
-          allowed[static_cast<std::size_t>(v)][odometer[v]];
-    }
-    if (!body(phi)) return false;
-    int v = n - 1;
-    while (v >= 0) {
-      if (static_cast<VariableId>(v) == root) {
-        --v;
-        continue;
-      }
-      if (++odometer[static_cast<std::size_t>(v)] <
-          allowed[static_cast<std::size_t>(v)].size()) {
-        break;
-      }
-      odometer[static_cast<std::size_t>(v)] = 0;
-      --v;
-    }
-    if (v < 0) return true;
-  }
-}
-
-// The odometer state ForEachCandidate would hold after `index` advances:
-// candidate enumeration is mixed-radix over the non-root variables with the
-// last variable least significant, so chunked workers can seek straight to
-// their slice of the candidate space.
+// The odometer state candidate enumeration holds after `index` advances:
+// enumeration is mixed-radix over the non-root variables with the last
+// variable least significant, so chunked workers can seek straight to their
+// slice of the candidate space.
 std::vector<std::size_t> OdometerAt(
     const std::vector<std::vector<EventTypeId>>& allowed, VariableId root,
     std::uint64_t index) {
@@ -116,7 +85,7 @@ std::vector<std::size_t> OdometerAt(
   return odometer;
 }
 
-// One ForEachCandidate advance step (root pinned); false when wrapped.
+// One enumeration advance step (root pinned); false when wrapped.
 bool AdvanceOdometer(const std::vector<std::vector<EventTypeId>>& allowed,
                      VariableId root, std::vector<std::size_t>* odometer) {
   int v = static_cast<int>(allowed.size()) - 1;
@@ -181,7 +150,8 @@ Miner::Miner(GranularitySystem* system, MinerOptions options)
 }
 
 Result<MiningReport> Miner::Mine(const DiscoveryProblem& problem,
-                                 const EventSequence& sequence) const {
+                                 const EventSequence& sequence,
+                                 const ResourceGovernor* governor) const {
   if (problem.structure == nullptr) {
     return Status::Invalid("discovery problem has no structure");
   }
@@ -209,7 +179,10 @@ Result<MiningReport> Miner::Mine(const DiscoveryProblem& problem,
 
   PropagationResult propagation;
   if (needs_propagation) {
-    ConstraintPropagator propagator(&system_->tables(), &system_->coverage());
+    PropagationOptions propagation_options;
+    propagation_options.governor = governor;
+    ConstraintPropagator propagator(&system_->tables(), &system_->coverage(),
+                                    propagation_options);
     GM_ASSIGN_OR_RETURN(propagation, propagator.Propagate(structure));
     if (!propagation.consistent) {
       // No complex event can match an inconsistent structure.
@@ -289,8 +262,13 @@ Result<MiningReport> Miner::Mine(const DiscoveryProblem& problem,
         nested.screening_depth = 1;  // no further recursion
         Miner nested_miner(system_, nested);
         Result<MiningReport> nested_report =
-            nested_miner.Mine(induced_problem, working);
-        if (!nested_report.ok()) continue;  // give up pruning: still sound
+            nested_miner.Mine(induced_problem, working, governor);
+        // Give up pruning (still sound) on failure — and also on a *partial*
+        // nested report: its solution set is only a lower bound, so pruning
+        // the missing types would wrongly refute undecided candidates.
+        if (!nested_report.ok() || !nested_report->completeness.complete) {
+          continue;
+        }
         report.tag_runs += nested_report->tag_runs;
         for (std::size_t i = 1; i < subset.size(); ++i) {
           std::vector<EventTypeId> survivors;
@@ -317,9 +295,17 @@ Result<MiningReport> Miner::Mine(const DiscoveryProblem& problem,
   }
   report.candidates_after_screening = CandidateCount(allowed, root);
   if (report.candidates_after_screening == 0) return report;
-  if (report.candidates_after_screening > options_.max_candidates) {
-    return Status::ResourceExhausted(
-        "candidate space exceeds the configured limit after screening");
+  const bool partial =
+      options_.on_exhaustion == MinerOptions::ExhaustionPolicy::kPartial;
+  std::uint64_t scan_total = report.candidates_after_screening;
+  bool clamped = false;
+  if (scan_total > options_.max_candidates) {
+    if (!partial) {
+      return Status::ResourceExhausted(
+          "candidate space exceeds the configured limit after screening");
+    }
+    scan_total = options_.max_candidates;
+    clamped = true;
   }
 
   // Step 5: one skeleton TAG for all candidates; anchored scans per root.
@@ -331,18 +317,42 @@ Result<MiningReport> Miner::Mine(const DiscoveryProblem& problem,
                       BuildTagForStructure(structure));
   TagMatcher matcher(&skeleton.tag);
 
+  // Every candidate of the scanned prefix ends in exactly one bucket —
+  // confirmed, refuted, unknown, or not_evaluated — so the merged buckets
+  // always sum to the candidate total (the MiningCompleteness invariant).
   struct ScanOutcome {
     std::vector<DiscoveredType> solutions;
+    std::vector<UnknownCandidate> unknown_sample;  // chunk-local prefix
+    std::uint64_t confirmed = 0;
+    std::uint64_t refuted = 0;
+    std::uint64_t unknown = 0;
+    std::uint64_t not_evaluated = 0;
     std::uint64_t tag_runs = 0;
     std::uint64_t configurations = 0;
+    /// First cause (candidate order) that interrupted work in this range.
+    StopCause first_stop = StopCause::kNone;
+    /// The stopping candidate hit the matcher's local configuration budget
+    /// (drives the legacy kAbort error message).
     bool budget_exhausted = false;
+    /// False = the chunk was abandoned before scanning anything.
+    bool ran = false;
   };
 
-  // Scans one candidate φ; false aborts the enumeration (budget exhausted).
+  enum class CandidateFate { kDecided, kUnknown };
+
+  // Raised when the scan must wind down (abort-mode failure or a global
+  // governor stop); the Executor observes it before claiming further chunks.
+  std::atomic<bool> stop_scan{false};
+
+  // Scans one candidate φ; kUnknown sets *reason.
   auto scan_candidate = [&](const std::vector<EventTypeId>& phi,
-                            MatchScratch* scratch, ScanOutcome* out) {
+                            MatchScratch* scratch, ScanOutcome* out,
+                            StopCause* reason) {
     for (const TypeConstraint& constraint : problem.type_constraints) {
-      if (!constraint.SatisfiedBy(phi)) return true;  // skip candidate
+      if (!constraint.SatisfiedBy(phi)) {
+        ++out->refuted;  // statically excluded: decided without a scan
+        return CandidateFate::kDecided;
+      }
     }
     SymbolMap symbols = SymbolMap::FromAssignment(phi, type_count);
     std::size_t matched = 0;
@@ -350,93 +360,172 @@ Result<MiningReport> Miner::Mine(const DiscoveryProblem& problem,
       MatchOptions match_options;
       match_options.anchored = true;
       match_options.max_configurations = options_.max_configurations_per_run;
+      match_options.governor = governor;
       if (options_.use_window_deadlines && needs_windows) {
         match_options.deadline = windows[i].deadline;
       }
       MatchStats stats;
-      bool accepted = matcher.Accepts(working.SuffixFrom(surviving[i]),
-                                      symbols, match_options, &stats, scratch);
+      MatchOutcome outcome =
+          matcher.Run(working.SuffixFrom(surviving[i]), symbols, match_options,
+                      &stats, scratch);
       ++out->tag_runs;
       out->configurations += stats.configurations;
-      if (stats.budget_exhausted) {
-        out->budget_exhausted = true;
-        return false;
+      if (outcome == MatchOutcome::kUnknown) {
+        *reason = stats.stopped != StopCause::kNone ? stats.stopped
+                                                    : StopCause::kStepBudget;
+        if (stats.budget_exhausted) out->budget_exhausted = true;
+        return CandidateFate::kUnknown;
       }
-      if (accepted) ++matched;
+      if (outcome == MatchOutcome::kAccepted) ++matched;
     }
     double frequency = static_cast<double>(matched) /
                        static_cast<double>(report.total_roots);
     if (frequency > problem.min_confidence) {
       out->solutions.push_back(DiscoveredType{phi, frequency, matched});
+      ++out->confirmed;
+    } else {
+      ++out->refuted;
     }
-    return true;
+    return CandidateFate::kDecided;
   };
 
-  Status scan_status = Status::OK();
+  // Scans candidates [begin, end); used by the serial path (one range) and
+  // by each parallel chunk. The governor ticket is created per range, so its
+  // stride phase — and with check_stride == 1 the exact set of checked
+  // indices — is a deterministic property of the range, not of scheduling.
+  auto scan_range = [&](std::uint64_t begin, std::uint64_t end,
+                        MatchScratch* scratch, ScanOutcome* out) {
+    out->ran = true;
+    GovernorTicket ticket(governor, GovernorScope::kMine);
+    std::vector<std::size_t> odometer = OdometerAt(allowed, root, begin);
+    const std::size_t n = allowed.size();
+    std::vector<EventTypeId> phi(n);
+    auto note_unknown = [&](StopCause reason) {
+      ++out->unknown;
+      if (out->first_stop == StopCause::kNone) out->first_stop = reason;
+      if (out->unknown_sample.size() < kUnknownSampleCap) {
+        out->unknown_sample.push_back(UnknownCandidate{phi, reason});
+      }
+    };
+    for (std::uint64_t index = begin; index < end; ++index) {
+      for (std::size_t v = 0; v < n; ++v) phi[v] = allowed[v][odometer[v]];
+      // One governor step per candidate, indexed by the global candidate
+      // position so injection targets a candidate, not a thread.
+      if (StopCause cause = ticket.Charge(index); cause != StopCause::kNone) {
+        // An injected fault with cancel_globally off is *local*: it fails
+        // this candidate only, leaving the shared flag untouched — that is
+        // what keeps the sweep deterministic across thread counts.
+        const bool global = cause != StopCause::kFaultInjected ||
+                            (governor != nullptr && governor->stopped());
+        if (!partial || global) {
+          if (out->first_stop == StopCause::kNone) out->first_stop = cause;
+          if (partial) out->not_evaluated += end - index;
+          stop_scan.store(true, std::memory_order_relaxed);
+          return;
+        }
+        note_unknown(cause);
+        AdvanceOdometer(allowed, root, &odometer);
+        continue;
+      }
+      StopCause reason = StopCause::kNone;
+      if (scan_candidate(phi, scratch, out, &reason) ==
+          CandidateFate::kUnknown) {
+        if (!partial) {
+          if (out->first_stop == StopCause::kNone) out->first_stop = reason;
+          stop_scan.store(true, std::memory_order_relaxed);
+          return;
+        }
+        note_unknown(reason);
+        if (governor != nullptr && governor->stopped()) {
+          // Global stop mid-candidate: the rest of the range is forfeit.
+          out->not_evaluated += end - index - 1;
+          stop_scan.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+      AdvanceOdometer(allowed, root, &odometer);
+    }
+  };
+
+  std::vector<ScanOutcome> outcomes;
+  std::uint64_t merge_chunk_size = scan_total;
   if (options_.num_threads == 1) {
-    ScanOutcome out;
+    outcomes.resize(1);
     MatchScratch scratch;
-    ForEachCandidate(allowed, root, [&](const std::vector<EventTypeId>& phi) {
-      return scan_candidate(phi, &scratch, &out);
-    });
+    scan_range(0, scan_total, &scratch, &outcomes[0]);
+  } else {
+    Executor executor(options_.num_threads);
+    // Chunks keep per-item dispatch cheap while staying numerous enough to
+    // balance load; chunk size never affects the merged report.
+    const std::uint64_t per_worker =
+        scan_total / (8 * static_cast<std::uint64_t>(executor.num_threads())) +
+        1;
+    const std::uint64_t chunk_size =
+        std::max<std::uint64_t>(1, std::min<std::uint64_t>(1024, per_worker));
+    merge_chunk_size = chunk_size;
+    const std::size_t chunk_count =
+        static_cast<std::size_t>((scan_total + chunk_size - 1) / chunk_size);
+    std::vector<MatchScratch> scratches(
+        static_cast<std::size_t>(executor.num_threads()));
+    outcomes = executor.ParallelMap<ScanOutcome>(
+        chunk_count,
+        [&](std::size_t chunk, int worker) {
+          ScanOutcome out;
+          if (stop_scan.load(std::memory_order_relaxed)) return out;
+          const std::uint64_t begin = chunk * chunk_size;
+          const std::uint64_t end = std::min(scan_total, begin + chunk_size);
+          scan_range(begin, end, &scratches[static_cast<std::size_t>(worker)],
+                     &out);
+          return out;
+        },
+        &stop_scan);
+  }
+
+  // Merge in chunk (= candidate) order: solutions and unknown samples keep
+  // their global order, and the first stop cause in candidate order wins.
+  Status scan_status = Status::OK();
+  StopCause first_stop = StopCause::kNone;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    ScanOutcome& out = outcomes[i];
+    if (!out.ran) {
+      const std::uint64_t begin = i * merge_chunk_size;
+      const std::uint64_t end =
+          std::min(scan_total, begin + merge_chunk_size);
+      report.completeness.not_evaluated += end - begin;
+      continue;
+    }
     report.tag_runs += out.tag_runs;
     report.matcher_configurations += out.configurations;
-    if (out.budget_exhausted) {
-      scan_status = Status::ResourceExhausted(
-          "TAG matcher exceeded its configuration budget");
+    report.completeness.confirmed += out.confirmed;
+    report.completeness.refuted += out.refuted;
+    report.completeness.unknown += out.unknown;
+    report.completeness.not_evaluated += out.not_evaluated;
+    if (first_stop == StopCause::kNone) first_stop = out.first_stop;
+    if (!partial && scan_status.ok() && out.first_stop != StopCause::kNone) {
+      scan_status =
+          out.budget_exhausted
+              ? Status::ResourceExhausted(
+                    "TAG matcher exceeded its configuration budget")
+              : StopCauseToStatus(out.first_stop, "the mining run");
     }
     for (DiscoveredType& solution : out.solutions) {
       report.solutions.push_back(std::move(solution));
     }
-  } else {
-    Executor executor(options_.num_threads);
-    const std::uint64_t count = report.candidates_after_screening;
-    // Chunks keep per-item dispatch cheap while staying numerous enough to
-    // balance load; chunk size never affects the merged report.
-    const std::uint64_t per_worker =
-        count / (8 * static_cast<std::uint64_t>(executor.num_threads())) + 1;
-    const std::uint64_t chunk_size =
-        std::max<std::uint64_t>(1, std::min<std::uint64_t>(1024, per_worker));
-    const std::size_t chunk_count =
-        static_cast<std::size_t>((count + chunk_size - 1) / chunk_size);
-    std::vector<MatchScratch> scratches(
-        static_cast<std::size_t>(executor.num_threads()));
-    std::atomic<bool> abort{false};
-    std::vector<ScanOutcome> outcomes = executor.ParallelMap<ScanOutcome>(
-        chunk_count, [&](std::size_t chunk, int worker) {
-          ScanOutcome out;
-          if (abort.load(std::memory_order_relaxed)) return out;
-          const std::uint64_t begin = chunk * chunk_size;
-          const std::uint64_t end = std::min(count, begin + chunk_size);
-          std::vector<std::size_t> odometer = OdometerAt(allowed, root, begin);
-          const std::size_t n = allowed.size();
-          std::vector<EventTypeId> phi(n);
-          for (std::uint64_t index = begin; index < end; ++index) {
-            for (std::size_t v = 0; v < n; ++v) {
-              phi[v] = allowed[v][odometer[v]];
-            }
-            if (!scan_candidate(
-                    phi, &scratches[static_cast<std::size_t>(worker)], &out)) {
-              abort.store(true, std::memory_order_relaxed);
-              break;
-            }
-            AdvanceOdometer(allowed, root, &odometer);
-          }
-          return out;
-        });
-    for (ScanOutcome& out : outcomes) {
-      report.tag_runs += out.tag_runs;
-      report.matcher_configurations += out.configurations;
-      if (out.budget_exhausted && scan_status.ok()) {
-        scan_status = Status::ResourceExhausted(
-            "TAG matcher exceeded its configuration budget");
-      }
-      for (DiscoveredType& solution : out.solutions) {
-        report.solutions.push_back(std::move(solution));
+    for (UnknownCandidate& unknown : out.unknown_sample) {
+      if (report.unknown_sample.size() < kUnknownSampleCap) {
+        report.unknown_sample.push_back(std::move(unknown));
       }
     }
   }
   GM_RETURN_NOT_OK(scan_status);
+  if (clamped) {
+    report.completeness.not_evaluated +=
+        report.candidates_after_screening - scan_total;
+    if (first_stop == StopCause::kNone) first_stop = StopCause::kStepBudget;
+  }
+  report.completeness.stop = first_stop;
+  report.completeness.complete = report.completeness.unknown == 0 &&
+                                 report.completeness.not_evaluated == 0;
   return report;
 }
 

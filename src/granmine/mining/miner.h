@@ -29,8 +29,23 @@ struct MinerOptions {
   /// Truncate step-5 TAG scans at the derived per-root deadline.
   bool use_window_deadlines = true;
 
+  /// What to do when a budget (matcher configurations, governor deadline /
+  /// step budget / cancellation, max_candidates) interrupts the run.
+  enum class ExhaustionPolicy {
+    /// Fail the whole run with ResourceExhausted/Cancelled — the historical
+    /// behavior, and the default.
+    kAbort,
+    /// Return OK with whatever was decided: undecided candidates become
+    /// three-valued *unknown* verdicts (`MiningReport::completeness`,
+    /// `unknown_sample`), never silently dropped.
+    kPartial,
+  };
+  ExhaustionPolicy on_exhaustion = ExhaustionPolicy::kAbort;
+
   /// Abort with ResourceExhausted when the candidate space (after
-  /// screening) still exceeds this.
+  /// screening) still exceeds this. Under ExhaustionPolicy::kPartial the
+  /// scan instead covers the first max_candidates candidates and reports
+  /// the rest as not_evaluated.
   std::uint64_t max_candidates = 10'000'000;
   /// Cap on the number of k >= 2 induced problems evaluated.
   int max_induced_problems = 64;
@@ -71,8 +86,17 @@ class Miner {
 
   /// Solves the discovery problem on `sequence`. Solutions are returned in
   /// lexicographic assignment order.
+  ///
+  /// `governor`, when given, imposes a shared wall-clock deadline / step
+  /// budget / cancellation token on every phase (propagation, screening,
+  /// matching, the step-5 scan). A trip either fails the run or degrades it
+  /// to a partial report, per MinerOptions::on_exhaustion. The report is a
+  /// deterministic function of (problem, sequence, options) for injected
+  /// faults and local budgets — byte-identical across runs and thread
+  /// counts; wall-clock deadline trips are inherently timing-dependent.
   Result<MiningReport> Mine(const DiscoveryProblem& problem,
-                            const EventSequence& sequence) const;
+                            const EventSequence& sequence,
+                            const ResourceGovernor* governor = nullptr) const;
 
  private:
   GranularitySystem* system_;

@@ -117,12 +117,18 @@ TagMatcher::TagMatcher(const Tag* tag) : tag_(tag) {
   }
 }
 
-bool TagMatcher::Accepts(std::span<const Event> events,
-                         const SymbolMap& symbols, const MatchOptions& options,
-                         MatchStats* stats, MatchScratch* scratch) const {
+MatchOutcome TagMatcher::Run(std::span<const Event> events,
+                             const SymbolMap& symbols,
+                             const MatchOptions& options, MatchStats* stats,
+                             MatchScratch* scratch) const {
   MatchStats local_stats;
   MatchStats& st = stats != nullptr ? *stats : local_stats;
   st = MatchStats{};
+
+  // One ticket per run: the stride countdown starts fresh, so for a fixed
+  // input the governor is consulted at the same configuration counts every
+  // time — the determinism the fault-injection sweeps rely on.
+  GovernorTicket ticket(options.governor, GovernorScope::kMatch);
 
   MatchScratch local_scratch;
   MatchScratch& sc = scratch != nullptr ? *scratch : local_scratch;
@@ -135,7 +141,7 @@ bool TagMatcher::Accepts(std::span<const Event> events,
   // not required to anchor on a first event).
   if (!options.anchored) {
     for (int state : tag_->start_states()) {
-      if (tag_->IsAccepting(state)) return true;
+      if (tag_->IsAccepting(state)) return MatchOutcome::kAccepted;
     }
   }
 
@@ -154,6 +160,11 @@ bool TagMatcher::Accepts(std::span<const Event> events,
   std::size_t group_start = 0;
   bool first_group = true;
   while (group_start < events.size()) {
+    if (StopCause cause = ticket.Charge(st.configurations);
+        cause != StopCause::kNone) {
+      st.stopped = cause;
+      return MatchOutcome::kUnknown;
+    }
     const TimePoint group_time = events[group_start].time;
     if (group_time > options.deadline) break;
     std::size_t group_end = group_start;
@@ -252,14 +263,20 @@ bool TagMatcher::Accepts(std::span<const Event> events,
           }
           ++successor.used[type_index];
           successor.pre_anchor = false;
-          if (tag_->IsAccepting(tr.to)) return true;
+          if (tag_->IsAccepting(tr.to)) return MatchOutcome::kAccepted;
           if (visited.insert(successor).second) {
             ++st.configurations;
             note_result(successor);
             queue.push_back(std::move(successor));
             if (st.configurations > options.max_configurations) {
               st.budget_exhausted = true;
-              return false;
+              st.stopped = StopCause::kStepBudget;
+              return MatchOutcome::kUnknown;
+            }
+            if (StopCause cause = ticket.Charge(st.configurations);
+                cause != StopCause::kNone) {
+              st.stopped = cause;
+              return MatchOutcome::kUnknown;
             }
           }
         }
@@ -293,11 +310,11 @@ bool TagMatcher::Accepts(std::span<const Event> events,
     }
 
     st.peak_frontier = std::max(st.peak_frontier, frontier.size());
-    if (frontier.empty()) return false;  // no run can recover
+    if (frontier.empty()) return MatchOutcome::kRejected;  // no run recovers
     first_group = false;
     group_start = group_end;
   }
-  return false;
+  return MatchOutcome::kRejected;
 }
 
 }  // namespace granmine

@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "granmine/common/governor.h"
 #include "granmine/common/math.h"
 #include "granmine/sequence/event.h"
 #include "granmine/sequence/sequence.h"
@@ -37,10 +38,27 @@ struct MatchOptions {
   bool anchored = false;
   /// Stop scanning events whose timestamp exceeds this (kInfinity = none).
   /// The §5 optimizations derive such deadlines from propagation windows.
+  /// This deadline is *sound* (later events provably cannot matter), so
+  /// truncation still yields a definite kRejected — unlike the governor
+  /// below, whose trips yield kUnknown.
   TimePoint deadline = kInfinity;
-  /// Configuration budget; exceeding it aborts with accepted=false and
-  /// stats->budget_exhausted set.
+  /// Configuration budget; exceeding it stops the run with
+  /// MatchOutcome::kUnknown and stats->budget_exhausted set.
   std::uint64_t max_configurations = 50'000'000;
+  /// Shared per-request governor (deadline / step budget / cancellation);
+  /// may be null. A governor trip stops the run with kUnknown and records
+  /// the cause in stats->stopped. Checked under GovernorScope::kMatch with
+  /// the run's configuration count as the deterministic index.
+  const ResourceGovernor* governor = nullptr;
+};
+
+/// The three-valued result of a TAG run. An interrupted run is *unknown*,
+/// never "rejected": treating exhaustion as rejection silently corrupts
+/// mined frequencies (see docs/robustness.md).
+enum class MatchOutcome {
+  kRejected = 0,  ///< no run over the events reaches an accepting state
+  kAccepted,      ///< some run reaches an accepting state
+  kUnknown,       ///< stopped early (budget / governor) before deciding
 };
 
 /// Instrumentation for the Theorem-4 complexity experiments.
@@ -48,7 +66,11 @@ struct MatchStats {
   std::uint64_t configurations = 0;  ///< configs created over the run
   std::size_t peak_frontier = 0;     ///< max simultaneous configs
   std::uint64_t events_scanned = 0;
+  /// The run hit its local max_configurations budget (outcome kUnknown).
   bool budget_exhausted = false;
+  /// Why the run stopped early: kStepBudget for the local configuration
+  /// budget, otherwise the governor's cause. kNone for decided runs.
+  StopCause stopped = StopCause::kNone;
 };
 
 /// Reusable search buffers (frontier, visited set, BFS queue, clock
@@ -86,12 +108,24 @@ class TagMatcher {
   /// `tag` must outlive the matcher.
   explicit TagMatcher(const Tag* tag);
 
-  /// Whether some run over `events` reaches an accepting state. `scratch`,
-  /// when given, must not be used concurrently by another thread.
+  /// Simulates the TAG over `events` and reports the three-valued outcome.
+  /// `scratch`, when given, must not be used concurrently by another thread.
+  MatchOutcome Run(std::span<const Event> events, const SymbolMap& symbols,
+                   const MatchOptions& options = MatchOptions{},
+                   MatchStats* stats = nullptr,
+                   MatchScratch* scratch = nullptr) const;
+
+  /// Legacy boolean view of Run: true iff kAccepted. Callers that set a
+  /// configuration budget or a governor must use Run — this wrapper folds
+  /// kUnknown into false, which is only safe when the run cannot be
+  /// interrupted. Check stats->stopped when in doubt.
   bool Accepts(std::span<const Event> events, const SymbolMap& symbols,
                const MatchOptions& options = MatchOptions{},
                MatchStats* stats = nullptr,
-               MatchScratch* scratch = nullptr) const;
+               MatchScratch* scratch = nullptr) const {
+    return Run(events, symbols, options, stats, scratch) ==
+           MatchOutcome::kAccepted;
+  }
 
  private:
   const Tag* tag_;

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <thread>
 #include <tuple>
 #include <vector>
@@ -56,6 +57,93 @@ TEST(ExecutorTest, SingleThreadRunsInline) {
     EXPECT_EQ(worker, 0);
     EXPECT_EQ(std::this_thread::get_id(), caller);
   });
+}
+
+TEST(ExecutorTest, WorkerExceptionIsRethrownOnTheCaller) {
+  Executor executor(4);
+  constexpr std::size_t kCount = 4'000;
+  std::atomic<std::size_t> executed{0};
+  bool caught = false;
+  try {
+    executor.ParallelFor(kCount, [&](std::size_t i, int) {
+      if (i == 1234) throw std::runtime_error("injected worker failure");
+      executed.fetch_add(1, std::memory_order_relaxed);
+    });
+  } catch (const std::runtime_error& e) {
+    caught = true;
+    EXPECT_STREQ(e.what(), "injected worker failure");
+  }
+  EXPECT_TRUE(caught);
+  // Failure abandons unclaimed items: strictly fewer than all ran.
+  EXPECT_LT(executed.load(), kCount);
+  // The pool survives a failed loop — the next loop runs normally.
+  std::atomic<std::size_t> after{0};
+  executor.ParallelFor(100, [&](std::size_t, int) {
+    after.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(after.load(), 100u);
+}
+
+TEST(ExecutorTest, FirstExceptionWinsWhenSeveralWorkersThrow) {
+  Executor executor(4);
+  bool caught = false;
+  try {
+    executor.ParallelFor(1'000, [](std::size_t, int) {
+      throw std::runtime_error("every item fails");
+    });
+  } catch (const std::runtime_error& e) {
+    caught = true;
+    EXPECT_STREQ(e.what(), "every item fails");
+  }
+  EXPECT_TRUE(caught);
+}
+
+TEST(ExecutorTest, SerialPathPropagatesExceptionsNaturally) {
+  Executor executor(1);
+  EXPECT_THROW(executor.ParallelFor(
+                   10, [](std::size_t i, int) {
+                     if (i == 3) throw std::logic_error("serial failure");
+                   }),
+               std::logic_error);
+}
+
+TEST(ExecutorTest, CancelTokenStopsClaimsButNeverInterruptsInFlightWork) {
+  Executor executor(4);
+  constexpr std::size_t kCount = 100'000;
+  std::atomic<bool> cancel{false};
+  std::atomic<std::size_t> started{0};
+  std::atomic<std::size_t> finished{0};
+  executor.ParallelFor(
+      kCount,
+      [&](std::size_t i, int) {
+        started.fetch_add(1, std::memory_order_relaxed);
+        if (i == 50) cancel.store(true, std::memory_order_relaxed);
+        finished.fetch_add(1, std::memory_order_relaxed);
+      },
+      &cancel);
+  // Every started item finished (cancellation is cooperative, observed only
+  // between claims), and the token cut the loop well short of completion.
+  EXPECT_EQ(started.load(), finished.load());
+  EXPECT_LT(finished.load(), kCount);
+  EXPECT_GT(finished.load(), 0u);
+}
+
+TEST(ExecutorTest, PreCancelledTokenRunsNothing) {
+  Executor executor(4);
+  std::atomic<bool> cancel{true};
+  std::atomic<std::size_t> ran{0};
+  executor.ParallelFor(
+      10'000,
+      [&](std::size_t, int) { ran.fetch_add(1, std::memory_order_relaxed); },
+      &cancel);
+  EXPECT_EQ(ran.load(), 0u);
+  // Serial path honours the token too.
+  Executor serial(1);
+  serial.ParallelFor(
+      100,
+      [&](std::size_t, int) { ran.fetch_add(1, std::memory_order_relaxed); },
+      &cancel);
+  EXPECT_EQ(ran.load(), 0u);
 }
 
 TEST(ExecutorTest, BackToBackLoopsReuseThePool) {
