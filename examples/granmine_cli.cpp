@@ -1,11 +1,15 @@
 // granmine_cli — mine temporal patterns from text files.
 //
-//   granmine_cli mine  --structure S.txt --events E.txt --reference TYPE
-//                      [--confidence 0.5] [--pin VAR=TYPE]... [--naive]
-//                      [--threads N] [--deadline-ms N]
-//                      [--on-budget abort|partial]
-//   granmine_cli check --structure S.txt [--exact]
-//   granmine_cli dot   --structure S.txt [--tag]
+//   granmine_cli mine   --structure S.txt --events E.txt --reference TYPE
+//                       [--confidence 0.5] [--pin VAR=TYPE]... [--naive]
+//                       [--threads N] [--deadline-ms N]
+//                       [--on-budget abort|partial]
+//   granmine_cli stream --structure S.txt --reference TYPE
+//                       --window SECS --slide SECS [--theta 0.5]
+//                       [--events FILE|-] [--types T1,T2,...]
+//                       [--pin VAR=TYPE]... [--tolerance SECS] [--threads N]
+//   granmine_cli check  --structure S.txt [--exact]
+//   granmine_cli dot    --structure S.txt [--tag]
 //   granmine_cli demo
 //
 // Structure files use the text DSL of granmine/io/text_format.h:
@@ -13,12 +17,20 @@
 //     report -> fall : [0,1] week
 // Event files carry one "<timestamp> <type>" per line, timestamps either
 // raw seconds or "YYYY-MM-DD[ HH:MM:SS]".
+//
+// `stream` reads events from --events (default "-" = stdin) one line at a
+// time, keeps the incremental miner's TAG runs resident, retains the last
+// --window seconds of history, and prints a report snapshot every --slide
+// seconds of watermark progress plus a final one at end of input. Because
+// a stream never reveals its full type universe up front, every non-root
+// variable needs a --pin or the shared --types list.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <map>
+#include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -26,10 +38,12 @@
 #include "granmine/constraint/exact.h"
 #include "granmine/constraint/propagation.h"
 #include "granmine/granularity/system.h"
+#include "granmine/io/cli_args.h"
 #include "granmine/io/dot.h"
 #include "granmine/io/text_format.h"
 #include "granmine/mining/explain.h"
 #include "granmine/mining/miner.h"
+#include "granmine/stream/online_miner.h"
 #include "granmine/tag/builder.h"
 
 using namespace granmine;
@@ -37,19 +51,24 @@ using namespace granmine;
 namespace {
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  granmine_cli mine  --structure FILE --events FILE "
-               "--reference TYPE [--confidence C] [--pin VAR=TYPE]... "
-               "[--naive] [--threads N] [--deadline-ms N] "
-               "[--on-budget abort|partial]\n"
-               "  granmine_cli check --structure FILE [--exact]\n"
-               "  granmine_cli dot   --structure FILE [--tag]\n"
-               "  granmine_cli demo\n");
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  granmine_cli mine   --structure FILE --events FILE "
+      "--reference TYPE [--confidence C] [--pin VAR=TYPE]... "
+      "[--naive] [--threads N] [--deadline-ms N] "
+      "[--on-budget abort|partial]\n"
+      "  granmine_cli stream --structure FILE --reference TYPE "
+      "--window SECS --slide SECS [--theta C] [--events FILE|-] "
+      "[--types T1,T2,...] [--pin VAR=TYPE]... [--tolerance SECS] "
+      "[--threads N]\n"
+      "  granmine_cli check  --structure FILE [--exact]\n"
+      "  granmine_cli dot    --structure FILE [--tag]\n"
+      "  granmine_cli demo\n");
   return 64;
 }
 
-Result<std::string> ReadFile(const std::string& path) {
+Result<std::string> ReadFileToString(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open '" + path + "'");
   std::ostringstream os;
@@ -57,50 +76,61 @@ Result<std::string> ReadFile(const std::string& path) {
   return os.str();
 }
 
-struct Args {
-  std::string command;
-  std::map<std::string, std::string> flags;
-  std::vector<std::string> pins;
-  bool naive = false;
-  bool exact = false;
-  bool tag = false;
-  bool explain = false;
-};
-
-Result<Args> ParseArgs(int argc, char** argv) {
-  if (argc < 2) return Status::Invalid("missing command");
-  Args args;
-  args.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
-    std::string flag = argv[i];
-    if (flag == "--naive") {
-      args.naive = true;
-    } else if (flag == "--exact") {
-      args.exact = true;
-    } else if (flag == "--tag") {
-      args.tag = true;
-    } else if (flag == "--explain") {
-      args.explain = true;
-    } else if (flag == "--pin" && i + 1 < argc) {
-      args.pins.emplace_back(argv[++i]);
-    } else if (flag.rfind("--", 0) == 0 && flag.find('=') != std::string::npos) {
-      std::size_t eq = flag.find('=');
-      args.flags[flag.substr(2, eq - 2)] = flag.substr(eq + 1);
-    } else if (flag.rfind("--", 0) == 0 && i + 1 < argc) {
-      args.flags[flag.substr(2)] = argv[++i];
-    } else {
-      return Status::Invalid("unknown flag '" + flag + "'");
-    }
+// Shared flag validation; on error prints the message and returns the
+// sysexits code via `*exit_code`.
+template <typename T>
+bool Validated(Result<T> parsed, T* out, int* exit_code) {
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    *exit_code = 64;
+    return false;
   }
-  return args;
+  *out = std::move(*parsed);
+  return true;
+}
+
+// Resolves --pin bindings into problem->allowed. Returns false (printing
+// the error) on a malformed pin or unknown variable/type name.
+bool ApplyPins(const CliArgs& args, const std::vector<std::string>& names,
+               EventTypeRegistry* registry, bool intern_types,
+               DiscoveryProblem* problem, int* exit_code) {
+  for (const std::string& pin : args.pins) {
+    std::size_t eq = pin.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "bad --pin '%s' (expected VAR=TYPE)\n", pin.c_str());
+      *exit_code = 64;
+      return false;
+    }
+    std::string var = pin.substr(0, eq), type = pin.substr(eq + 1);
+    auto var_it = std::find(names.begin(), names.end(), var);
+    if (var_it == names.end()) {
+      std::fprintf(stderr, "unknown variable in --pin '%s'\n", pin.c_str());
+      *exit_code = 65;
+      return false;
+    }
+    std::optional<EventTypeId> type_id;
+    if (intern_types) {
+      type_id = registry->Intern(type);
+    } else {
+      type_id = registry->Find(type);
+      if (!type_id.has_value()) {
+        std::fprintf(stderr, "unknown type in --pin '%s'\n", pin.c_str());
+        *exit_code = 65;
+        return false;
+      }
+    }
+    problem->allowed[static_cast<std::size_t>(var_it - names.begin())] = {
+        *type_id};
+  }
+  return true;
 }
 
 int RunDemo();
 
-int RunMine(const Args& args) {
+int RunMine(const CliArgs& args) {
   auto system = GranularitySystem::Gregorian();
-  auto structure_text = ReadFile(args.flags.at("structure"));
-  auto events_text = ReadFile(args.flags.at("events"));
+  auto structure_text = ReadFileToString(args.flags.at("structure"));
+  auto events_text = ReadFileToString(args.flags.at("events"));
   if (!structure_text.ok() || !events_text.ok()) {
     std::fprintf(stderr, "%s\n", (!structure_text.ok()
                                       ? structure_text.status()
@@ -131,43 +161,25 @@ int RunMine(const Args& args) {
   DiscoveryProblem problem;
   problem.structure = &*structure;
   problem.reference_type = *reference;
-  problem.min_confidence =
-      args.flags.count("confidence") ? std::stod(args.flags.at("confidence"))
-                                     : 0.5;
+  problem.min_confidence = 0.5;
+  int exit_code = 0;
+  if (args.flags.count("confidence") &&
+      !Validated(ParseConfidence("confidence", args.flags.at("confidence")),
+                 &problem.min_confidence, &exit_code)) {
+    return exit_code;
+  }
   problem.allowed.assign(static_cast<std::size_t>(structure->variable_count()),
                          {});
-  for (const std::string& pin : args.pins) {
-    std::size_t eq = pin.find('=');
-    if (eq == std::string::npos) {
-      std::fprintf(stderr, "bad --pin '%s' (expected VAR=TYPE)\n",
-                   pin.c_str());
-      return 64;
-    }
-    std::string var = pin.substr(0, eq), type = pin.substr(eq + 1);
-    auto var_it = std::find(names.begin(), names.end(), var);
-    auto type_id = registry.Find(type);
-    if (var_it == names.end() || !type_id.has_value()) {
-      std::fprintf(stderr, "unknown variable or type in --pin '%s'\n",
-                   pin.c_str());
-      return 65;
-    }
-    problem.allowed[static_cast<std::size_t>(var_it - names.begin())] = {
-        *type_id};
+  if (!ApplyPins(args, names, &registry, /*intern_types=*/false, &problem,
+                 &exit_code)) {
+    return exit_code;
   }
 
   MinerOptions options = args.naive ? MinerOptions::Naive() : MinerOptions{};
-  if (args.flags.count("threads")) {
-    const std::string& text = args.flags.at("threads");
-    char* end = nullptr;
-    long threads = std::strtol(text.c_str(), &end, 10);
-    if (end == text.c_str() || *end != '\0' || threads < 0 || threads > 1024) {
-      std::fprintf(stderr,
-                   "--threads expects an integer in [0, 1024] "
-                   "(0 = hardware concurrency), got '%s'\n",
-                   text.c_str());
-      return 64;
-    }
-    options.num_threads = static_cast<int>(threads);
+  if (args.flags.count("threads") &&
+      !Validated(ParseThreadCount(args.flags.at("threads")),
+                 &options.num_threads, &exit_code)) {
+    return exit_code;
   }
   if (args.flags.count("on-budget")) {
     const std::string& policy = args.flags.at("on-budget");
@@ -176,20 +188,18 @@ int RunMine(const Args& args) {
     } else if (policy == "partial") {
       options.on_exhaustion = MinerOptions::ExhaustionPolicy::kPartial;
     } else {
-      std::fprintf(stderr, "--on-budget expects 'abort' or 'partial', got '%s'\n",
+      std::fprintf(stderr,
+                   "--on-budget expects 'abort' or 'partial', got '%s'\n",
                    policy.c_str());
       return 64;
     }
   }
   std::unique_ptr<ResourceGovernor> governor;
   if (args.flags.count("deadline-ms")) {
-    const std::string& text = args.flags.at("deadline-ms");
-    char* end = nullptr;
-    long deadline_ms = std::strtol(text.c_str(), &end, 10);
-    if (end == text.c_str() || *end != '\0' || deadline_ms <= 0) {
-      std::fprintf(stderr, "--deadline-ms expects a positive integer, got '%s'\n",
-                   text.c_str());
-      return 64;
+    std::int64_t deadline_ms = 0;
+    if (!Validated(ParsePositiveInt("deadline-ms", args.flags.at("deadline-ms")),
+                   &deadline_ms, &exit_code)) {
+      return exit_code;
     }
     // A deadline without an explicit policy degrades gracefully: report
     // whatever was decided instead of failing the whole run.
@@ -270,9 +280,183 @@ int RunMine(const Args& args) {
   return 0;
 }
 
-int RunCheck(const Args& args) {
+void PrintStreamSnapshot(const MiningReport& report, const std::string& label,
+                         const OnlineMiner& miner,
+                         const std::vector<std::string>& names,
+                         const EventTypeRegistry& registry) {
+  std::printf("[%s] roots=%zu events=%zu resident-configs=%zu "
+              "solutions=%zu%s\n",
+              label.c_str(), report.total_roots,
+              report.events_before, miner.resident_configurations(),
+              report.solutions.size(),
+              report.completeness.complete ? "" : " (partial)");
+  for (const DiscoveredType& found : report.solutions) {
+    std::printf("  freq %.3f:", found.frequency);
+    for (std::size_t v = 0; v < found.assignment.size(); ++v) {
+      std::printf(" %s=%s", names[v].c_str(),
+                  registry.name(found.assignment[v]).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+int RunStream(const CliArgs& args) {
   auto system = GranularitySystem::Gregorian();
-  auto text = ReadFile(args.flags.at("structure"));
+  auto structure_text = ReadFileToString(args.flags.at("structure"));
+  if (!structure_text.ok()) {
+    std::fprintf(stderr, "%s\n", structure_text.status().ToString().c_str());
+    return 66;
+  }
+  std::vector<std::string> names;
+  auto structure = ParseEventStructure(*structure_text, system.get(), &names);
+  if (!structure.ok()) {
+    std::fprintf(stderr, "structure: %s\n",
+                 structure.status().ToString().c_str());
+    return 65;
+  }
+  int exit_code = 0;
+  StreamWindowArgs window;
+  {
+    const auto theta_it = args.flags.find("theta");
+    const std::string* theta =
+        theta_it == args.flags.end() ? nullptr : &theta_it->second;
+    if (!Validated(ParseStreamWindow(args.flags.at("window"),
+                                     args.flags.at("slide"), theta),
+                   &window, &exit_code)) {
+      return exit_code;
+    }
+  }
+
+  // The stream's type universe is declared up front: the reference type,
+  // every --pin target, and the shared --types pool for free variables.
+  EventTypeRegistry registry;
+  DiscoveryProblem problem;
+  problem.structure = &*structure;
+  problem.reference_type = registry.Intern(args.flags.at("reference"));
+  problem.min_confidence = window.theta;
+  problem.allowed.assign(static_cast<std::size_t>(structure->variable_count()),
+                         {});
+  std::vector<EventTypeId> shared_pool;
+  if (args.flags.count("types")) {
+    std::istringstream list(args.flags.at("types"));
+    std::string name;
+    while (std::getline(list, name, ',')) {
+      if (!name.empty()) shared_pool.push_back(registry.Intern(name));
+    }
+  }
+  if (!ApplyPins(args, names, &registry, /*intern_types=*/true, &problem,
+                 &exit_code)) {
+    return exit_code;
+  }
+  auto root = structure->FindRoot();
+  if (!root.ok()) {
+    std::fprintf(stderr, "structure: %s\n", root.status().ToString().c_str());
+    return 65;
+  }
+  for (VariableId v = 0; v < structure->variable_count(); ++v) {
+    if (v == *root || !problem.allowed[static_cast<std::size_t>(v)].empty()) {
+      continue;
+    }
+    if (shared_pool.empty()) {
+      std::fprintf(stderr,
+                   "variable '%s' has no candidate types: streaming cannot "
+                   "discover the type universe from the (unbounded) input, "
+                   "so bind it with --pin %s=TYPE or provide --types\n",
+                   names[static_cast<std::size_t>(v)].c_str(),
+                   names[static_cast<std::size_t>(v)].c_str());
+      return 64;
+    }
+    problem.allowed[static_cast<std::size_t>(v)] = shared_pool;
+  }
+
+  OnlineMinerOptions options;
+  options.retention = window.window;
+  if (args.flags.count("tolerance") &&
+      !Validated(ParseNonNegativeInt("tolerance", args.flags.at("tolerance")),
+                 &options.tolerance, &exit_code)) {
+    return exit_code;
+  }
+  if (args.flags.count("threads") &&
+      !Validated(ParseThreadCount(args.flags.at("threads")),
+                 &options.num_threads, &exit_code)) {
+    return exit_code;
+  }
+
+  auto miner = OnlineMiner::Create(system.get(), problem, options);
+  if (!miner.ok()) {
+    std::fprintf(stderr, "stream: %s\n", miner.status().ToString().c_str());
+    return 65;
+  }
+
+  const std::string events_path =
+      args.flags.count("events") ? args.flags.at("events") : "-";
+  std::ifstream file;
+  if (events_path != "-") {
+    file.open(events_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open '%s'\n", events_path.c_str());
+      return 66;
+    }
+  }
+  std::istream& in = events_path == "-" ? std::cin : file;
+
+  std::string line;
+  std::size_t line_number = 0;
+  std::uint64_t dropped_late = 0;
+  TimePoint next_snapshot = kInfinity;  // armed by the first event
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Reuse the batch parser line-by-line: comments and blanks yield an
+    // empty sequence, malformed lines a Status with context.
+    auto parsed = ParseEventSequence(line, &registry);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "line %zu: %s\n", line_number,
+                   parsed.status().ToString().c_str());
+      return 65;
+    }
+    for (const Event& event : parsed->events()) {
+      Status status = miner->Ingest(event);
+      if (!status.ok()) {
+        ++dropped_late;
+        std::fprintf(stderr, "line %zu: dropped: %s\n", line_number,
+                     status.ToString().c_str());
+        continue;
+      }
+      if (next_snapshot == kInfinity) next_snapshot = event.time + window.slide;
+    }
+    while (miner->watermark() >= next_snapshot) {
+      auto report = miner->Snapshot();
+      if (!report.ok()) {
+        std::fprintf(stderr, "snapshot: %s\n",
+                     report.status().ToString().c_str());
+        return 70;
+      }
+      PrintStreamSnapshot(*report, FormatTimePoint(miner->watermark()),
+                          *miner, names, registry);
+      next_snapshot += window.slide;
+    }
+  }
+
+  miner->Seal();
+  auto report = miner->Snapshot();
+  if (!report.ok()) {
+    std::fprintf(stderr, "snapshot: %s\n", report.status().ToString().c_str());
+    return 70;
+  }
+  std::printf("final ");
+  PrintStreamSnapshot(*report, "end of stream", *miner, names, registry);
+  if (report->refuted_by_propagation) {
+    std::printf("structure is INCONSISTENT (refuted by propagation)\n");
+  }
+  std::printf("ingested %zu retained events, rejected %llu late arrival(s)\n",
+              report->events_before,
+              static_cast<unsigned long long>(dropped_late));
+  return 0;
+}
+
+int RunCheck(const CliArgs& args) {
+  auto system = GranularitySystem::Gregorian();
+  auto text = ReadFileToString(args.flags.at("structure"));
   if (!text.ok()) {
     std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
     return 66;
@@ -319,9 +503,9 @@ int RunCheck(const Args& args) {
   return 0;
 }
 
-int RunDot(const Args& args) {
+int RunDot(const CliArgs& args) {
   auto system = GranularitySystem::Gregorian();
-  auto text = ReadFile(args.flags.at("structure"));
+  auto text = ReadFileToString(args.flags.at("structure"));
   if (!text.ok()) {
     std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
     return 66;
@@ -370,18 +554,22 @@ int RunDemo() {
          "1970-01-14 15:00:00 IBM-fall\n"
          "1970-01-19 10:00:00 IBM-rise\n";
   }
-  std::printf("try:\n"
-              "  granmine_cli mine --structure demo_structure.txt --events "
-              "demo_events.txt --reference IBM-rise --confidence 0.5\n"
-              "  granmine_cli check --structure demo_structure.txt --exact\n"
-              "  granmine_cli dot --structure demo_structure.txt --tag\n");
+  std::printf(
+      "try:\n"
+      "  granmine_cli mine --structure demo_structure.txt --events "
+      "demo_events.txt --reference IBM-rise --confidence 0.5\n"
+      "  granmine_cli stream --structure demo_structure.txt --events "
+      "demo_events.txt --reference IBM-rise --window 1209600 --slide 604800 "
+      "--pin report=IBM-earnings-report --pin hp=HP-rise --pin fall=IBM-fall\n"
+      "  granmine_cli check --structure demo_structure.txt --exact\n"
+      "  granmine_cli dot --structure demo_structure.txt --tag\n");
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  auto args = ParseArgs(argc, argv);
+  auto args = ParseCliArgs(argc, argv);
   if (!args.ok()) return Usage();
   auto need = [&](const char* flag) {
     return args->flags.count(flag) > 0;
@@ -390,6 +578,10 @@ int main(int argc, char** argv) {
   if (args->command == "mine" && need("structure") && need("events") &&
       need("reference")) {
     return RunMine(*args);
+  }
+  if (args->command == "stream" && need("structure") && need("reference") &&
+      need("window") && need("slide")) {
+    return RunStream(*args);
   }
   if (args->command == "check" && need("structure")) return RunCheck(*args);
   if (args->command == "dot" && need("structure")) return RunDot(*args);

@@ -6,10 +6,7 @@
 
 namespace granmine {
 
-Executor::Executor(int num_threads)
-    : num_threads_(num_threads > 0
-                       ? num_threads
-                       : std::max(1u, std::thread::hardware_concurrency())) {
+Executor::Executor(int num_threads) : num_threads_(Resolve(num_threads)) {
   workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
   for (int w = 1; w < num_threads_; ++w) {
     workers_.emplace_back([this, w] { WorkerLoop(w); });

@@ -1,6 +1,7 @@
 #ifndef GRANMINE_COMMON_EXECUTOR_H_
 #define GRANMINE_COMMON_EXECUTOR_H_
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -45,6 +46,16 @@ class Executor {
   /// `num_threads <= 0` means "use the hardware concurrency".
   explicit Executor(int num_threads);
   ~Executor();
+
+  /// The worker count `Executor(num_threads)` will actually run with —
+  /// exposed so callers can size per-worker scratch pools before (or
+  /// without) constructing the pool itself.
+  static int Resolve(int num_threads) {
+    return num_threads > 0
+               ? num_threads
+               : static_cast<int>(
+                     std::max(1u, std::thread::hardware_concurrency()));
+  }
 
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;

@@ -1,0 +1,85 @@
+#ifndef GRANMINE_COMMON_RING_BUFFER_H_
+#define GRANMINE_COMMON_RING_BUFFER_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "granmine/common/check.h"
+
+namespace granmine {
+
+/// A FIFO over a circular array: O(1) push_back / pop_front, O(1) indexed
+/// access in logical (insertion) order. The streaming layer uses it for
+/// sliding-window state — committed group records and resident root runs —
+/// where the retention horizon retires elements strictly from the front
+/// while new commits append at the back.
+///
+/// Copyable whenever T is; a copy preserves logical order (it need not
+/// preserve the physical layout, which no caller can observe).
+template <typename T>
+class RingBuffer {
+ public:
+  RingBuffer() = default;
+
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+
+  T& operator[](std::size_t i) {
+    GM_CHECK(i < count_);
+    return data_[Physical(i)];
+  }
+  const T& operator[](std::size_t i) const {
+    GM_CHECK(i < count_);
+    return data_[Physical(i)];
+  }
+
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[count_ - 1]; }
+  const T& back() const { return (*this)[count_ - 1]; }
+
+  void push_back(T value) {
+    if (count_ == data_.size()) Grow();
+    data_[Physical(count_)] = std::move(value);
+    ++count_;
+  }
+
+  void pop_front() {
+    GM_CHECK(count_ > 0);
+    data_[head_] = T{};  // release owned resources eagerly
+    head_ = data_.empty() ? 0 : (head_ + 1) % data_.size();
+    --count_;
+  }
+
+  void clear() {
+    data_.clear();
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  std::size_t Physical(std::size_t i) const {
+    return (head_ + i) % data_.size();
+  }
+
+  void Grow() {
+    std::vector<T> grown;
+    grown.reserve(count_ < 4 ? 8 : count_ * 2);
+    for (std::size_t i = 0; i < count_; ++i) {
+      grown.push_back(std::move(data_[Physical(i)]));
+    }
+    grown.resize(grown.capacity());
+    data_ = std::move(grown);
+    head_ = 0;
+  }
+
+  /// Slots [head_, head_ + count_) mod size hold the live elements.
+  std::vector<T> data_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace granmine
+
+#endif  // GRANMINE_COMMON_RING_BUFFER_H_

@@ -1,0 +1,76 @@
+#ifndef GRANMINE_COMMON_WATERMARK_H_
+#define GRANMINE_COMMON_WATERMARK_H_
+
+#include <cstdint>
+
+#include "granmine/common/math.h"
+#include "granmine/sequence/event.h"
+
+namespace granmine {
+
+/// Tracks the out-of-order frontier of a live event stream.
+///
+/// With bounded disorder `tolerance`, every event is promised to arrive
+/// within `tolerance` time units of the maximum timestamp seen so far. The
+/// watermark is therefore `max_seen - tolerance`: timestamps strictly below
+/// it can no longer legally arrive, so equal-timestamp groups strictly below
+/// the watermark are complete and safe to commit in canonical order. An
+/// arrival below the watermark is *late* (the promise was broken) and must
+/// be rejected — committing it would retroactively change already-committed
+/// prefixes.
+///
+/// The retention `horizon` trails the watermark by `retention` time units;
+/// state anchored strictly below the horizon may be evicted.
+class WatermarkTracker {
+ public:
+  /// `tolerance` >= 0; `retention` >= 0, kInfinity = retain everything.
+  WatermarkTracker(std::int64_t tolerance, std::int64_t retention)
+      : tolerance_(tolerance), retention_(retention) {}
+
+  bool IsLate(TimePoint time) const { return time < watermark(); }
+
+  /// Advances max_seen. Call only for on-time events (`!IsLate(time)`).
+  void Observe(TimePoint time) {
+    if (!any_ || time > max_seen_) max_seen_ = time;
+    any_ = true;
+  }
+
+  /// Forces the watermark to +infinity: every buffered group becomes
+  /// committable and every further arrival is late. Terminal (end of
+  /// stream).
+  void Seal() {
+    any_ = true;
+    sealed_ = true;
+  }
+
+  /// -kInfinity before the first event (nothing is late, nothing commits);
+  /// +kInfinity once sealed.
+  TimePoint watermark() const {
+    if (sealed_) return kInfinity;
+    if (!any_) return -kInfinity;
+    return SaturatingAdd(max_seen_, -tolerance_);
+  }
+
+  /// The eviction frontier; -kInfinity while unbounded retention or no
+  /// events. Sealing does NOT advance the horizon: a terminal flush must
+  /// not evict the state it is about to report.
+  TimePoint horizon() const {
+    if (!any_ || IsInfinite(retention_)) return -kInfinity;
+    TimePoint mark = sealed_ ? SaturatingAdd(max_seen_, -tolerance_)
+                             : watermark();
+    return SaturatingAdd(mark, -retention_);
+  }
+
+  bool sealed() const { return sealed_; }
+
+ private:
+  const std::int64_t tolerance_;
+  const std::int64_t retention_;
+  TimePoint max_seen_ = -kInfinity;
+  bool any_ = false;
+  bool sealed_ = false;
+};
+
+}  // namespace granmine
+
+#endif  // GRANMINE_COMMON_WATERMARK_H_

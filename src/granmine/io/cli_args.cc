@@ -1,0 +1,115 @@
+#include "granmine/io/cli_args.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace granmine {
+
+namespace {
+
+Result<std::int64_t> ParseInt(const std::string& flag,
+                              const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::Invalid("--" + flag + " expects an integer, got '" + text +
+                           "'");
+  }
+  return static_cast<std::int64_t>(value);
+}
+
+}  // namespace
+
+Result<CliArgs> ParseCliArgs(int argc, const char* const* argv) {
+  if (argc < 2) return Status::Invalid("missing command");
+  CliArgs args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag == "--naive") {
+      args.naive = true;
+    } else if (flag == "--exact") {
+      args.exact = true;
+    } else if (flag == "--tag") {
+      args.tag = true;
+    } else if (flag == "--explain") {
+      args.explain = true;
+    } else if (flag == "--pin" && i + 1 < argc) {
+      args.pins.emplace_back(argv[++i]);
+    } else if (flag.rfind("--", 0) == 0 && flag.find('=') != std::string::npos) {
+      std::size_t eq = flag.find('=');
+      args.flags[flag.substr(2, eq - 2)] = flag.substr(eq + 1);
+    } else if (flag.rfind("--", 0) == 0 && i + 1 < argc) {
+      args.flags[flag.substr(2)] = argv[++i];
+    } else {
+      return Status::Invalid("unknown flag '" + flag + "'");
+    }
+  }
+  return args;
+}
+
+Result<int> ParseThreadCount(const std::string& text) {
+  GM_ASSIGN_OR_RETURN(std::int64_t threads, ParseInt("threads", text));
+  if (threads < 1 || threads > 1024) {
+    return Status::Invalid(
+        "--threads expects an integer in [1, 1024] (omit the flag for the "
+        "default), got '" +
+        text + "'");
+  }
+  return static_cast<int>(threads);
+}
+
+Result<std::int64_t> ParsePositiveInt(const std::string& flag,
+                                      const std::string& text) {
+  GM_ASSIGN_OR_RETURN(std::int64_t value, ParseInt(flag, text));
+  if (value <= 0) {
+    return Status::Invalid("--" + flag + " expects a positive integer, got '" +
+                           text + "'");
+  }
+  return value;
+}
+
+Result<std::int64_t> ParseNonNegativeInt(const std::string& flag,
+                                         const std::string& text) {
+  GM_ASSIGN_OR_RETURN(std::int64_t value, ParseInt(flag, text));
+  if (value < 0) {
+    return Status::Invalid("--" + flag +
+                           " expects a non-negative integer, got '" + text +
+                           "'");
+  }
+  return value;
+}
+
+Result<double> ParseConfidence(const std::string& flag,
+                               const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+      !(value >= 0.0 && value <= 1.0)) {
+    return Status::Invalid("--" + flag + " expects a number in [0, 1], got '" +
+                           text + "'");
+  }
+  return value;
+}
+
+Result<StreamWindowArgs> ParseStreamWindow(const std::string& window_text,
+                                           const std::string& slide_text,
+                                           const std::string* theta_text) {
+  StreamWindowArgs args;
+  GM_ASSIGN_OR_RETURN(args.window, ParsePositiveInt("window", window_text));
+  GM_ASSIGN_OR_RETURN(args.slide, ParsePositiveInt("slide", slide_text));
+  if (args.window < args.slide) {
+    return Status::Invalid(
+        "--window (" + window_text + ") must be at least --slide (" +
+        slide_text + "): a shorter window would evict events before the "
+        "snapshot that should report them");
+  }
+  if (theta_text != nullptr) {
+    GM_ASSIGN_OR_RETURN(args.theta, ParseConfidence("theta", *theta_text));
+  }
+  return args;
+}
+
+}  // namespace granmine

@@ -1,0 +1,64 @@
+#ifndef GRANMINE_IO_CLI_ARGS_H_
+#define GRANMINE_IO_CLI_ARGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "granmine/common/result.h"
+
+namespace granmine {
+
+/// Parsed granmine_cli command line: a command word, `--flag value` /
+/// `--flag=value` pairs, repeated `--pin VAR=TYPE` bindings, and the
+/// boolean switches. Factored out of the binary so argument validation is
+/// unit-testable without spawning processes.
+struct CliArgs {
+  std::string command;
+  std::map<std::string, std::string> flags;
+  std::vector<std::string> pins;
+  bool naive = false;
+  bool exact = false;
+  bool tag = false;
+  bool explain = false;
+};
+
+Result<CliArgs> ParseCliArgs(int argc, const char* const* argv);
+
+/// `--threads`: an integer in [1, 1024]. Zero is rejected — "pick for me"
+/// is spelled by omitting the flag, and a silent hardware-concurrency
+/// fallback made `--threads 0` look meaningful when it was not.
+Result<int> ParseThreadCount(const std::string& text);
+
+/// A strictly positive integer flag value (`--deadline-ms`, `--window`,
+/// `--slide`). `flag` is quoted in the error message.
+Result<std::int64_t> ParsePositiveInt(const std::string& flag,
+                                      const std::string& text);
+
+/// A non-negative integer flag value (`--tolerance`).
+Result<std::int64_t> ParseNonNegativeInt(const std::string& flag,
+                                         const std::string& text);
+
+/// A confidence/frequency threshold in [0, 1] (`--confidence`, `--theta`).
+/// Unlike std::stod, garbage is a Status, not an exception.
+Result<double> ParseConfidence(const std::string& flag,
+                               const std::string& text);
+
+/// Validated `granmine_cli stream` window geometry.
+struct StreamWindowArgs {
+  std::int64_t window = 0;  ///< retention horizon, raw time units
+  std::int64_t slide = 0;   ///< snapshot cadence, raw time units
+  double theta = 0.5;       ///< minimum frequency threshold
+};
+
+/// Parses and cross-validates `--window` / `--slide` / optional `--theta`.
+/// Both lengths must be positive and `window >= slide` — a window shorter
+/// than the slide would silently drop events between snapshots.
+Result<StreamWindowArgs> ParseStreamWindow(const std::string& window_text,
+                                           const std::string& slide_text,
+                                           const std::string* theta_text);
+
+}  // namespace granmine
+
+#endif  // GRANMINE_IO_CLI_ARGS_H_

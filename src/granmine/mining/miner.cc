@@ -9,6 +9,7 @@
 #include "granmine/constraint/propagation.h"
 #include "granmine/constraint/substructure.h"
 #include "granmine/mining/reduction.h"
+#include "granmine/mining/scan_driver.h"
 #include "granmine/mining/screening.h"
 #include "granmine/mining/windows.h"
 #include "granmine/tag/builder.h"
@@ -31,21 +32,6 @@ int TypeUniverseSize(const DiscoveryProblem& problem,
   return max_type + 1;
 }
 
-std::uint64_t CandidateCount(
-    const std::vector<std::vector<EventTypeId>>& allowed, VariableId root) {
-  std::uint64_t product = 1;
-  for (std::size_t v = 0; v < allowed.size(); ++v) {
-    if (static_cast<VariableId>(v) == root) continue;
-    std::uint64_t size = allowed[v].size();
-    if (size == 0) return 0;
-    if (product > (std::uint64_t{1} << 62) / size) {
-      return std::uint64_t{1} << 62;  // saturate
-    }
-    product *= size;
-  }
-  return product;
-}
-
 // Does some event usable for v with an allowed type fall in the window?
 bool WindowSatisfiable(const EventSequence& sequence,
                        const PropagationResult& propagation, VariableId v,
@@ -62,44 +48,6 @@ bool WindowSatisfiable(const EventSequence& sequence,
     if (UsableForVariable(propagation, v, window, events[i].time)) {
       return true;
     }
-  }
-  return false;
-}
-
-// The odometer state candidate enumeration holds after `index` advances:
-// enumeration is mixed-radix over the non-root variables with the last
-// variable least significant, so chunked workers can seek straight to their
-// slice of the candidate space.
-std::vector<std::size_t> OdometerAt(
-    const std::vector<std::vector<EventTypeId>>& allowed, VariableId root,
-    std::uint64_t index) {
-  const int n = static_cast<int>(allowed.size());
-  std::vector<std::size_t> odometer(static_cast<std::size_t>(n), 0);
-  for (int v = n - 1; v >= 0 && index > 0; --v) {
-    if (static_cast<VariableId>(v) == root) continue;
-    std::uint64_t size = allowed[static_cast<std::size_t>(v)].size();
-    odometer[static_cast<std::size_t>(v)] =
-        static_cast<std::size_t>(index % size);
-    index /= size;
-  }
-  return odometer;
-}
-
-// One enumeration advance step (root pinned); false when wrapped.
-bool AdvanceOdometer(const std::vector<std::vector<EventTypeId>>& allowed,
-                     VariableId root, std::vector<std::size_t>* odometer) {
-  int v = static_cast<int>(allowed.size()) - 1;
-  while (v >= 0) {
-    if (static_cast<VariableId>(v) == root) {
-      --v;
-      continue;
-    }
-    if (++(*odometer)[static_cast<std::size_t>(v)] <
-        allowed[static_cast<std::size_t>(v)].size()) {
-      return true;
-    }
-    (*odometer)[static_cast<std::size_t>(v)] = 0;
-    --v;
   }
   return false;
 }
@@ -317,37 +265,16 @@ Result<MiningReport> Miner::Mine(const DiscoveryProblem& problem,
                       BuildTagForStructure(structure));
   TagMatcher matcher(&skeleton.tag);
 
-  // Every candidate of the scanned prefix ends in exactly one bucket —
-  // confirmed, refuted, unknown, or not_evaluated — so the merged buckets
-  // always sum to the candidate total (the MiningCompleteness invariant).
-  struct ScanOutcome {
-    std::vector<DiscoveredType> solutions;
-    std::vector<UnknownCandidate> unknown_sample;  // chunk-local prefix
-    std::uint64_t confirmed = 0;
-    std::uint64_t refuted = 0;
-    std::uint64_t unknown = 0;
-    std::uint64_t not_evaluated = 0;
-    std::uint64_t tag_runs = 0;
-    std::uint64_t configurations = 0;
-    /// First cause (candidate order) that interrupted work in this range.
-    StopCause first_stop = StopCause::kNone;
-    /// The stopping candidate hit the matcher's local configuration budget
-    /// (drives the legacy kAbort error message).
-    bool budget_exhausted = false;
-    /// False = the chunk was abandoned before scanning anything.
-    bool ran = false;
-  };
+  // Per-worker match scratches, sized for the pool the scan driver will run
+  // (worker 0 is the calling thread on the serial path).
+  std::vector<MatchScratch> scratches(
+      static_cast<std::size_t>(Executor::Resolve(options_.num_threads)));
 
-  enum class CandidateFate { kDecided, kUnknown };
-
-  // Raised when the scan must wind down (abort-mode failure or a global
-  // governor stop); the Executor observes it before claiming further chunks.
-  std::atomic<bool> stop_scan{false};
-
-  // Scans one candidate φ; kUnknown sets *reason.
+  // Evaluates one candidate φ; kUnknown sets *reason.
   auto scan_candidate = [&](const std::vector<EventTypeId>& phi,
-                            MatchScratch* scratch, ScanOutcome* out,
-                            StopCause* reason) {
+                            std::uint64_t /*index*/, int worker,
+                            ScanOutcome* out, StopCause* reason) {
+    MatchScratch* scratch = &scratches[static_cast<std::size_t>(worker)];
     for (const TypeConstraint& constraint : problem.type_constraints) {
       if (!constraint.SatisfiedBy(phi)) {
         ++out->refuted;  // statically excluded: decided without a scan
@@ -389,135 +316,22 @@ Result<MiningReport> Miner::Mine(const DiscoveryProblem& problem,
     return CandidateFate::kDecided;
   };
 
-  // Scans candidates [begin, end); used by the serial path (one range) and
-  // by each parallel chunk. The governor ticket is created per range, so its
-  // stride phase — and with check_stride == 1 the exact set of checked
-  // indices — is a deterministic property of the range, not of scheduling.
-  auto scan_range = [&](std::uint64_t begin, std::uint64_t end,
-                        MatchScratch* scratch, ScanOutcome* out) {
-    out->ran = true;
-    GovernorTicket ticket(governor, GovernorScope::kMine);
-    std::vector<std::size_t> odometer = OdometerAt(allowed, root, begin);
-    const std::size_t n = allowed.size();
-    std::vector<EventTypeId> phi(n);
-    auto note_unknown = [&](StopCause reason) {
-      ++out->unknown;
-      if (out->first_stop == StopCause::kNone) out->first_stop = reason;
-      if (out->unknown_sample.size() < kUnknownSampleCap) {
-        out->unknown_sample.push_back(UnknownCandidate{phi, reason});
-      }
-    };
-    for (std::uint64_t index = begin; index < end; ++index) {
-      for (std::size_t v = 0; v < n; ++v) phi[v] = allowed[v][odometer[v]];
-      // One governor step per candidate, indexed by the global candidate
-      // position so injection targets a candidate, not a thread.
-      if (StopCause cause = ticket.Charge(index); cause != StopCause::kNone) {
-        // An injected fault with cancel_globally off is *local*: it fails
-        // this candidate only, leaving the shared flag untouched — that is
-        // what keeps the sweep deterministic across thread counts.
-        const bool global = cause != StopCause::kFaultInjected ||
-                            (governor != nullptr && governor->stopped());
-        if (!partial || global) {
-          if (out->first_stop == StopCause::kNone) out->first_stop = cause;
-          if (partial) out->not_evaluated += end - index;
-          stop_scan.store(true, std::memory_order_relaxed);
-          return;
-        }
-        note_unknown(cause);
-        AdvanceOdometer(allowed, root, &odometer);
-        continue;
-      }
-      StopCause reason = StopCause::kNone;
-      if (scan_candidate(phi, scratch, out, &reason) ==
-          CandidateFate::kUnknown) {
-        if (!partial) {
-          if (out->first_stop == StopCause::kNone) out->first_stop = reason;
-          stop_scan.store(true, std::memory_order_relaxed);
-          return;
-        }
-        note_unknown(reason);
-        if (governor != nullptr && governor->stopped()) {
-          // Global stop mid-candidate: the rest of the range is forfeit.
-          out->not_evaluated += end - index - 1;
-          stop_scan.store(true, std::memory_order_relaxed);
-          return;
-        }
-      }
-      AdvanceOdometer(allowed, root, &odometer);
-    }
-  };
-
-  std::vector<ScanOutcome> outcomes;
-  std::uint64_t merge_chunk_size = scan_total;
-  if (options_.num_threads == 1) {
-    outcomes.resize(1);
-    MatchScratch scratch;
-    scan_range(0, scan_total, &scratch, &outcomes[0]);
-  } else {
-    Executor executor(options_.num_threads);
-    // Chunks keep per-item dispatch cheap while staying numerous enough to
-    // balance load; chunk size never affects the merged report.
-    const std::uint64_t per_worker =
-        scan_total / (8 * static_cast<std::uint64_t>(executor.num_threads())) +
-        1;
-    const std::uint64_t chunk_size =
-        std::max<std::uint64_t>(1, std::min<std::uint64_t>(1024, per_worker));
-    merge_chunk_size = chunk_size;
-    const std::size_t chunk_count =
-        static_cast<std::size_t>((scan_total + chunk_size - 1) / chunk_size);
-    std::vector<MatchScratch> scratches(
-        static_cast<std::size_t>(executor.num_threads()));
-    outcomes = executor.ParallelMap<ScanOutcome>(
-        chunk_count,
-        [&](std::size_t chunk, int worker) {
-          ScanOutcome out;
-          if (stop_scan.load(std::memory_order_relaxed)) return out;
-          const std::uint64_t begin = chunk * chunk_size;
-          const std::uint64_t end = std::min(scan_total, begin + chunk_size);
-          scan_range(begin, end, &scratches[static_cast<std::size_t>(worker)],
-                     &out);
-          return out;
-        },
-        &stop_scan);
-  }
-
-  // Merge in chunk (= candidate) order: solutions and unknown samples keep
-  // their global order, and the first stop cause in candidate order wins.
-  Status scan_status = Status::OK();
-  StopCause first_stop = StopCause::kNone;
-  for (std::size_t i = 0; i < outcomes.size(); ++i) {
-    ScanOutcome& out = outcomes[i];
-    if (!out.ran) {
-      const std::uint64_t begin = i * merge_chunk_size;
-      const std::uint64_t end =
-          std::min(scan_total, begin + merge_chunk_size);
-      report.completeness.not_evaluated += end - begin;
-      continue;
-    }
-    report.tag_runs += out.tag_runs;
-    report.matcher_configurations += out.configurations;
-    report.completeness.confirmed += out.confirmed;
-    report.completeness.refuted += out.refuted;
-    report.completeness.unknown += out.unknown;
-    report.completeness.not_evaluated += out.not_evaluated;
-    if (first_stop == StopCause::kNone) first_stop = out.first_stop;
-    if (!partial && scan_status.ok() && out.first_stop != StopCause::kNone) {
-      scan_status =
-          out.budget_exhausted
-              ? Status::ResourceExhausted(
-                    "TAG matcher exceeded its configuration budget")
-              : StopCauseToStatus(out.first_stop, "the mining run");
-    }
-    for (DiscoveredType& solution : out.solutions) {
-      report.solutions.push_back(std::move(solution));
-    }
-    for (UnknownCandidate& unknown : out.unknown_sample) {
-      if (report.unknown_sample.size() < kUnknownSampleCap) {
-        report.unknown_sample.push_back(std::move(unknown));
-      }
-    }
-  }
-  GM_RETURN_NOT_OK(scan_status);
+  ScanDriverOptions scan_options;
+  scan_options.num_threads = options_.num_threads;
+  scan_options.partial = partial;
+  scan_options.governor = governor;
+  ScanMergeResult merged =
+      ScanCandidates(allowed, root, scan_total, scan_options, scan_candidate);
+  GM_RETURN_NOT_OK(merged.status);
+  report.tag_runs += merged.tag_runs;
+  report.matcher_configurations += merged.configurations;
+  report.completeness.confirmed = merged.confirmed;
+  report.completeness.refuted = merged.refuted;
+  report.completeness.unknown = merged.unknown;
+  report.completeness.not_evaluated = merged.not_evaluated;
+  report.solutions = std::move(merged.solutions);
+  report.unknown_sample = std::move(merged.unknown_sample);
+  StopCause first_stop = merged.first_stop;
   if (clamped) {
     report.completeness.not_evaluated +=
         report.candidates_after_screening - scan_total;

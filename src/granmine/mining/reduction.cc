@@ -30,41 +30,47 @@ std::vector<std::vector<EventTypeId>> ResolveAllowedTypes(
   return allowed;
 }
 
-EventSequence ReduceSequence(
-    const EventSequence& sequence, const PropagationResult& propagation,
-    const std::vector<std::vector<EventTypeId>>& allowed) {
+EventReducer::EventReducer(
+    const PropagationResult* propagation,
+    const std::vector<std::vector<EventTypeId>>& allowed)
+    : propagation_(propagation) {
   const int n = static_cast<int>(allowed.size());
-  // candidate_vars[type]: variables that may take this type.
   EventTypeId max_type = -1;
   for (const std::vector<EventTypeId>& types : allowed) {
     for (EventTypeId type : types) max_type = std::max(max_type, type);
   }
-  std::vector<std::vector<VariableId>> candidate_vars(
-      static_cast<std::size_t>(max_type) + 1);
+  candidate_vars_.resize(static_cast<std::size_t>(max_type) + 1);
   for (VariableId v = 0; v < n; ++v) {
     for (EventTypeId type : allowed[static_cast<std::size_t>(v)]) {
-      candidate_vars[static_cast<std::size_t>(type)].push_back(v);
+      candidate_vars_[static_cast<std::size_t>(type)].push_back(v);
     }
   }
-  const std::vector<VariableId> kNone;
-  auto vars_for = [&](EventTypeId type) -> const std::vector<VariableId>& {
-    if (type < 0 || type > max_type) return kNone;
-    return candidate_vars[static_cast<std::size_t>(type)];
-  };
+}
 
-  return sequence.Filter([&](const Event& event) {
-    for (VariableId v : vars_for(event.type)) {
-      bool usable = true;
-      for (const Granularity* g : propagation.granularities) {
-        if (propagation.IsDefinedIn(g, v) && !g->InSupport(event.time)) {
-          usable = false;
-          break;
-        }
-      }
-      if (usable) return true;
-    }
+bool EventReducer::Keep(const Event& event) const {
+  if (event.type < 0 ||
+      static_cast<std::size_t>(event.type) >= candidate_vars_.size()) {
     return false;
-  });
+  }
+  for (VariableId v : candidate_vars_[static_cast<std::size_t>(event.type)]) {
+    bool usable = true;
+    for (const Granularity* g : propagation_->granularities) {
+      if (propagation_->IsDefinedIn(g, v) && !g->InSupport(event.time)) {
+        usable = false;
+        break;
+      }
+    }
+    if (usable) return true;
+  }
+  return false;
+}
+
+EventSequence ReduceSequence(
+    const EventSequence& sequence, const PropagationResult& propagation,
+    const std::vector<std::vector<EventTypeId>>& allowed) {
+  EventReducer reducer(&propagation, allowed);
+  return sequence.Filter(
+      [&](const Event& event) { return reducer.Keep(event); });
 }
 
 }  // namespace granmine

@@ -1,0 +1,132 @@
+#include "granmine/stream/incremental_matcher.h"
+
+#include <algorithm>
+
+#include "granmine/common/check.h"
+
+namespace granmine {
+
+IncrementalMatcher::IncrementalMatcher(
+    const Tag* tag, std::shared_ptr<const std::vector<SymbolMap>> symbols,
+    std::shared_ptr<const std::vector<char>> active,
+    std::uint64_t max_configurations)
+    : kernel_(tag),
+      symbols_(std::move(symbols)),
+      active_(std::move(active)),
+      max_configurations_(max_configurations),
+      candidate_count_(symbols_->size()),
+      active_count_(static_cast<std::size_t>(
+          std::count(active_->begin(), active_->end(), char{1}))) {
+  GM_CHECK(active_->size() == candidate_count_);
+}
+
+void IncrementalMatcher::Finalize(RootRuns* root) {
+  for (std::size_t c = 0; c < candidate_count_; ++c) {
+    ResidentRun& slot = root->slots[c];
+    if ((*active_)[c] != 0 && slot.verdict == RunVerdict::kPending) {
+      // The batch run would scan to end-of-input and reject: no group at or
+      // before the deadline accepted, and later groups are never fed.
+      slot.verdict = RunVerdict::kRejected;
+      slot.run.Reset();
+    }
+  }
+  root->pending = 0;
+}
+
+void IncrementalMatcher::AdvanceGroup(
+    std::span<const Event> group, std::span<const NewRootSpawn> new_roots,
+    Executor* executor, std::vector<TagKernelScratch>* scratches) {
+  if (group.empty()) {
+    GM_CHECK(new_roots.empty());
+    return;
+  }
+  GM_CHECK(scratches != nullptr && !scratches->empty());
+  const TimePoint time = group.front().time;
+
+  // Retire roots whose deadline has passed before this group: the batch run
+  // breaks before feeding any group beyond the deadline.
+  for (std::size_t r = 0; r < roots_.size(); ++r) {
+    RootRuns& root = roots_[r];
+    if (root.pending > 0 && time > root.deadline) Finalize(&root);
+  }
+
+  const std::size_t first_new = roots_.size();
+  for (const NewRootSpawn& spawn : new_roots) {
+    GM_CHECK(spawn.pos < group.size() && spawn.deadline >= time);
+    RootRuns root;
+    root.t0 = time;
+    root.deadline = spawn.deadline;
+    root.slots.resize(candidate_count_);
+    root.pending = active_count_;
+    roots_.push_back(std::move(root));
+  }
+
+  // One worker per root: slots are written by exactly one thread, so the
+  // advance is race-free and bitwise deterministic at every thread count.
+  auto advance_root = [&](std::size_t r, int worker) {
+    RootRuns& root = roots_[r];
+    if (root.pending == 0) return;
+    const std::span<const Event> fed =
+        r >= first_new ? group.subspan(new_roots[r - first_new].pos) : group;
+    TagKernelScratch& scratch =
+        (*scratches)[static_cast<std::size_t>(worker)];
+    for (std::size_t c = 0; c < candidate_count_; ++c) {
+      if ((*active_)[c] == 0) continue;
+      ResidentRun& slot = root.slots[c];
+      if (slot.verdict != RunVerdict::kPending) continue;
+      switch (kernel_.AdvanceGroup(fed, (*symbols_)[c], /*anchored=*/true,
+                                   &slot.run, &scratch, &slot.stats,
+                                   max_configurations_, /*ticket=*/nullptr)) {
+        case TagKernel::GroupOutcome::kAccepted:
+          slot.verdict = RunVerdict::kAccepted;
+          slot.run.Reset();
+          --root.pending;
+          break;
+        case TagKernel::GroupOutcome::kDead:
+          slot.verdict = RunVerdict::kRejected;
+          slot.run.Reset();
+          --root.pending;
+          break;
+        case TagKernel::GroupOutcome::kStopped:
+          slot.verdict = RunVerdict::kUnknown;
+          slot.run.Reset();
+          --root.pending;
+          break;
+        case TagKernel::GroupOutcome::kAdvanced:
+          break;
+      }
+    }
+  };
+
+  if (executor != nullptr && executor->num_threads() > 1) {
+    executor->ParallelFor(roots_.size(), advance_root);
+  } else {
+    for (std::size_t r = 0; r < roots_.size(); ++r) advance_root(r, 0);
+  }
+}
+
+void IncrementalMatcher::EvictBefore(TimePoint horizon) {
+  while (!roots_.empty() && roots_.front().t0 < horizon) roots_.pop_front();
+}
+
+std::size_t IncrementalMatcher::resident_configurations() const {
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < roots_.size(); ++r) {
+    const RootRuns& root = roots_[r];
+    if (root.pending == 0) continue;
+    for (const ResidentRun& slot : root.slots) {
+      if (slot.verdict == RunVerdict::kPending) {
+        total += slot.run.frontier.size();
+      }
+    }
+  }
+  return total;
+}
+
+std::size_t IncrementalMatcher::pending_runs() const {
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < roots_.size(); ++r) total += roots_[r].pending;
+  return total;
+}
+
+}  // namespace granmine

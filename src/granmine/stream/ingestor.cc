@@ -1,0 +1,69 @@
+#include "granmine/stream/ingestor.h"
+
+#include <algorithm>
+#include <string>
+
+#include "granmine/common/check.h"
+
+namespace granmine {
+
+namespace {
+
+bool CanonicalLess(const Event& a, const Event& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.type < b.type;
+}
+
+}  // namespace
+
+Status StreamIngestor::Ingest(Event event) {
+  if (tracker_.IsLate(event.time)) {
+    ++late_events_;
+    return Status::Invalid(
+        "late event: type " + std::to_string(event.type) + " at t=" +
+        std::to_string(event.time) + " is below the watermark t=" +
+        std::to_string(tracker_.watermark()) +
+        " (out-of-order tolerance exceeded)");
+  }
+  tracker_.Observe(event.time);
+  auto pos = std::upper_bound(events_.begin() + static_cast<std::ptrdiff_t>(
+                                                    head_),
+                              events_.end(), event, CanonicalLess);
+  events_.insert(pos, event);
+  return Status::OK();
+}
+
+std::size_t StreamIngestor::ReadyEnd() const {
+  const TimePoint mark = tracker_.watermark();
+  // First live index with time >= mark; everything before it is committable.
+  auto it = std::lower_bound(
+      events_.begin() + static_cast<std::ptrdiff_t>(head_), events_.end(),
+      mark,
+      [](const Event& e, TimePoint t) { return e.time < t; });
+  return static_cast<std::size_t>(it - events_.begin());
+}
+
+std::span<const Event> StreamIngestor::Ready() const {
+  return {events_.data() + head_, ReadyEnd() - head_};
+}
+
+std::span<const Event> StreamIngestor::Buffered() const {
+  const std::size_t ready_end = ReadyEnd();
+  return {events_.data() + ready_end, events_.size() - ready_end};
+}
+
+void StreamIngestor::Discard(std::size_t n) {
+  GM_CHECK(head_ + n <= ReadyEnd()) << "Discard beyond the ready prefix";
+  head_ += n;
+  Compact();
+}
+
+void StreamIngestor::Compact() {
+  if (head_ >= 1024 && head_ * 2 >= events_.size()) {
+    events_.erase(events_.begin(),
+                  events_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+}
+
+}  // namespace granmine

@@ -1,0 +1,95 @@
+#ifndef GRANMINE_STREAM_INGESTOR_H_
+#define GRANMINE_STREAM_INGESTOR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "granmine/common/math.h"
+#include "granmine/common/status.h"
+#include "granmine/common/watermark.h"
+#include "granmine/sequence/event.h"
+
+namespace granmine {
+
+struct IngestorOptions {
+  /// Maximum out-of-order displacement: an arrival is accepted iff its
+  /// timestamp is >= max_seen - tolerance. 0 = in-order streams only.
+  std::int64_t tolerance = 0;
+  /// How far behind the watermark committed state is retained. kInfinity =
+  /// unbounded (no eviction).
+  std::int64_t retention = kInfinity;
+};
+
+/// Reorder buffer between a live, boundedly-out-of-order event stream and
+/// the order-sensitive incremental matcher.
+///
+/// Arrivals are buffered in canonical (time, type) order. Once the watermark
+/// (`max_seen - tolerance`) passes beyond a timestamp, its equal-timestamp
+/// group can no longer grow, so the whole group becomes *ready* and is
+/// surfaced — in canonical order — through `Ready()` / `Discard()`. The
+/// canonical order makes every downstream result a function of the event
+/// multiset alone: any two arrival orders that respect the tolerance commit
+/// byte-identical group sequences.
+///
+/// An arrival below the watermark is late — it broke the disorder bound —
+/// and is rejected with a deterministic InvalidArgument; accepting it would
+/// retroactively change committed groups.
+///
+/// The ingestor never blocks and never drops on-time events; eviction of
+/// *committed* state beyond the retention horizon is the consumer's job
+/// (watch `horizon()`).
+class StreamIngestor {
+ public:
+  explicit StreamIngestor(IngestorOptions options)
+      : options_(options),
+        tracker_(options.tolerance, options.retention) {}
+
+  /// Buffers one arrival. InvalidArgument iff the event is late
+  /// (`time < watermark()`); the stream remains usable after a rejection.
+  Status Ingest(Event event);
+
+  /// Makes every buffered event ready and every further arrival late.
+  /// Terminal: use at end of stream before a final snapshot/report.
+  void Seal() { tracker_.Seal(); }
+
+  /// The committable prefix: all buffered events with time strictly below
+  /// the watermark, in canonical (time, type) order. The span is invalidated
+  /// by the next Ingest/Discard. Consume whole equal-timestamp groups and
+  /// acknowledge with `Discard`.
+  std::span<const Event> Ready() const;
+
+  /// Drops the first `n` ready events (caller has consumed them).
+  void Discard(std::size_t n);
+
+  /// Buffered events that are NOT yet ready (time >= watermark), canonical
+  /// order. With `Ready()` fully drained this is the entire buffer — a
+  /// snapshot feeds these to a cloned matcher without disturbing the live
+  /// stream. Invalidated by the next Ingest/Discard.
+  std::span<const Event> Buffered() const;
+
+  TimePoint watermark() const { return tracker_.watermark(); }
+  TimePoint horizon() const { return tracker_.horizon(); }
+  bool sealed() const { return tracker_.sealed(); }
+
+  /// Arrivals rejected as late so far.
+  std::uint64_t late_events() const { return late_events_; }
+  /// Events currently buffered (ready + not ready).
+  std::size_t buffered_events() const { return events_.size() - head_; }
+
+ private:
+  std::size_t ReadyEnd() const;
+  void Compact();
+
+  IngestorOptions options_;
+  WatermarkTracker tracker_;
+  /// events_[head_..] are live, sorted by (time, type); [0, head_) are
+  /// discarded slots awaiting compaction.
+  std::vector<Event> events_;
+  std::size_t head_ = 0;
+  std::uint64_t late_events_ = 0;
+};
+
+}  // namespace granmine
+
+#endif  // GRANMINE_STREAM_INGESTOR_H_

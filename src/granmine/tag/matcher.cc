@@ -1,70 +1,14 @@
 #include "granmine/tag/matcher.h"
 
-#include <algorithm>
-#include <limits>
-#include <unordered_set>
-
 #include "granmine/common/check.h"
+#include "granmine/tag/step_kernel.h"
 
 namespace granmine {
 
-namespace {
-
-/// Sentinel reset value: the clock was reset at an instant with no tick in
-/// its granularity; its value stays undefined until the next reset.
-constexpr std::int64_t kUndefinedTick = std::numeric_limits<std::int64_t>::min();
-
-struct Config {
-  int state;
-  std::vector<std::int64_t> resets;  // per clock: tick at reset or sentinel
-
-  bool operator==(const Config&) const = default;
-};
-
-struct ConfigHash {
-  std::size_t operator()(const Config& config) const {
-    std::size_t h = std::hash<int>()(config.state);
-    for (std::int64_t r : config.resets) {
-      h ^= std::hash<std::int64_t>()(r) + 0x9e3779b97f4a7c15ULL + (h << 6) +
-           (h >> 2);
-    }
-    return h;
-  }
-};
-
-// A search node inside one equal-timestamp group: a configuration plus how
-// many events of each group type it has consumed via labeled transitions
-// (`used`), and whether it still must consume the anchor (anchored matching,
-// first group only).
-struct GroupNode {
-  Config config;
-  std::vector<int> used;
-  bool pre_anchor = false;
-
-  bool operator==(const GroupNode&) const = default;
-};
-
-struct GroupNodeHash {
-  std::size_t operator()(const GroupNode& node) const {
-    std::size_t h = ConfigHash()(node.config);
-    for (int u : node.used) {
-      h ^= std::hash<int>()(u) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-    }
-    return h * 2 + (node.pre_anchor ? 1 : 0);
-  }
-};
-
-}  // namespace
-
 /// The per-run buffers; reused across runs when the caller keeps a scratch.
 struct MatchScratch::Impl {
-  std::unordered_set<Config, ConfigHash> frontier;
-  std::unordered_set<GroupNode, GroupNodeHash> visited;
-  std::vector<GroupNode> queue;
-  std::vector<std::int64_t> now;
-  std::vector<std::optional<std::int64_t>> values;
-  std::vector<EventTypeId> group_types;
-  std::vector<int> available;
+  TagRunState run;
+  TagKernelScratch kernel;
 };
 
 MatchScratch::MatchScratch() = default;
@@ -101,21 +45,7 @@ std::span<const Symbol> SymbolMap::SymbolsFor(EventTypeId type) const {
   return symbols_by_type[static_cast<std::size_t>(type)];
 }
 
-TagMatcher::TagMatcher(const Tag* tag) : tag_(tag) {
-  GM_CHECK(tag_ != nullptr);
-  for (const Tag::Clock& clock : tag_->clocks()) {
-    auto it = std::find(granularities_.begin(), granularities_.end(),
-                        clock.granularity);
-    if (it == granularities_.end()) {
-      granularities_.push_back(clock.granularity);
-      clock_granularity_.push_back(
-          static_cast<int>(granularities_.size()) - 1);
-    } else {
-      clock_granularity_.push_back(
-          static_cast<int>(it - granularities_.begin()));
-    }
-  }
-}
+TagMatcher::TagMatcher(const Tag* tag) : kernel_(tag) {}
 
 MatchOutcome TagMatcher::Run(std::span<const Event> events,
                              const SymbolMap& symbols,
@@ -135,30 +65,24 @@ MatchOutcome TagMatcher::Run(std::span<const Event> events,
   if (sc.impl_ == nullptr) sc.impl_ = std::make_unique<MatchScratch::Impl>();
   MatchScratch::Impl& s = *sc.impl_;
 
-  const std::size_t clock_count = tag_->clocks().size();
+  const Tag& tag = kernel_.tag();
 
   // Empty input: accepted iff a start state is accepting (and the run is
   // not required to anchor on a first event).
   if (!options.anchored) {
-    for (int state : tag_->start_states()) {
-      if (tag_->IsAccepting(state)) return MatchOutcome::kAccepted;
+    for (int state : tag.start_states()) {
+      if (tag.IsAccepting(state)) return MatchOutcome::kAccepted;
     }
   }
 
-  std::unordered_set<Config, ConfigHash>& frontier = s.frontier;
-  frontier.clear();
-  s.now.assign(granularities_.size(), 0);
-  std::vector<std::int64_t>& now = s.now;
-  s.values.assign(clock_count, std::nullopt);
-  std::vector<std::optional<std::int64_t>>& values = s.values;
+  s.run.Reset();
 
   // Events with equal timestamps form one *group*: the §3 occurrence
   // definition is insensitive to their listing order, so within a group the
-  // matcher may consume them in any order (the closure below explores all
+  // matcher may consume them in any order (the kernel's closure explores all
   // orders; clock ticks are constant across a group, so only the per-type
   // consumption counts matter).
   std::size_t group_start = 0;
-  bool first_group = true;
   while (group_start < events.size()) {
     if (StopCause cause = ticket.Charge(st.configurations);
         cause != StopCause::kNone) {
@@ -171,147 +95,20 @@ MatchOutcome TagMatcher::Run(std::span<const Event> events,
     while (group_end < events.size() && events[group_end].time == group_time) {
       ++group_end;
     }
-    st.events_scanned += group_end - group_start;
 
-    for (std::size_t g = 0; g < granularities_.size(); ++g) {
-      std::optional<Tick> tick = granularities_[g]->TickContaining(group_time);
-      now[g] = tick.has_value() ? *tick : kUndefinedTick;
+    switch (kernel_.AdvanceGroup(
+        events.subspan(group_start, group_end - group_start), symbols,
+        options.anchored, &s.run, &s.kernel, &st, options.max_configurations,
+        &ticket)) {
+      case TagKernel::GroupOutcome::kAccepted:
+        return MatchOutcome::kAccepted;
+      case TagKernel::GroupOutcome::kStopped:
+        return MatchOutcome::kUnknown;
+      case TagKernel::GroupOutcome::kDead:
+        return MatchOutcome::kRejected;  // no run recovers
+      case TagKernel::GroupOutcome::kAdvanced:
+        break;
     }
-
-    // Per-type availability within the group.
-    std::vector<EventTypeId>& group_types = s.group_types;
-    std::vector<int>& available = s.available;
-    group_types.clear();
-    available.clear();
-    for (std::size_t i = group_start; i < group_end; ++i) {
-      EventTypeId type = events[i].type;
-      auto it = std::find(group_types.begin(), group_types.end(), type);
-      if (it == group_types.end()) {
-        group_types.push_back(type);
-        available.push_back(1);
-      } else {
-        ++available[it - group_types.begin()];
-      }
-    }
-    const EventTypeId anchor_type = events[group_start].type;
-
-    if (first_group) {
-      // Clocks read 0 at the first event (§4 initiation).
-      Config seed;
-      seed.resets.resize(clock_count);
-      for (std::size_t c = 0; c < clock_count; ++c) {
-        seed.resets[c] = now[clock_granularity_[c]];
-      }
-      for (int state : tag_->start_states()) {
-        seed.state = state;
-        frontier.insert(seed);
-      }
-      st.configurations += frontier.size();
-    }
-
-    // BFS closure over labeled consumptions within the group. Every reached
-    // configuration (except pre-anchor ones) is a valid post-group state:
-    // unconsumed events are absorbed by ANY self-loops.
-    std::unordered_set<GroupNode, GroupNodeHash>& visited = s.visited;
-    std::vector<GroupNode>& queue = s.queue;
-    visited.clear();
-    queue.clear();
-    const bool anchoring = options.anchored && first_group;
-    for (const Config& config : frontier) {
-      GroupNode node{config, std::vector<int>(group_types.size(), 0),
-                     anchoring};
-      if (visited.insert(node).second) queue.push_back(std::move(node));
-    }
-    frontier.clear();
-
-    auto note_result = [&](const GroupNode& node) {
-      if (!node.pre_anchor) frontier.insert(node.config);
-    };
-    for (const GroupNode& node : queue) note_result(node);
-
-    while (!queue.empty()) {
-      GroupNode node = std::move(queue.back());
-      queue.pop_back();
-      // Clock values are constant across the group for a fixed config.
-      for (std::size_t c = 0; c < clock_count; ++c) {
-        std::int64_t reset = node.config.resets[c];
-        std::int64_t tick = now[clock_granularity_[c]];
-        values[c] = (reset == kUndefinedTick || tick == kUndefinedTick)
-                        ? std::nullopt
-                        : std::optional<std::int64_t>(tick - reset);
-      }
-      for (std::size_t type_index = 0; type_index < group_types.size();
-           ++type_index) {
-        if (node.used[type_index] >= available[type_index]) continue;
-        EventTypeId type = group_types[type_index];
-        if (node.pre_anchor && type != anchor_type) continue;
-        std::span<const Symbol> event_symbols = symbols.SymbolsFor(type);
-        if (event_symbols.empty()) continue;
-        for (int t_index : tag_->OutgoingOf(node.config.state)) {
-          const Tag::Transition& tr = tag_->transitions()[t_index];
-          if (tr.symbol == kAnySymbol) continue;  // skips handled implicitly
-          if (std::find(event_symbols.begin(), event_symbols.end(),
-                        tr.symbol) == event_symbols.end()) {
-            continue;
-          }
-          if (!tr.guard.IsSatisfied(values)) continue;
-          GroupNode successor = node;
-          successor.config.state = tr.to;
-          for (int c : tr.resets) {
-            successor.config.resets[static_cast<std::size_t>(c)] =
-                now[clock_granularity_[static_cast<std::size_t>(c)]];
-          }
-          ++successor.used[type_index];
-          successor.pre_anchor = false;
-          if (tag_->IsAccepting(tr.to)) return MatchOutcome::kAccepted;
-          if (visited.insert(successor).second) {
-            ++st.configurations;
-            note_result(successor);
-            queue.push_back(std::move(successor));
-            if (st.configurations > options.max_configurations) {
-              st.budget_exhausted = true;
-              st.stopped = StopCause::kStepBudget;
-              return MatchOutcome::kUnknown;
-            }
-            if (StopCause cause = ticket.Charge(st.configurations);
-                cause != StopCause::kNone) {
-              st.stopped = cause;
-              return MatchOutcome::kUnknown;
-            }
-          }
-        }
-      }
-    }
-
-    // Prune configurations that can never progress again: clock values only
-    // grow until a config takes a labeled transition, so once every labeled
-    // outgoing guard is expired the config is dead. This is what keeps the
-    // live frontier within the Theorem-4 (|V|K)^p bound instead of growing
-    // with the sequence.
-    for (auto it = frontier.begin(); it != frontier.end();) {
-      const Config& config = *it;
-      for (std::size_t c = 0; c < clock_count; ++c) {
-        std::int64_t reset = config.resets[c];
-        std::int64_t tick = now[clock_granularity_[c]];
-        values[c] = (reset == kUndefinedTick || tick == kUndefinedTick)
-                        ? std::nullopt
-                        : std::optional<std::int64_t>(tick - reset);
-      }
-      bool alive = false;
-      for (int t_index : tag_->OutgoingOf(config.state)) {
-        const Tag::Transition& tr = tag_->transitions()[t_index];
-        if (tr.symbol == kAnySymbol) continue;  // self-loops do not progress
-        if (!tr.guard.ExpiredForever(values)) {
-          alive = true;
-          break;
-        }
-      }
-      it = alive ? std::next(it) : frontier.erase(it);
-    }
-
-    st.peak_frontier = std::max(st.peak_frontier, frontier.size());
-    if (frontier.empty()) return MatchOutcome::kRejected;  // no run recovers
-    first_group = false;
     group_start = group_end;
   }
   return MatchOutcome::kRejected;

@@ -1,0 +1,249 @@
+#include "granmine/tag/step_kernel.h"
+
+#include <algorithm>
+
+#include "granmine/common/check.h"
+
+namespace granmine {
+
+// A search node inside one equal-timestamp group: a configuration plus how
+// many events of each group type it has consumed via labeled transitions
+// (`used`), and whether it still must consume the anchor (anchored matching,
+// first group only).
+struct TagKernelScratch::GroupNode {
+  TagConfig config;
+  std::vector<int> used;
+  bool pre_anchor = false;
+
+  bool operator==(const GroupNode&) const = default;
+};
+
+namespace {
+
+using GroupNode = TagKernelScratch::GroupNode;
+
+struct GroupNodeHash {
+  std::size_t operator()(const GroupNode& node) const {
+    std::size_t h = TagConfigHash()(node.config);
+    for (int u : node.used) {
+      h ^= std::hash<int>()(u) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h * 2 + (node.pre_anchor ? 1 : 0);
+  }
+};
+
+}  // namespace
+
+struct TagKernelScratch::Impl {
+  std::unordered_set<GroupNode, GroupNodeHash> visited;
+  std::vector<GroupNode> queue;
+};
+
+TagKernelScratch::TagKernelScratch() : impl(std::make_unique<Impl>()) {}
+TagKernelScratch::~TagKernelScratch() = default;
+TagKernelScratch::TagKernelScratch(TagKernelScratch&&) noexcept = default;
+TagKernelScratch& TagKernelScratch::operator=(TagKernelScratch&&) noexcept =
+    default;
+
+TagKernel::TagKernel(const Tag* tag) : tag_(tag) {
+  GM_CHECK(tag_ != nullptr);
+  for (const Tag::Clock& clock : tag_->clocks()) {
+    auto it = std::find(granularities_.begin(), granularities_.end(),
+                        clock.granularity);
+    if (it == granularities_.end()) {
+      granularities_.push_back(clock.granularity);
+      clock_granularity_.push_back(
+          static_cast<int>(granularities_.size()) - 1);
+    } else {
+      clock_granularity_.push_back(
+          static_cast<int>(it - granularities_.begin()));
+    }
+  }
+}
+
+void TagKernel::ComputeNow(TimePoint time,
+                           std::vector<std::int64_t>* now) const {
+  now->resize(granularities_.size());
+  for (std::size_t g = 0; g < granularities_.size(); ++g) {
+    std::optional<Tick> tick = granularities_[g]->TickContaining(time);
+    (*now)[g] = tick.has_value() ? *tick : kUndefinedTick;
+  }
+}
+
+// Prune configurations that can never progress again: clock values only
+// grow until a config takes a labeled transition, so once every labeled
+// outgoing guard is expired the config is dead. This is what keeps the
+// live frontier within the Theorem-4 (|V|K)^p bound instead of growing
+// with the sequence. `scratch->now` must already hold the prune instant's
+// ticks.
+void TagKernel::PruneFrontier(TagRunState* run,
+                              TagKernelScratch* scratch) const {
+  const std::size_t clock_count = tag_->clocks().size();
+  std::vector<std::int64_t>& now = scratch->now;
+  scratch->values.assign(clock_count, std::nullopt);
+  std::vector<std::optional<std::int64_t>>& values = scratch->values;
+  auto& frontier = run->frontier;
+  for (auto it = frontier.begin(); it != frontier.end();) {
+    const TagConfig& config = *it;
+    for (std::size_t c = 0; c < clock_count; ++c) {
+      std::int64_t reset = config.resets[c];
+      std::int64_t tick = now[clock_granularity_[c]];
+      values[c] = (reset == kUndefinedTick || tick == kUndefinedTick)
+                      ? std::nullopt
+                      : std::optional<std::int64_t>(tick - reset);
+    }
+    bool alive = false;
+    for (int t_index : tag_->OutgoingOf(config.state)) {
+      const Tag::Transition& tr = tag_->transitions()[t_index];
+      if (tr.symbol == kAnySymbol) continue;  // self-loops do not progress
+      if (!tr.guard.ExpiredForever(values)) {
+        alive = true;
+        break;
+      }
+    }
+    it = alive ? std::next(it) : frontier.erase(it);
+  }
+}
+
+void TagKernel::RetireDeadConfigs(TimePoint time, TagRunState* run,
+                                  TagKernelScratch* scratch,
+                                  MatchStats* stats) const {
+  if (!run->seeded || run->frontier.empty()) return;
+  ComputeNow(time, &scratch->now);
+  PruneFrontier(run, scratch);
+  if (stats != nullptr) {
+    stats->peak_frontier =
+        std::max(stats->peak_frontier, run->frontier.size());
+  }
+}
+
+TagKernel::GroupOutcome TagKernel::AdvanceGroup(
+    std::span<const Event> group, const SymbolMap& symbols, bool anchored,
+    TagRunState* run, TagKernelScratch* scratch, MatchStats* stats,
+    std::uint64_t max_configurations, GovernorTicket* ticket) const {
+  GM_CHECK(!group.empty());
+  MatchStats& st = *stats;
+  const std::size_t clock_count = tag_->clocks().size();
+  st.events_scanned += group.size();
+
+  ComputeNow(group.front().time, &scratch->now);
+  std::vector<std::int64_t>& now = scratch->now;
+  scratch->values.assign(clock_count, std::nullopt);
+  std::vector<std::optional<std::int64_t>>& values = scratch->values;
+
+  // Per-type availability within the group.
+  std::vector<EventTypeId>& group_types = scratch->group_types;
+  std::vector<int>& available = scratch->available;
+  group_types.clear();
+  available.clear();
+  for (const Event& event : group) {
+    auto it = std::find(group_types.begin(), group_types.end(), event.type);
+    if (it == group_types.end()) {
+      group_types.push_back(event.type);
+      available.push_back(1);
+    } else {
+      ++available[it - group_types.begin()];
+    }
+  }
+  const EventTypeId anchor_type = group.front().type;
+
+  const bool seeding = !run->seeded;
+  if (seeding) {
+    // Clocks read 0 at the first event (§4 initiation).
+    TagConfig seed;
+    seed.resets.resize(clock_count);
+    for (std::size_t c = 0; c < clock_count; ++c) {
+      seed.resets[c] = now[clock_granularity_[c]];
+    }
+    for (int state : tag_->start_states()) {
+      seed.state = state;
+      run->frontier.insert(seed);
+    }
+    st.configurations += run->frontier.size();
+    run->seeded = true;
+  }
+
+  // BFS closure over labeled consumptions within the group. Every reached
+  // configuration (except pre-anchor ones) is a valid post-group state:
+  // unconsumed events are absorbed by ANY self-loops.
+  auto& visited = scratch->impl->visited;
+  std::vector<GroupNode>& queue = scratch->impl->queue;
+  visited.clear();
+  queue.clear();
+  const bool anchoring = anchored && seeding;
+  auto& frontier = run->frontier;
+  for (const TagConfig& config : frontier) {
+    GroupNode node{config, std::vector<int>(group_types.size(), 0),
+                   anchoring};
+    if (visited.insert(node).second) queue.push_back(std::move(node));
+  }
+  frontier.clear();
+
+  auto note_result = [&](const GroupNode& node) {
+    if (!node.pre_anchor) frontier.insert(node.config);
+  };
+  for (const GroupNode& node : queue) note_result(node);
+
+  while (!queue.empty()) {
+    GroupNode node = std::move(queue.back());
+    queue.pop_back();
+    // Clock values are constant across the group for a fixed config.
+    for (std::size_t c = 0; c < clock_count; ++c) {
+      std::int64_t reset = node.config.resets[c];
+      std::int64_t tick = now[clock_granularity_[c]];
+      values[c] = (reset == kUndefinedTick || tick == kUndefinedTick)
+                      ? std::nullopt
+                      : std::optional<std::int64_t>(tick - reset);
+    }
+    for (std::size_t type_index = 0; type_index < group_types.size();
+         ++type_index) {
+      if (node.used[type_index] >= available[type_index]) continue;
+      EventTypeId type = group_types[type_index];
+      if (node.pre_anchor && type != anchor_type) continue;
+      std::span<const Symbol> event_symbols = symbols.SymbolsFor(type);
+      if (event_symbols.empty()) continue;
+      for (int t_index : tag_->OutgoingOf(node.config.state)) {
+        const Tag::Transition& tr = tag_->transitions()[t_index];
+        if (tr.symbol == kAnySymbol) continue;  // skips handled implicitly
+        if (std::find(event_symbols.begin(), event_symbols.end(),
+                      tr.symbol) == event_symbols.end()) {
+          continue;
+        }
+        if (!tr.guard.IsSatisfied(values)) continue;
+        GroupNode successor = node;
+        successor.config.state = tr.to;
+        for (int c : tr.resets) {
+          successor.config.resets[static_cast<std::size_t>(c)] =
+              now[clock_granularity_[static_cast<std::size_t>(c)]];
+        }
+        ++successor.used[type_index];
+        successor.pre_anchor = false;
+        if (tag_->IsAccepting(tr.to)) return GroupOutcome::kAccepted;
+        if (visited.insert(successor).second) {
+          ++st.configurations;
+          note_result(successor);
+          queue.push_back(std::move(successor));
+          if (st.configurations > max_configurations) {
+            st.budget_exhausted = true;
+            st.stopped = StopCause::kStepBudget;
+            return GroupOutcome::kStopped;
+          }
+          if (ticket != nullptr) {
+            if (StopCause cause = ticket->Charge(st.configurations);
+                cause != StopCause::kNone) {
+              st.stopped = cause;
+              return GroupOutcome::kStopped;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  PruneFrontier(run, scratch);
+  st.peak_frontier = std::max(st.peak_frontier, frontier.size());
+  if (frontier.empty()) return GroupOutcome::kDead;  // no run recovers
+  return GroupOutcome::kAdvanced;
+}
+
+}  // namespace granmine

@@ -1,0 +1,147 @@
+#ifndef GRANMINE_TAG_STEP_KERNEL_H_
+#define GRANMINE_TAG_STEP_KERNEL_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "granmine/common/governor.h"
+#include "granmine/sequence/event.h"
+#include "granmine/tag/matcher_types.h"
+#include "granmine/tag/tag.h"
+
+namespace granmine {
+
+/// Sentinel reset value: the clock was reset at an instant with no tick in
+/// its granularity; its value stays undefined until the next reset.
+inline constexpr std::int64_t kUndefinedTick =
+    std::numeric_limits<std::int64_t>::min();
+
+/// One live configuration of a TAG run: a state plus, per clock, the tick at
+/// which the clock was last reset (or kUndefinedTick). Clock values are
+/// reconstructed as `tick(now) − tick(reset)`, so skipped events never
+/// perturb clocks.
+struct TagConfig {
+  int state = 0;
+  std::vector<std::int64_t> resets;  // per clock: tick at reset or sentinel
+
+  bool operator==(const TagConfig&) const = default;
+};
+
+struct TagConfigHash {
+  std::size_t operator()(const TagConfig& config) const {
+    std::size_t h = std::hash<int>()(config.state);
+    for (std::int64_t r : config.resets) {
+      h ^= std::hash<std::int64_t>()(r) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+           (h >> 2);
+    }
+    return h;
+  }
+};
+
+/// The resident state of one (possibly incremental) TAG run between
+/// equal-timestamp groups: the deduplicated configuration frontier plus
+/// whether the run has consumed its first group (clocks read 0 there, per
+/// §4 initiation). Copyable — a streaming snapshot clones pending runs to
+/// flush the reorder buffer without committing it.
+struct TagRunState {
+  std::unordered_set<TagConfig, TagConfigHash> frontier;
+  bool seeded = false;
+
+  void Reset() {
+    frontier.clear();
+    seeded = false;
+  }
+};
+
+/// Reusable per-worker search buffers for TagKernel::AdvanceGroup (the BFS
+/// closure within one group). One scratch belongs to one thread at a time;
+/// reusing it keeps hash-table capacity warm across runs.
+struct TagKernelScratch {
+  struct GroupNode;  // defined in step_kernel.cc
+
+  // Opaque storage; AdvanceGroup manages the contents. The vectors are kept
+  // here (not per-call) purely to avoid reallocation.
+  std::vector<std::int64_t> now;
+  std::vector<std::optional<std::int64_t>> values;
+  std::vector<EventTypeId> group_types;
+  std::vector<int> available;
+
+  // visited/queue live behind an Impl because GroupNode is internal.
+  TagKernelScratch();
+  ~TagKernelScratch();
+  TagKernelScratch(TagKernelScratch&&) noexcept;
+  TagKernelScratch& operator=(TagKernelScratch&&) noexcept;
+
+  struct Impl;
+  std::unique_ptr<Impl> impl;
+};
+
+/// The TAG transition kernel shared by the batch matcher (`TagMatcher::Run`)
+/// and the streaming `IncrementalMatcher`: an immutable compiled view of one
+/// TAG (clock → granularity indexing resolved once) exposing the per-group
+/// frontier advance of the Theorem-4 procedure. Events with equal timestamps
+/// form one *group*; the kernel explores every consumption order within a
+/// group (per-type counts), seeds the frontier on the run's first group, and
+/// retires configurations whose every labeled guard is expired forever.
+///
+/// All members are read-only after construction, so one kernel may be shared
+/// by any number of threads, each passing its own scratch and run state.
+class TagKernel {
+ public:
+  /// `tag` must outlive the kernel.
+  explicit TagKernel(const Tag* tag);
+
+  const Tag& tag() const { return *tag_; }
+  std::size_t clock_count() const { return tag_->clocks().size(); }
+
+  /// What one group advance decided about the run.
+  enum class GroupOutcome {
+    kAdvanced,  ///< run continues; frontier updated
+    kAccepted,  ///< an accepting state was entered (run decided; frontier stale)
+    kDead,      ///< frontier empty after the group — no run can ever recover
+    kStopped,   ///< budget/governor stop; stats->stopped has the cause
+  };
+
+  /// Advances `run` over one equal-timestamp group `group` (non-empty, all
+  /// events share one timestamp). If the run is not yet seeded, the frontier
+  /// is initiated at this group (clocks read 0); with `anchored` the group's
+  /// first event is the reference occurrence the run must consume first.
+  /// `stats->configurations` accumulates across calls (it is the per-run
+  /// budget counter compared against `max_configurations`); `ticket`, when
+  /// non-null, is charged once per created configuration with the run's
+  /// configuration count as the deterministic index (GovernorScope::kMatch).
+  GroupOutcome AdvanceGroup(std::span<const Event> group,
+                            const SymbolMap& symbols, bool anchored,
+                            TagRunState* run, TagKernelScratch* scratch,
+                            MatchStats* stats,
+                            std::uint64_t max_configurations,
+                            GovernorTicket* ticket) const;
+
+  /// Retires every configuration of `run` whose labeled outgoing guards are
+  /// all expired forever at the ticks containing `time` — the watermark GC
+  /// of the streaming subsystem (docs/streaming.md): clock values only grow
+  /// until a reset, so a configuration dead at the watermark is dead for
+  /// every future event. AdvanceGroup already performs this prune at each
+  /// group's own timestamp; this entry point lets an idle stream reclaim
+  /// memory between events. Updates stats->peak_frontier.
+  void RetireDeadConfigs(TimePoint time, TagRunState* run,
+                         TagKernelScratch* scratch, MatchStats* stats) const;
+
+ private:
+  void ComputeNow(TimePoint time, std::vector<std::int64_t>* now) const;
+  void PruneFrontier(TagRunState* run, TagKernelScratch* scratch) const;
+
+  const Tag* tag_;
+  /// Distinct clock granularities and each clock's index into them.
+  std::vector<const Granularity*> granularities_;
+  std::vector<int> clock_granularity_;
+};
+
+}  // namespace granmine
+
+#endif  // GRANMINE_TAG_STEP_KERNEL_H_

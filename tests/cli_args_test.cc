@@ -1,0 +1,122 @@
+// Validation contract of the granmine_cli flag parsers (io/cli_args):
+// malformed values are a Status with the offending flag named, never UB,
+// a silent clamp, or an uncaught exception.
+
+#include "granmine/io/cli_args.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace granmine {
+namespace {
+
+Result<CliArgs> Parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "granmine_cli");
+  return ParseCliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ParseCliArgsTest, ParsesCommandFlagsPinsAndSwitches) {
+  auto args = Parse({"mine", "--structure", "s.txt", "--confidence=0.25",
+                     "--pin", "a=T1", "--pin", "b=T2", "--naive"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args->command, "mine");
+  EXPECT_EQ(args->flags.at("structure"), "s.txt");
+  EXPECT_EQ(args->flags.at("confidence"), "0.25");  // --flag=value form
+  EXPECT_EQ(args->pins, (std::vector<std::string>{"a=T1", "b=T2"}));
+  EXPECT_TRUE(args->naive);
+  EXPECT_FALSE(args->exact);
+}
+
+TEST(ParseCliArgsTest, RejectsMissingCommandAndUnknownFlags) {
+  EXPECT_FALSE(Parse({}).ok());
+  EXPECT_FALSE(Parse({"mine", "stray-positional"}).ok());
+  // A value-taking flag at the end of the line has no value to consume.
+  EXPECT_FALSE(Parse({"mine", "--structure"}).ok());
+}
+
+TEST(ParseThreadCountTest, RejectsZero) {
+  // `--threads 0` used to silently mean hardware concurrency; it is now a
+  // usage error (omit the flag instead).
+  Result<int> zero = ParseThreadCount("0");
+  ASSERT_FALSE(zero.ok());
+  EXPECT_NE(zero.status().ToString().find("--threads"), std::string::npos);
+}
+
+TEST(ParseThreadCountTest, RejectsNegativeGarbageAndOverflow) {
+  EXPECT_FALSE(ParseThreadCount("-4").ok());
+  EXPECT_FALSE(ParseThreadCount("four").ok());
+  EXPECT_FALSE(ParseThreadCount("4x").ok());
+  EXPECT_FALSE(ParseThreadCount("").ok());
+  EXPECT_FALSE(ParseThreadCount("1025").ok());
+  EXPECT_FALSE(ParseThreadCount("99999999999999999999").ok());
+}
+
+TEST(ParseThreadCountTest, AcceptsTheValidRange) {
+  ASSERT_TRUE(ParseThreadCount("1").ok());
+  EXPECT_EQ(*ParseThreadCount("1"), 1);
+  EXPECT_EQ(*ParseThreadCount("16"), 16);
+  EXPECT_EQ(*ParseThreadCount("1024"), 1024);
+}
+
+TEST(ParsePositiveIntTest, RejectsNegativeZeroAndGarbage) {
+  EXPECT_FALSE(ParsePositiveInt("deadline-ms", "-1").ok());
+  EXPECT_FALSE(ParsePositiveInt("deadline-ms", "0").ok());
+  EXPECT_FALSE(ParsePositiveInt("deadline-ms", "soon").ok());
+  Result<std::int64_t> negative = ParsePositiveInt("deadline-ms", "-250");
+  ASSERT_FALSE(negative.ok());
+  EXPECT_NE(negative.status().ToString().find("--deadline-ms"),
+            std::string::npos);
+  EXPECT_EQ(*ParsePositiveInt("deadline-ms", "250"), 250);
+}
+
+TEST(ParseNonNegativeIntTest, AcceptsZeroRejectsNegative) {
+  EXPECT_EQ(*ParseNonNegativeInt("tolerance", "0"), 0);
+  EXPECT_FALSE(ParseNonNegativeInt("tolerance", "-1").ok());
+}
+
+TEST(ParseConfidenceTest, RejectsOutOfRangeAndGarbage) {
+  EXPECT_FALSE(ParseConfidence("theta", "-0.1").ok());
+  EXPECT_FALSE(ParseConfidence("theta", "1.5").ok());
+  EXPECT_FALSE(ParseConfidence("theta", "nan").ok());
+  EXPECT_FALSE(ParseConfidence("theta", "half").ok());
+  EXPECT_FALSE(ParseConfidence("theta", "0.5x").ok());
+  EXPECT_EQ(*ParseConfidence("theta", "0"), 0.0);
+  EXPECT_EQ(*ParseConfidence("theta", "0.5"), 0.5);
+  EXPECT_EQ(*ParseConfidence("theta", "1"), 1.0);
+}
+
+TEST(ParseStreamWindowTest, RejectsWindowShorterThanSlide) {
+  Result<StreamWindowArgs> bad = ParseStreamWindow("60", "120", nullptr);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().ToString().find("--window"), std::string::npos);
+  EXPECT_NE(bad.status().ToString().find("--slide"), std::string::npos);
+}
+
+TEST(ParseStreamWindowTest, RejectsNonPositiveLengths) {
+  EXPECT_FALSE(ParseStreamWindow("0", "0", nullptr).ok());
+  EXPECT_FALSE(ParseStreamWindow("-60", "30", nullptr).ok());
+  EXPECT_FALSE(ParseStreamWindow("60", "-30", nullptr).ok());
+  EXPECT_FALSE(ParseStreamWindow("week", "30", nullptr).ok());
+}
+
+TEST(ParseStreamWindowTest, AcceptsValidGeometryWithDefaultTheta) {
+  Result<StreamWindowArgs> window = ParseStreamWindow("120", "120", nullptr);
+  ASSERT_TRUE(window.ok());
+  EXPECT_EQ(window->window, 120);
+  EXPECT_EQ(window->slide, 120);
+  EXPECT_EQ(window->theta, 0.5);
+}
+
+TEST(ParseStreamWindowTest, ParsesAndValidatesTheta) {
+  const std::string quarter = "0.25";
+  Result<StreamWindowArgs> window = ParseStreamWindow("600", "60", &quarter);
+  ASSERT_TRUE(window.ok());
+  EXPECT_EQ(window->theta, 0.25);
+  const std::string bad = "2.0";
+  EXPECT_FALSE(ParseStreamWindow("600", "60", &bad).ok());
+}
+
+}  // namespace
+}  // namespace granmine
