@@ -1,0 +1,201 @@
+// E12 — observability overhead. Claim (docs/observability.md): the metrics
+// and trace layer costs ≤ 2% wall time on the mining and streaming hot paths
+// when enabled, and exactly nothing when GRANMINE_OBS=OFF (the macros expand
+// to empty token sequences — see the static_asserts in tests/obs_test.cc).
+// Series: (a) the per-update primitives (counter add, histogram observe,
+// trace span) with the runtime switch off and on, (b) a full batch mining
+// run, (c) a full stream ingest/snapshot run — each at obs level 0 (runtime
+// off), 1 (metrics on), 2 (metrics + trace on).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "granmine/common/random.h"
+#include "granmine/granularity/system.h"
+#include "granmine/mining/miner.h"
+#include "granmine/obs/obs.h"
+#include "granmine/obs/metrics.h"
+#include "granmine/obs/trace.h"
+#include "granmine/stream/online_miner.h"
+
+namespace granmine {
+namespace {
+
+GranularitySystem* UnitSystem() {
+  static GranularitySystem* system = [] {
+    auto owned = new GranularitySystem();
+    owned->AddUniform("unit", 1);
+    return owned;
+  }();
+  return system;
+}
+
+// Applies an obs level: 0 = everything off, 1 = metrics, 2 = metrics+trace.
+// Resets state so each series starts from empty shards and an empty trace.
+void ApplyObsLevel(std::int64_t level) {
+  obs::MetricsRegistry::Global().set_enabled(false);
+  obs::MetricsRegistry::Global().Reset();
+  obs::MetricsRegistry::Global().set_enabled(level >= 1);
+  obs::TraceCollector::Global().Clear();
+  obs::TraceCollector::Global().set_enabled(level >= 2);
+}
+
+// ---------------------------------------------------------------------------
+// (a) The primitives themselves, through the same macros the library uses.
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+  ApplyObsLevel(state.range(0));
+  for (auto _ : state) {
+    GM_COUNTER_ADD("granmine_bench_obs_total", "", 1);
+  }
+  ApplyObsLevel(0);
+}
+BENCHMARK(BM_ObsCounterAdd)->Arg(0)->Arg(1);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  ApplyObsLevel(state.range(0));
+  std::uint64_t value = 0;
+  for (auto _ : state) {
+    GM_HISTOGRAM_OBSERVE("granmine_bench_obs_us", "", value++ & 0xfff);
+  }
+  ApplyObsLevel(0);
+}
+BENCHMARK(BM_ObsHistogramObserve)->Arg(0)->Arg(1);
+
+void BM_ObsTraceSpan(benchmark::State& state) {
+  ApplyObsLevel(state.range(0) == 0 ? 0 : 2);
+  for (auto _ : state) {
+    GM_TRACE_SPAN("bench_span");
+    benchmark::ClobberMemory();
+  }
+  ApplyObsLevel(0);
+}
+BENCHMARK(BM_ObsTraceSpan)->Arg(0)->Arg(1);
+
+// ---------------------------------------------------------------------------
+// (b) Batch mining — the bench_parallel_mining-shaped workload.
+
+EventStructure ChainStructure(int variables, std::int64_t k) {
+  EventStructure s;
+  for (int v = 0; v < variables; ++v) {
+    s.AddVariable("X" + std::to_string(v));
+  }
+  for (int v = 1; v < variables; ++v) {
+    (void)s.AddConstraint(v - 1, v,
+                          Tcg::Of(0, k, UnitSystem()->Find("unit")));
+  }
+  return s;
+}
+
+EventSequence RandomSequence(Rng& rng, std::size_t length, int type_count) {
+  EventSequence seq;
+  TimePoint t = 0;
+  for (std::size_t i = 0; i < length; ++i) {
+    t += rng.Uniform(1, 3);
+    seq.Add(static_cast<EventTypeId>(rng.Uniform(0, type_count - 1)), t);
+  }
+  return seq;
+}
+
+// state.range(0): obs level.
+void BM_Mine_ObsOverhead(benchmark::State& state) {
+  EventStructure structure = ChainStructure(3, 10);
+  Rng rng(4242);
+  EventSequence sequence = RandomSequence(rng, 1200, 10);
+  DiscoveryProblem problem;
+  problem.structure = &structure;
+  problem.reference_type = 0;
+  problem.min_confidence = 0.05;
+  Miner miner(UnitSystem());
+
+  ApplyObsLevel(state.range(0));
+  std::uint64_t confirmed = 0;
+  for (auto _ : state) {
+    auto report = miner.Mine(problem, sequence);
+    if (!report.ok()) {
+      state.SkipWithError("mining failed");
+      return;
+    }
+    confirmed += report->completeness.confirmed;
+  }
+  state.counters["confirmed"] = benchmark::Counter(
+      static_cast<double>(confirmed), benchmark::Counter::kAvgIterations);
+  ApplyObsLevel(0);
+}
+BENCHMARK(BM_Mine_ObsOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// (c) Streaming — the bench_stream-shaped workload: ingest a disordered
+// stream, snapshot periodically, seal and take the final snapshot.
+
+void BM_Stream_ObsOverhead(benchmark::State& state) {
+  GranularitySystem* system = UnitSystem();
+  EventStructure structure = ChainStructure(3, 8);
+  DiscoveryProblem problem;
+  problem.structure = &structure;
+  problem.reference_type = 0;
+  problem.min_confidence = 0.05;
+  problem.allowed.assign(3, {});
+  problem.allowed[1] = {0, 1, 2, 3, 4, 5};
+  problem.allowed[2] = {0, 1, 2, 3, 4, 5};
+
+  std::vector<Event> events;
+  std::uint64_t prng = 0x51ed2701afe4c9b3ULL;
+  TimePoint t = 1;
+  for (int i = 0; i < 512; ++i) {
+    prng = prng * 6364136223846793005ULL + 1442695040888963407ULL;
+    t += static_cast<TimePoint>((prng >> 33) % 2);
+    events.push_back(Event{static_cast<EventTypeId>((prng >> 13) % 6), t});
+  }
+
+  ApplyObsLevel(state.range(0));
+  std::uint64_t solutions = 0;
+  for (auto _ : state) {
+    OnlineMinerOptions options;
+    Result<OnlineMiner> miner = OnlineMiner::Create(system, problem, options);
+    if (!miner.ok()) {
+      state.SkipWithError("stream create failed");
+      return;
+    }
+    std::size_t since_snapshot = 0;
+    for (const Event& event : events) {
+      benchmark::DoNotOptimize(miner->Ingest(event));
+      if (++since_snapshot == 64) {
+        since_snapshot = 0;
+        auto snapshot = miner->Snapshot();
+        if (!snapshot.ok()) {
+          state.SkipWithError("snapshot failed");
+          return;
+        }
+        solutions += snapshot->solutions.size();
+      }
+    }
+    miner->Seal();
+    auto final_report = miner->Snapshot();
+    if (!final_report.ok()) {
+      state.SkipWithError("final snapshot failed");
+      return;
+    }
+    solutions += final_report->solutions.size();
+  }
+  state.counters["solutions"] = benchmark::Counter(
+      static_cast<double>(solutions), benchmark::Counter::kAvgIterations);
+  ApplyObsLevel(0);
+}
+BENCHMARK(BM_Stream_ObsOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace granmine
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Runs the google-benchmark binaries from a build tree and optionally merges
+# their JSON reports into a single file keyed by bench name:
+#
+#   bench/run_benches.sh --build-dir build --json BENCH.json
+#   bench/run_benches.sh --json E12.json --min-time 0.05 bench_obs_overhead
+#
+# The merge is plain shell (printf + cat): each binary writes its own
+# --benchmark_out JSON and the script wraps them as one object,
+# {"bench_obs_overhead": {...}, "bench_stream": {...}, ...}, so no jq or
+# python is needed on the runner.
+set -euo pipefail
+
+usage() {
+  cat <<'EOF'
+usage: bench/run_benches.sh [options] [bench_name...]
+  --build-dir DIR   build tree containing bench/ binaries (default: build)
+  --json FILE       merge per-bench JSON reports into FILE
+  --filter REGEX    forwarded as --benchmark_filter=REGEX
+  --min-time SECS   forwarded as --benchmark_min_time=SECS
+  bench_name...     run only these binaries (default: every bench_* present)
+EOF
+}
+
+build_dir=build
+json_out=""
+filter=""
+min_time=""
+benches=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) build_dir=$2; shift 2 ;;
+    --json) json_out=$2; shift 2 ;;
+    --filter) filter=$2; shift 2 ;;
+    --min-time) min_time=$2; shift 2 ;;
+    -h|--help) usage; exit 0 ;;
+    --*) echo "unknown option: $1" >&2; usage >&2; exit 64 ;;
+    *) benches+=("$1"); shift ;;
+  esac
+done
+
+bin_dir="$build_dir/bench"
+if [[ ! -d "$bin_dir" ]]; then
+  echo "no bench binaries under '$bin_dir' — build first" >&2
+  exit 66
+fi
+
+if [[ ${#benches[@]} -eq 0 ]]; then
+  for binary in "$bin_dir"/bench_*; do
+    [[ -x "$binary" && -f "$binary" ]] && benches+=("$(basename "$binary")")
+  done
+fi
+if [[ ${#benches[@]} -eq 0 ]]; then
+  echo "nothing to run" >&2
+  exit 66
+fi
+
+tmp_dir=""
+if [[ -n "$json_out" ]]; then
+  tmp_dir=$(mktemp -d)
+  trap 'rm -rf "$tmp_dir"' EXIT
+fi
+
+for name in "${benches[@]}"; do
+  binary="$bin_dir/$name"
+  if [[ ! -x "$binary" ]]; then
+    echo "missing bench binary: $binary" >&2
+    exit 66
+  fi
+  args=()
+  [[ -n "$filter" ]] && args+=("--benchmark_filter=$filter")
+  [[ -n "$min_time" ]] && args+=("--benchmark_min_time=$min_time")
+  if [[ -n "$json_out" ]]; then
+    args+=("--benchmark_out=$tmp_dir/$name.json" "--benchmark_out_format=json")
+  fi
+  echo "== $name =="
+  "$binary" "${args[@]}"
+done
+
+if [[ -n "$json_out" ]]; then
+  {
+    printf '{'
+    first=1
+    for name in "${benches[@]}"; do
+      [[ $first -eq 1 ]] || printf ','
+      first=0
+      printf '\n"%s":\n' "$name"
+      cat "$tmp_dir/$name.json"
+    done
+    printf '}\n'
+  } > "$json_out"
+  echo "wrote $json_out"
+fi

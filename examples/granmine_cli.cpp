@@ -4,10 +4,12 @@
 //                       [--confidence 0.5] [--pin VAR=TYPE]... [--naive]
 //                       [--threads N] [--deadline-ms N]
 //                       [--on-budget abort|partial]
+//                       [--metrics-out FILE] [--trace-out FILE]
 //   granmine_cli stream --structure S.txt --reference TYPE
 //                       --window SECS --slide SECS [--theta 0.5]
 //                       [--events FILE|-] [--types T1,T2,...]
 //                       [--pin VAR=TYPE]... [--tolerance SECS] [--threads N]
+//                       [--metrics-out FILE] [--trace-out FILE]
 //   granmine_cli check  --structure S.txt [--exact]
 //   granmine_cli dot    --structure S.txt [--tag]
 //   granmine_cli demo
@@ -24,8 +26,16 @@
 // seconds of watermark progress plus a final one at end of input. Because
 // a stream never reveals its full type universe up front, every non-root
 // variable needs a --pin or the shared --types list.
+//
+// --metrics-out enables the obs layer's metrics and writes a Prometheus text
+// exposition on exit; --trace-out enables span tracing and writes Chrome
+// trace_event JSON (open in https://ui.perfetto.dev). Both also print a
+// one-line `stats:` block on stderr (stderr so the stdout byte-diff contract
+// across --threads, docs/concurrency.md, is untouched). See
+// docs/observability.md.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,6 +53,8 @@
 #include "granmine/io/text_format.h"
 #include "granmine/mining/explain.h"
 #include "granmine/mining/miner.h"
+#include "granmine/obs/metrics.h"
+#include "granmine/obs/trace.h"
 #include "granmine/stream/online_miner.h"
 #include "granmine/tag/builder.h"
 
@@ -57,11 +69,12 @@ int Usage() {
       "  granmine_cli mine   --structure FILE --events FILE "
       "--reference TYPE [--confidence C] [--pin VAR=TYPE]... "
       "[--naive] [--threads N] [--deadline-ms N] "
-      "[--on-budget abort|partial]\n"
+      "[--on-budget abort|partial] "
+      "[--metrics-out FILE] [--trace-out FILE]\n"
       "  granmine_cli stream --structure FILE --reference TYPE "
       "--window SECS --slide SECS [--theta C] [--events FILE|-] "
       "[--types T1,T2,...] [--pin VAR=TYPE]... [--tolerance SECS] "
-      "[--threads N]\n"
+      "[--threads N] [--metrics-out FILE] [--trace-out FILE]\n"
       "  granmine_cli check  --structure FILE [--exact]\n"
       "  granmine_cli dot    --structure FILE [--tag]\n"
       "  granmine_cli demo\n");
@@ -211,11 +224,25 @@ int RunMine(const CliArgs& args) {
     governor = std::make_unique<ResourceGovernor>(limits);
   }
   Miner miner(system.get(), options);
+  const auto wall_start = std::chrono::steady_clock::now();
   auto report = miner.Mine(problem, *sequence, governor.get());
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
   if (!report.ok()) {
     std::fprintf(stderr, "mining: %s\n", report.status().ToString().c_str());
     return 70;
   }
+  // Diagnostics go to stderr: stdout must stay byte-identical across
+  // --threads (docs/concurrency.md), and wall-clock never is.
+  std::fprintf(stderr,
+               "stats: stop-cause %s, elapsed %.2f ms, governor steps %llu\n",
+               std::string(StopCauseToString(report->completeness.stop))
+                   .c_str(),
+               elapsed_ms,
+               static_cast<unsigned long long>(
+                   governor != nullptr ? governor->steps() : 0));
   std::printf("events %zu (%zu after reduction), reference occurrences %zu "
               "(%zu survive), candidates %llu -> %llu, TAG runs %llu\n",
               report->events_before, report->events_after_reduction,
@@ -231,9 +258,12 @@ int RunMine(const CliArgs& args) {
   const MiningCompleteness& completeness = report->completeness;
   if (!completeness.complete) {
     std::printf(
-        "PARTIAL result (stopped by %s): %llu confirmed, %llu refuted, "
-        "%llu unknown, %llu not evaluated\n",
-        std::string(StopCauseToString(completeness.stop)).c_str(),
+        "PARTIAL result (stopped by %s after %.2f ms, %llu step(s) "
+        "charged): %llu confirmed, %llu refuted, %llu unknown, "
+        "%llu not evaluated\n",
+        std::string(StopCauseToString(completeness.stop)).c_str(), elapsed_ms,
+        static_cast<unsigned long long>(governor != nullptr ? governor->steps()
+                                                            : 0),
         static_cast<unsigned long long>(completeness.confirmed),
         static_cast<unsigned long long>(completeness.refuted),
         static_cast<unsigned long long>(completeness.unknown),
@@ -400,9 +430,11 @@ int RunStream(const CliArgs& args) {
   }
   std::istream& in = events_path == "-" ? std::cin : file;
 
+  const auto wall_start = std::chrono::steady_clock::now();
   std::string line;
   std::size_t line_number = 0;
   std::uint64_t dropped_late = 0;
+  std::uint64_t snapshots_taken = 0;
   TimePoint next_snapshot = kInfinity;  // armed by the first event
   while (std::getline(in, line)) {
     ++line_number;
@@ -433,6 +465,7 @@ int RunStream(const CliArgs& args) {
       }
       PrintStreamSnapshot(*report, FormatTimePoint(miner->watermark()),
                           *miner, names, registry);
+      ++snapshots_taken;
       next_snapshot += window.slide;
     }
   }
@@ -451,6 +484,17 @@ int RunStream(const CliArgs& args) {
   std::printf("ingested %zu retained events, rejected %llu late arrival(s)\n",
               report->events_before,
               static_cast<unsigned long long>(dropped_late));
+  // stderr for the same reason as `mine`: stdout is diffed across --threads.
+  std::fprintf(stderr,
+               "stats: stop-cause %s, elapsed %.2f ms, snapshots %llu, "
+               "late drops %llu\n",
+               std::string(StopCauseToString(report->completeness.stop))
+                   .c_str(),
+               std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - wall_start)
+                   .count(),
+               static_cast<unsigned long long>(snapshots_taken + 1),
+               static_cast<unsigned long long>(dropped_late));
   return 0;
 }
 
@@ -566,6 +610,44 @@ int RunDemo() {
   return 0;
 }
 
+// Turns the runtime obs switches on before the command runs. Uses the obs
+// classes directly (not the GM_* macros) so --metrics-out / --trace-out
+// still produce well-formed — if empty — files in a GRANMINE_OBS=OFF build.
+void EnableObservability(const CliArgs& args) {
+  if (args.flags.count("metrics-out")) {
+    obs::MetricsRegistry::Global().set_enabled(true);
+  }
+  if (args.flags.count("trace-out")) {
+    obs::TraceCollector::Global().set_enabled(true);
+  }
+}
+
+// Writes the requested exposition files after the command finished. Returns
+// 0 or an I/O exit code; never overrides a failing command's own code.
+int WriteObservability(const CliArgs& args) {
+  int exit_code = 0;
+  if (auto it = args.flags.find("metrics-out"); it != args.flags.end()) {
+    std::ofstream out(it->second);
+    if (out) {
+      out << obs::MetricsRegistry::Global().Snapshot().ToPrometheusText();
+    }
+    if (!out) {
+      std::fprintf(stderr, "cannot write metrics to '%s'\n",
+                   it->second.c_str());
+      exit_code = 74;
+    }
+  }
+  if (auto it = args.flags.find("trace-out"); it != args.flags.end()) {
+    std::ofstream out(it->second);
+    if (out) out << obs::TraceCollector::Global().ExportJson();
+    if (!out) {
+      std::fprintf(stderr, "cannot write trace to '%s'\n", it->second.c_str());
+      exit_code = 74;
+    }
+  }
+  return exit_code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -574,16 +656,23 @@ int main(int argc, char** argv) {
   auto need = [&](const char* flag) {
     return args->flags.count(flag) > 0;
   };
-  if (args->command == "demo") return RunDemo();
-  if (args->command == "mine" && need("structure") && need("events") &&
-      need("reference")) {
-    return RunMine(*args);
+  EnableObservability(*args);
+  int code = -1;
+  if (args->command == "demo") {
+    code = RunDemo();
+  } else if (args->command == "mine" && need("structure") && need("events") &&
+             need("reference")) {
+    code = RunMine(*args);
+  } else if (args->command == "stream" && need("structure") &&
+             need("reference") && need("window") && need("slide")) {
+    code = RunStream(*args);
+  } else if (args->command == "check" && need("structure")) {
+    code = RunCheck(*args);
+  } else if (args->command == "dot" && need("structure")) {
+    code = RunDot(*args);
+  } else {
+    return Usage();
   }
-  if (args->command == "stream" && need("structure") && need("reference") &&
-      need("window") && need("slide")) {
-    return RunStream(*args);
-  }
-  if (args->command == "check" && need("structure")) return RunCheck(*args);
-  if (args->command == "dot" && need("structure")) return RunDot(*args);
-  return Usage();
+  const int obs_code = WriteObservability(*args);
+  return code != 0 ? code : obs_code;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "granmine/common/check.h"
+#include "granmine/obs/obs.h"
 
 namespace granmine {
 
@@ -32,7 +33,20 @@ void Executor::DrainJob(Job* job, int worker) {
     std::size_t index = job->next.fetch_add(1, std::memory_order_relaxed);
     if (index >= job->count) break;
     try {
+#if GRANMINE_OBS_ENABLED
+      // Per-item latency is only timed when metrics are on; items are
+      // chunk-sized (ms scale), so the two clock reads are in the noise.
+      const bool timed = obs::MetricsRegistry::Global().enabled();
+      const std::uint64_t started_us = timed ? obs::NowMicros() : 0;
+#endif
       (*job->body)(index, worker);
+#if GRANMINE_OBS_ENABLED
+      if (timed) {
+        GM_COUNTER_ADD("granmine_executor_items_total", "", 1);
+        GM_HISTOGRAM_OBSERVE("granmine_executor_task_us", "",
+                             obs::NowMicros() - started_us);
+      }
+#endif
     } catch (...) {
       {
         std::lock_guard<std::mutex> lock(job->failure_mutex);
@@ -81,6 +95,9 @@ void Executor::ParallelFor(std::size_t count,
     }
     return;
   }
+  GM_COUNTER_ADD("granmine_executor_jobs_total", "", 1);
+  GM_GAUGE_SET("granmine_executor_queue_depth", "",
+               static_cast<std::int64_t>(count));
   Job job;
   job.count = count;
   job.body = &body;
@@ -103,6 +120,7 @@ void Executor::ParallelFor(std::size_t count,
                    [&] { return job.workers_finished == num_threads_ - 1; });
     job_ = nullptr;
   }
+  GM_GAUGE_SET("granmine_executor_queue_depth", "", 0);
   // All workers have detached, so first_exception is stable without the
   // failure mutex. Rethrow on the caller per the executor.h guarantee.
   if (job.first_exception != nullptr) {

@@ -2,7 +2,30 @@
 
 #include <string>
 
+#include "granmine/obs/obs.h"
+
 namespace granmine {
+
+void NoteGovernorStop(StopCause cause) {
+  switch (cause) {
+    case StopCause::kNone:
+      break;
+    case StopCause::kDeadline:
+      GM_COUNTER_ADD("granmine_governor_stops_total", "cause=\"deadline\"", 1);
+      break;
+    case StopCause::kStepBudget:
+      GM_COUNTER_ADD("granmine_governor_stops_total", "cause=\"step-budget\"",
+                     1);
+      break;
+    case StopCause::kCancelled:
+      GM_COUNTER_ADD("granmine_governor_stops_total", "cause=\"cancelled\"", 1);
+      break;
+    case StopCause::kFaultInjected:
+      GM_COUNTER_ADD("granmine_governor_stops_total",
+                     "cause=\"fault-injected\"", 1);
+      break;
+  }
+}
 
 std::string_view StopCauseToString(StopCause cause) {
   switch (cause) {

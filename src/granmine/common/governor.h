@@ -25,6 +25,12 @@ enum class StopCause : int {
 /// Canonical lowercase name ("none", "deadline", ...).
 std::string_view StopCauseToString(StopCause cause);
 
+/// Observability hook: bumps the per-cause stop counter
+/// (`granmine_governor_stops_total`). Called once per governor trip — the
+/// first cause to win the sticky CAS — never per check. No-op when the obs
+/// layer is compiled out or metrics are disabled at runtime.
+void NoteGovernorStop(StopCause cause);
+
 /// Maps a stop cause to the Status an abort-mode caller should surface:
 /// deadline/budget/injection become kResourceExhausted, cancellation becomes
 /// kCancelled. `what` names the interrupted computation.
@@ -187,9 +193,11 @@ class ResourceGovernor {
  private:
   void Trip(StopCause cause) const {
     int expected = static_cast<int>(StopCause::kNone);
-    cause_.compare_exchange_strong(expected, static_cast<int>(cause),
-                                   std::memory_order_release,
-                                   std::memory_order_relaxed);
+    if (cause_.compare_exchange_strong(expected, static_cast<int>(cause),
+                                       std::memory_order_release,
+                                       std::memory_order_relaxed)) {
+      NoteGovernorStop(cause);
+    }
     stop_flag_.store(true, std::memory_order_release);
   }
 

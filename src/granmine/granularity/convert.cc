@@ -8,6 +8,7 @@
 
 #include "granmine/common/check.h"
 #include "granmine/common/math.h"
+#include "granmine/obs/obs.h"
 
 namespace granmine {
 
@@ -106,9 +107,11 @@ bool SupportCoverageCache::Covers(const Granularity& target,
   {
     std::shared_lock<std::shared_mutex> lock(shard.mutex);
     if (auto it = shard.cache.find(key); it != shard.cache.end()) {
+      GM_COUNTER_ADD("granmine_coverage_lookups_total", "result=\"hit\"", 1);
       return it->second;
     }
   }
+  GM_COUNTER_ADD("granmine_coverage_lookups_total", "result=\"miss\"", 1);
   // SupportCovers is deterministic, so computing outside the lock at worst
   // duplicates work; emplace keeps the first answer (they are all equal).
   bool result = SupportCovers(target, source);

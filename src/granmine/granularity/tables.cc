@@ -5,6 +5,7 @@
 
 #include "granmine/common/check.h"
 #include "granmine/common/math.h"
+#include "granmine/obs/obs.h"
 
 namespace granmine {
 
@@ -68,13 +69,20 @@ std::optional<std::int64_t> GranularityTables::ScannedValue(
   {
     std::shared_lock<std::shared_mutex> lock(entry.mutex);
     const auto& memo = memo_of(entry);
-    if (auto it = memo.find(k); it != memo.end()) return it->second;
+    if (auto it = memo.find(k); it != memo.end()) {
+      GM_COUNTER_ADD("granmine_tables_lookups_total", "result=\"hit\"", 1);
+      return it->second;
+    }
   }
   // Miss: scan under the exclusive lock (HullAt mutates the hull cache).
   // Re-check first — another thread may have computed k while we waited.
   std::unique_lock<std::shared_mutex> lock(entry.mutex);
   auto& memo = memo_of(entry);
-  if (auto it = memo.find(k); it != memo.end()) return it->second;
+  if (auto it = memo.find(k); it != memo.end()) {
+    GM_COUNTER_ADD("granmine_tables_lookups_total", "result=\"hit\"", 1);
+    return it->second;
+  }
+  GM_COUNTER_ADD("granmine_tables_lookups_total", "result=\"miss\"", 1);
   const bool maximize = table == Table::kMaxSize;
   const Tick hi_offset = table == Table::kMinGap ? k : k - 1;
   std::int64_t starts = ScanStarts(g);

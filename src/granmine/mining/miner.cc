@@ -12,6 +12,7 @@
 #include "granmine/mining/scan_driver.h"
 #include "granmine/mining/screening.h"
 #include "granmine/mining/windows.h"
+#include "granmine/obs/obs.h"
 #include "granmine/tag/builder.h"
 
 namespace granmine {
@@ -112,6 +113,8 @@ Result<MiningReport> Miner::Mine(const DiscoveryProblem& problem,
     }
   }
 
+  GM_TRACE_SPAN("mine");
+  GM_COUNTER_ADD("granmine_mine_runs_total", "", 1);
   MiningReport report;
   report.total_roots = sequence.CountOf(problem.reference_type);
   report.events_before = sequence.size();
@@ -127,6 +130,7 @@ Result<MiningReport> Miner::Mine(const DiscoveryProblem& problem,
 
   PropagationResult propagation;
   if (needs_propagation) {
+    GM_TRACE_SPAN("mine_propagate");
     PropagationOptions propagation_options;
     propagation_options.governor = governor;
     ConstraintPropagator propagator(&system_->tables(), &system_->coverage(),
@@ -152,29 +156,32 @@ Result<MiningReport> Miner::Mine(const DiscoveryProblem& problem,
   report.events_after_reduction = working.size();
 
   // Reference occurrences and their windows; step 3 discards hopeless ones.
-  std::vector<std::size_t> root_indices =
-      working.OccurrencesOf(problem.reference_type);
   std::vector<std::size_t> surviving;
   std::vector<RootWindows> windows;
-  for (std::size_t idx : root_indices) {
-    TimePoint t0 = working.events()[idx].time;
-    RootWindows rw;
-    if (needs_windows) {
-      rw = ComputeRootWindows(structure, root, propagation, t0);
-      if (options_.reduce_roots) {
-        bool viable = rw.root_viable;
-        for (VariableId v = 0; viable && v < structure.variable_count();
-             ++v) {
-          if (v == root) continue;
-          viable = WindowSatisfiable(working, propagation, v,
-                                     rw.windows[static_cast<std::size_t>(v)],
-                                     allowed[static_cast<std::size_t>(v)]);
+  {
+    GM_TRACE_SPAN("mine_root_windows");
+    std::vector<std::size_t> root_indices =
+        working.OccurrencesOf(problem.reference_type);
+    for (std::size_t idx : root_indices) {
+      TimePoint t0 = working.events()[idx].time;
+      RootWindows rw;
+      if (needs_windows) {
+        rw = ComputeRootWindows(structure, root, propagation, t0);
+        if (options_.reduce_roots) {
+          bool viable = rw.root_viable;
+          for (VariableId v = 0; viable && v < structure.variable_count();
+               ++v) {
+            if (v == root) continue;
+            viable = WindowSatisfiable(working, propagation, v,
+                                       rw.windows[static_cast<std::size_t>(v)],
+                                       allowed[static_cast<std::size_t>(v)]);
+          }
+          if (!viable) continue;  // counts as unmatched for every candidate
         }
-        if (!viable) continue;  // counts as unmatched for every candidate
       }
+      surviving.push_back(idx);
+      windows.push_back(std::move(rw));
     }
-    surviving.push_back(idx);
-    windows.push_back(std::move(rw));
   }
   report.roots_after_reduction = surviving.size();
 
@@ -184,6 +191,7 @@ Result<MiningReport> Miner::Mine(const DiscoveryProblem& problem,
                     problem.min_confidence, &allowed);
   }
   if (options_.screening_depth >= 2) {
+    GM_TRACE_SPAN("mine_screen");
     int budget = options_.max_induced_problems;
     for (int k = 2; k <= options_.screening_depth && budget > 0; ++k) {
       for (const std::vector<VariableId>& combo :
@@ -297,6 +305,8 @@ Result<MiningReport> Miner::Mine(const DiscoveryProblem& problem,
                       &stats, scratch);
       ++out->tag_runs;
       out->configurations += stats.configurations;
+      out->transitions += stats.transitions;
+      out->kernel_groups += stats.groups_advanced;
       if (outcome == MatchOutcome::kUnknown) {
         *reason = stats.stopped != StopCause::kNone ? stats.stopped
                                                     : StopCause::kStepBudget;

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "granmine/common/executor.h"
+#include "granmine/obs/obs.h"
 
 namespace granmine {
 
@@ -59,6 +60,7 @@ ScanMergeResult ScanCandidates(
     const std::vector<std::vector<EventTypeId>>& allowed, VariableId root,
     std::uint64_t scan_total, const ScanDriverOptions& options,
     const CandidateEvaluator& evaluator) {
+  GM_TRACE_SPAN("scan_driver");
   const bool partial = options.partial;
   const ResourceGovernor* governor = options.governor;
 
@@ -144,6 +146,7 @@ ScanMergeResult ScanCandidates(
     outcomes = executor.ParallelMap<ScanOutcome>(
         chunk_count,
         [&](std::size_t chunk, int worker) {
+          GM_TRACE_SPAN("scan_chunk");
           ScanOutcome out;
           if (stop_scan.load(std::memory_order_relaxed)) return out;
           const std::uint64_t begin = chunk * chunk_size;
@@ -168,6 +171,8 @@ ScanMergeResult ScanCandidates(
     }
     merged.tag_runs += out.tag_runs;
     merged.configurations += out.configurations;
+    merged.transitions += out.transitions;
+    merged.kernel_groups += out.kernel_groups;
     merged.confirmed += out.confirmed;
     merged.refuted += out.refuted;
     merged.unknown += out.unknown;
@@ -192,6 +197,23 @@ ScanMergeResult ScanCandidates(
       }
     }
   }
+  // One flush per scan, from the deterministically merged totals — byte-
+  // identical across thread counts and worth a handful of atomic adds even
+  // on the hottest workloads (no per-candidate metric traffic).
+  GM_COUNTER_ADD("granmine_mine_scans_total", "", 1);
+  GM_COUNTER_ADD("granmine_mine_candidates_total", "verdict=\"confirmed\"",
+                 merged.confirmed);
+  GM_COUNTER_ADD("granmine_mine_candidates_total", "verdict=\"refuted\"",
+                 merged.refuted);
+  GM_COUNTER_ADD("granmine_mine_candidates_total", "verdict=\"unknown\"",
+                 merged.unknown);
+  GM_COUNTER_ADD("granmine_mine_candidates_total", "verdict=\"not-evaluated\"",
+                 merged.not_evaluated);
+  GM_COUNTER_ADD("granmine_mine_tag_runs_total", "", merged.tag_runs);
+  GM_COUNTER_ADD("granmine_tag_configurations_total", "",
+                 merged.configurations);
+  GM_COUNTER_ADD("granmine_tag_transitions_total", "", merged.transitions);
+  GM_COUNTER_ADD("granmine_tag_groups_total", "", merged.kernel_groups);
   return merged;
 }
 

@@ -40,6 +40,10 @@ struct ScanOutcome {
   std::uint64_t not_evaluated = 0;
   std::uint64_t tag_runs = 0;
   std::uint64_t configurations = 0;
+  /// Kernel transition / group totals behind this range's runs (accumulated
+  /// from MatchStats by the evaluator; flushed to the obs layer on merge).
+  std::uint64_t transitions = 0;
+  std::uint64_t kernel_groups = 0;
   /// First cause (candidate order) that interrupted work in this range.
   StopCause first_stop = StopCause::kNone;
   /// The stopping candidate hit the matcher's local configuration budget
@@ -87,6 +91,8 @@ struct ScanMergeResult {
   std::uint64_t not_evaluated = 0;
   std::uint64_t tag_runs = 0;
   std::uint64_t configurations = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t kernel_groups = 0;
   /// First stop cause in candidate order, kNone when nothing was interrupted.
   StopCause first_stop = StopCause::kNone;
   /// Abort mode only: the first interruption as a Status (OK under kPartial

@@ -1,0 +1,245 @@
+#include "granmine/obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "granmine/common/check.h"
+
+namespace granmine::obs {
+
+std::uint64_t NowMicros() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: thread-exit lease destructors may release shards after
+  // static destructors would have torn a function-local instance down.
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricId MetricsRegistry::RegisterMetric(std::string_view name,
+                                         std::string_view labels,
+                                         MetricKind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Descriptor& descriptor : descriptors_) {
+    if (descriptor.name == name && descriptor.labels == labels) {
+      GM_CHECK(descriptor.kind == kind)
+          << "metric '" << descriptor.name << "' re-registered as a different "
+          << "kind";
+      return descriptor.id;
+    }
+  }
+  MetricId id = 0;
+  if (kind == MetricKind::kGauge) {
+    GM_CHECK(next_gauge_ < kGaugeCapacity) << "metric gauge space exhausted";
+    id = static_cast<MetricId>(next_gauge_);
+    next_gauge_ += 1;
+  } else {
+    const std::size_t slots =
+        kind == MetricKind::kHistogram ? kHistogramBuckets + 1 : 1;
+    GM_CHECK(next_slot_ + slots <= kSlotCapacity)
+        << "metric slot space exhausted";
+    id = static_cast<MetricId>(next_slot_);
+    next_slot_ += slots;
+  }
+  descriptors_.push_back(
+      Descriptor{std::string(name), std::string(labels), kind, id});
+  return id;
+}
+
+MetricId MetricsRegistry::RegisterCounter(std::string_view name,
+                                          std::string_view labels) {
+  return RegisterMetric(name, labels, MetricKind::kCounter);
+}
+
+MetricId MetricsRegistry::RegisterGauge(std::string_view name,
+                                        std::string_view labels) {
+  return RegisterMetric(name, labels, MetricKind::kGauge);
+}
+
+MetricId MetricsRegistry::RegisterHistogram(std::string_view name,
+                                            std::string_view labels) {
+  return RegisterMetric(name, labels, MetricKind::kHistogram);
+}
+
+MetricsRegistry::Shard* MetricsRegistry::AcquireShard() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    if (!shard->leased) {
+      shard->leased = true;
+      return shard.get();
+    }
+  }
+  shards_.push_back(std::make_unique<Shard>());
+  shards_.back()->leased = true;
+  return shards_.back().get();
+}
+
+void MetricsRegistry::ReleaseShard(Shard* shard) {
+  if (shard == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Counts stay in the shard: a released shard still contributes to
+  // snapshots, and the next thread to lease it continues accumulating.
+  shard->leased = false;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  snapshot.metrics.reserve(descriptors_.size());
+  for (const Descriptor& descriptor : descriptors_) {
+    MetricValue value;
+    value.name = descriptor.name;
+    value.labels = descriptor.labels;
+    value.kind = descriptor.kind;
+    switch (descriptor.kind) {
+      case MetricKind::kCounter: {
+        std::uint64_t total = 0;
+        for (const std::unique_ptr<Shard>& shard : shards_) {
+          total += shard->cells[descriptor.id].load(std::memory_order_relaxed);
+        }
+        value.value = total;
+        break;
+      }
+      case MetricKind::kGauge:
+        value.gauge = gauges_[descriptor.id].load(std::memory_order_relaxed);
+        break;
+      case MetricKind::kHistogram: {
+        value.buckets.assign(kHistogramBuckets, 0);
+        for (const std::unique_ptr<Shard>& shard : shards_) {
+          for (int b = 0; b < kHistogramBuckets; ++b) {
+            value.buckets[static_cast<std::size_t>(b)] +=
+                shard->cells[descriptor.id + static_cast<std::size_t>(b)].load(
+                    std::memory_order_relaxed);
+          }
+          value.sum += shard->cells[descriptor.id + kHistogramBuckets].load(
+              std::memory_order_relaxed);
+        }
+        for (std::uint64_t count : value.buckets) value.value += count;
+        break;
+      }
+    }
+    snapshot.metrics.push_back(std::move(value));
+  }
+  std::sort(snapshot.metrics.begin(), snapshot.metrics.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    for (std::atomic<std::uint64_t>& cell : shard->cells) {
+      cell.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (std::atomic<std::int64_t>& gauge : gauges_) {
+    gauge.store(0, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+const char* TypeName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+void AppendSeries(std::string& out, const std::string& name,
+                  const std::string& labels, const std::string& value) {
+  out += name;
+  if (!labels.empty()) {
+    out += '{';
+    out += labels;
+    out += '}';
+  }
+  out += ' ';
+  out += value;
+  out += '\n';
+}
+
+/// Upper bound of bit-width bucket b as a decimal string: 2^b - 1.
+std::string BucketUpperBound(int bucket) {
+  if (bucket >= 64) return "18446744073709551615";
+  return std::to_string((std::uint64_t{1} << bucket) - 1);
+}
+
+void AppendHistogram(std::string& out, const MetricValue& metric) {
+  // Cumulative Prometheus buckets. Trailing all-zero buckets are elided (the
+  // +Inf series still closes the cumulative sequence, so the exposition stays
+  // well-formed and deterministic).
+  int last = kHistogramBuckets - 1;
+  while (last > 0 && metric.buckets[static_cast<std::size_t>(last)] == 0) {
+    --last;
+  }
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b <= last; ++b) {
+    cumulative += metric.buckets[static_cast<std::size_t>(b)];
+    std::string labels = metric.labels;
+    if (!labels.empty()) labels += ',';
+    labels += "le=\"" + BucketUpperBound(b) + "\"";
+    AppendSeries(out, metric.name + "_bucket", labels,
+                 std::to_string(cumulative));
+  }
+  std::string inf_labels = metric.labels;
+  if (!inf_labels.empty()) inf_labels += ',';
+  inf_labels += "le=\"+Inf\"";
+  AppendSeries(out, metric.name + "_bucket", inf_labels,
+               std::to_string(metric.value));
+  AppendSeries(out, metric.name + "_sum", metric.labels,
+               std::to_string(metric.sum));
+  AppendSeries(out, metric.name + "_count", metric.labels,
+               std::to_string(metric.value));
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::string out;
+  const std::string* last_name = nullptr;
+  for (const MetricValue& metric : metrics) {
+    if (last_name == nullptr || *last_name != metric.name) {
+      out += "# TYPE " + metric.name + ' ' + TypeName(metric.kind) + '\n';
+      last_name = &metric.name;
+    }
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        AppendSeries(out, metric.name, metric.labels,
+                     std::to_string(metric.value));
+        break;
+      case MetricKind::kGauge:
+        AppendSeries(out, metric.name, metric.labels,
+                     std::to_string(metric.gauge));
+        break;
+      case MetricKind::kHistogram:
+        AppendHistogram(out, metric);
+        break;
+    }
+  }
+  return out;
+}
+
+const MetricValue* MetricsSnapshot::Find(std::string_view name,
+                                         std::string_view labels) const {
+  for (const MetricValue& metric : metrics) {
+    if (metric.name == name && metric.labels == labels) return &metric;
+  }
+  return nullptr;
+}
+
+}  // namespace granmine::obs

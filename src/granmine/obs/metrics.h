@@ -1,0 +1,176 @@
+#ifndef GRANMINE_OBS_METRICS_H_
+#define GRANMINE_OBS_METRICS_H_
+
+// Lock-free metrics registry: named counters, gauges, and power-of-two-bucket
+// histograms. Hot-path updates touch only a per-thread shard of atomic cells
+// (relaxed fetch_add on thread-local cache lines); shards are merged only when
+// a snapshot is taken, so the enabled steady-state cost of a counter bump is
+// one relaxed atomic add plus a thread-local pointer load.
+//
+// The registry is a process-wide singleton (`MetricsRegistry::Global()`).
+// Shards are leased to threads on first use and returned to a free list when
+// the thread exits, so short-lived executor workers recycle cells instead of
+// growing the shard table without bound.
+//
+// The classes here compile in every configuration; the GRANMINE_OBS kill
+// switch (see obs.h) only controls whether the instrumentation *macros* in the
+// library's hot paths expand to calls into this registry.
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace granmine::obs {
+
+/// Microseconds since a process-stable epoch (steady clock; first use).
+std::uint64_t NowMicros();
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Histogram buckets are keyed by std::bit_width(value): bucket b holds the
+/// observations whose value needs exactly b bits, i.e. value in
+/// [2^(b-1), 2^b - 1] (bucket 0 holds the zeros). 65 buckets cover uint64.
+inline constexpr int kHistogramBuckets = 65;
+
+/// Index of a registered metric. For counters this is the shard cell slot;
+/// for histograms the first of kHistogramBuckets + 1 consecutive slots (the
+/// extra slot accumulates the sum of observed values); for gauges an index
+/// into the registry's global gauge array.
+using MetricId = std::uint32_t;
+
+/// One aggregated metric in a snapshot.
+struct MetricValue {
+  std::string name;
+  std::string labels;  // Prometheus label body, e.g. `result="hit"`; may be "".
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t value = 0;                // counter total / histogram count
+  std::int64_t gauge = 0;                 // gauge value
+  std::vector<std::uint64_t> buckets;     // histogram: per-bit-width counts
+  std::uint64_t sum = 0;                  // histogram: sum of observed values
+};
+
+/// Point-in-time aggregation of every registered metric, sorted by
+/// (name, labels) so the exposition text is deterministic.
+struct MetricsSnapshot {
+  std::vector<MetricValue> metrics;
+
+  /// Prometheus text exposition format (one # TYPE line per metric name,
+  /// histogram rendered as cumulative _bucket{le=...} series + _sum + _count).
+  std::string ToPrometheusText() const;
+
+  /// Returns the metric with the given name and label body, or nullptr.
+  const MetricValue* Find(std::string_view name,
+                          std::string_view labels = "") const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Cells per thread shard. Registration fails (GM_CHECK) if the slot space
+  /// is exhausted; the library's own inventory uses well under 10% of it.
+  static constexpr std::size_t kSlotCapacity = 4096;
+  static constexpr std::size_t kGaugeCapacity = 256;
+
+  /// The process-wide registry. Never destroyed (thread-exit hooks may
+  /// release shards after static destructors would have run).
+  static MetricsRegistry& Global();
+
+  /// Runtime enable. Defaults to off: every update is a single relaxed load
+  /// and branch until something (CLI flag, test, bench) turns metrics on.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Idempotent: re-registering the same (name, labels) returns the existing
+  /// id. The kind must match the original registration.
+  MetricId RegisterCounter(std::string_view name, std::string_view labels = "");
+  MetricId RegisterGauge(std::string_view name, std::string_view labels = "");
+  MetricId RegisterHistogram(std::string_view name,
+                             std::string_view labels = "");
+
+  void Add(MetricId id, std::uint64_t n = 1) {
+    if (!enabled()) return;
+    LocalShard().cells[id].fetch_add(n, std::memory_order_relaxed);
+  }
+
+  void Observe(MetricId id, std::uint64_t value) {
+    if (!enabled()) return;
+    Shard& shard = LocalShard();
+    const int bucket = std::bit_width(value);  // 0..64
+    shard.cells[id + static_cast<std::size_t>(bucket)].fetch_add(
+        1, std::memory_order_relaxed);
+    shard.cells[id + kHistogramBuckets].fetch_add(value,
+                                                  std::memory_order_relaxed);
+  }
+
+  void GaugeSet(MetricId gauge_id, std::int64_t value) {
+    if (!enabled()) return;
+    gauges_[gauge_id].store(value, std::memory_order_relaxed);
+  }
+
+  void GaugeAdd(MetricId gauge_id, std::int64_t delta) {
+    if (!enabled()) return;
+    gauges_[gauge_id].fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Aggregates all shards. Concurrent updates may or may not be included
+  /// (relaxed reads); callers wanting exact totals must quiesce writers first.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every cell and gauge. Registrations are kept.
+  void Reset();
+
+ private:
+  struct Shard {
+    Shard() : cells(kSlotCapacity) {}
+    std::vector<std::atomic<std::uint64_t>> cells;
+    bool leased = false;  // guarded by MetricsRegistry::mutex_
+  };
+
+  struct Descriptor {
+    std::string name;
+    std::string labels;
+    MetricKind kind;
+    MetricId id;
+  };
+
+  MetricsRegistry() = default;
+
+  MetricId RegisterMetric(std::string_view name, std::string_view labels,
+                          MetricKind kind);
+  Shard* AcquireShard();
+  void ReleaseShard(Shard* shard);
+
+  Shard& LocalShard() {
+    struct Lease {
+      MetricsRegistry* registry = nullptr;
+      Shard* shard = nullptr;
+      ~Lease() {
+        if (registry != nullptr) registry->ReleaseShard(shard);
+      }
+    };
+    thread_local Lease lease;
+    if (lease.shard == nullptr) {
+      lease.registry = this;
+      lease.shard = AcquireShard();
+    }
+    return *lease.shard;
+  }
+
+  std::atomic<bool> enabled_{false};
+  std::array<std::atomic<std::int64_t>, kGaugeCapacity> gauges_{};
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Shard>> shards_;  // guarded by mutex_
+  std::vector<Descriptor> descriptors_;         // guarded by mutex_
+  std::size_t next_slot_ = 0;                   // guarded by mutex_
+  std::size_t next_gauge_ = 0;                  // guarded by mutex_
+};
+
+}  // namespace granmine::obs
+
+#endif  // GRANMINE_OBS_METRICS_H_

@@ -1,0 +1,79 @@
+#ifndef GRANMINE_OBS_OBS_H_
+#define GRANMINE_OBS_OBS_H_
+
+// Instrumentation macros for granmine's hot paths, plus the compile-time kill
+// switch. The build defines GRANMINE_OBS_ENABLED (1 by default, 0 under
+// `cmake -DGRANMINE_OBS=OFF`); when it is 0 every macro below expands to
+// *nothing* — no declarations, no clock reads, no branches — so a disabled
+// build is byte-for-byte unobservant. When it is 1, each macro is still
+// runtime-gated on MetricsRegistry/TraceCollector `enabled()`, a single
+// relaxed atomic load, so the default-off cost is one predicted branch.
+//
+// Metric names and label bodies must be string literals: each call site
+// registers its metric once via a function-local static MetricId.
+
+#ifndef GRANMINE_OBS_ENABLED
+#define GRANMINE_OBS_ENABLED 1
+#endif
+
+#if GRANMINE_OBS_ENABLED
+
+#include "granmine/obs/metrics.h"
+#include "granmine/obs/trace.h"
+
+#define GM_OBS_CONCAT_INNER(a, b) a##b
+#define GM_OBS_CONCAT(a, b) GM_OBS_CONCAT_INNER(a, b)
+
+// Wraps code that exists only for observability (timing locals, flush
+// helpers). Expands to its arguments verbatim when obs is compiled in.
+#define GM_OBS_ONLY(...) __VA_ARGS__
+
+#define GM_COUNTER_ADD(name, labels, n)                                   \
+  do {                                                                    \
+    if (::granmine::obs::MetricsRegistry::Global().enabled()) {           \
+      static const ::granmine::obs::MetricId gm_obs_metric_id =           \
+          ::granmine::obs::MetricsRegistry::Global().RegisterCounter(     \
+              (name), (labels));                                          \
+      ::granmine::obs::MetricsRegistry::Global().Add(                     \
+          gm_obs_metric_id, static_cast<std::uint64_t>(n));               \
+    }                                                                     \
+  } while (false)
+
+#define GM_GAUGE_SET(name, labels, value)                                 \
+  do {                                                                    \
+    if (::granmine::obs::MetricsRegistry::Global().enabled()) {           \
+      static const ::granmine::obs::MetricId gm_obs_metric_id =           \
+          ::granmine::obs::MetricsRegistry::Global().RegisterGauge(       \
+              (name), (labels));                                          \
+      ::granmine::obs::MetricsRegistry::Global().GaugeSet(                \
+          gm_obs_metric_id, static_cast<std::int64_t>(value));            \
+    }                                                                     \
+  } while (false)
+
+#define GM_HISTOGRAM_OBSERVE(name, labels, value)                         \
+  do {                                                                    \
+    if (::granmine::obs::MetricsRegistry::Global().enabled()) {           \
+      static const ::granmine::obs::MetricId gm_obs_metric_id =           \
+          ::granmine::obs::MetricsRegistry::Global().RegisterHistogram(   \
+              (name), (labels));                                          \
+      ::granmine::obs::MetricsRegistry::Global().Observe(                 \
+          gm_obs_metric_id, static_cast<std::uint64_t>(value));           \
+    }                                                                     \
+  } while (false)
+
+// Scoped span: records a Chrome trace_event complete event covering the
+// enclosing scope. `name` must be a string literal.
+#define GM_TRACE_SPAN(name) \
+  ::granmine::obs::TraceSpan GM_OBS_CONCAT(gm_obs_span_, __LINE__)((name))
+
+#else  // !GRANMINE_OBS_ENABLED
+
+#define GM_OBS_ONLY(...)
+#define GM_COUNTER_ADD(name, labels, n)
+#define GM_GAUGE_SET(name, labels, value)
+#define GM_HISTOGRAM_OBSERVE(name, labels, value)
+#define GM_TRACE_SPAN(name)
+
+#endif  // GRANMINE_OBS_ENABLED
+
+#endif  // GRANMINE_OBS_OBS_H_

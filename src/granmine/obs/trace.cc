@@ -1,0 +1,101 @@
+#include "granmine/obs/trace.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "granmine/obs/metrics.h"
+
+namespace granmine::obs {
+
+TraceCollector& TraceCollector::Global() {
+  // Leaked for the same reason as MetricsRegistry::Global(): spans may unwind
+  // during static destruction.
+  static TraceCollector* const collector = new TraceCollector();
+  return *collector;
+}
+
+std::uint64_t TraceSpan::NowMicrosForTrace() { return NowMicros(); }
+
+void TraceCollector::Record(const char* name, std::uint64_t ts_us,
+                            std::uint64_t dur_us) {
+  if (!enabled()) return;
+  // Spans mark coarse stages (scan phases, committed groups, snapshots), so a
+  // single mutex is uncontended enough; the per-span cost is dominated by the
+  // two clock reads in TraceSpan anyway.
+  thread_local std::uint32_t cached_tid = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cached_tid == 0) cached_tid = next_tid_++;
+  if (events_.size() >= kMaxEvents) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(Event{name, ts_us, dur_us, cached_tid});
+}
+
+namespace {
+
+void AppendJsonString(std::string& out, const char* text) {
+  out += '"';
+  for (const char* p = text; *p != '\0'; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string TraceCollector::ExportJson() const {
+  std::vector<Event> events;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events = events_;
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return std::strcmp(a.name, b.name) < 0;
+  });
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Event& event : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n{\"name\":";
+    AppendJsonString(out, event.name);
+    out += ",\"cat\":\"granmine\",\"ph\":\"X\",\"ts\":";
+    out += std::to_string(event.ts_us);
+    out += ",\"dur\":";
+    out += std::to_string(event.dur_us);
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(event.tid);
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::size_t TraceCollector::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::uint64_t TraceCollector::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+}  // namespace granmine::obs

@@ -1,0 +1,89 @@
+#ifndef GRANMINE_OBS_TRACE_H_
+#define GRANMINE_OBS_TRACE_H_
+
+// Scoped trace spans exported as Chrome trace_event JSON ("ph":"X" complete
+// events), loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+// Span names must be string literals (the collector stores the pointer).
+//
+// Recording is runtime-gated: a disabled collector costs one relaxed load per
+// span. Like the metrics registry, these classes compile in every
+// configuration; GRANMINE_OBS only controls the call-site macros (obs.h).
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace granmine::obs {
+
+class TraceCollector {
+ public:
+  /// Hard cap on buffered events; once full, further spans are counted in
+  /// dropped() instead of recorded (a trace that large is unusable anyway).
+  static constexpr std::size_t kMaxEvents = std::size_t{1} << 20;
+
+  static TraceCollector& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Records one complete event. `name` must be a string literal (or
+  /// otherwise outlive the collector).
+  void Record(const char* name, std::uint64_t ts_us, std::uint64_t dur_us);
+
+  /// Chrome trace_event JSON: {"traceEvents":[...]} with events sorted by
+  /// (ts, tid, name) so exports are deterministic for a fixed set of spans.
+  std::string ExportJson() const;
+
+  void Clear();
+  std::size_t size() const;
+  std::uint64_t dropped() const;
+
+ private:
+  struct Event {
+    const char* name;
+    std::uint64_t ts_us;
+    std::uint64_t dur_us;
+    std::uint32_t tid;
+  };
+
+  TraceCollector() = default;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;     // guarded by mutex_
+  std::uint64_t dropped_ = 0;     // guarded by mutex_
+  std::uint32_t next_tid_ = 1;    // guarded by mutex_
+};
+
+/// RAII span: captures the start time on construction and records a complete
+/// event on destruction. Cheap no-op when the collector is disabled at
+/// construction time.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name)
+      : name_(name), active_(TraceCollector::Global().enabled()) {
+    if (active_) start_us_ = NowMicrosForTrace();
+  }
+  ~TraceSpan() {
+    if (active_) {
+      const std::uint64_t now = NowMicrosForTrace();
+      TraceCollector::Global().Record(name_, start_us_, now - start_us_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  static std::uint64_t NowMicrosForTrace();
+
+  const char* name_;
+  std::uint64_t start_us_ = 0;
+  bool active_;
+};
+
+}  // namespace granmine::obs
+
+#endif  // GRANMINE_OBS_TRACE_H_

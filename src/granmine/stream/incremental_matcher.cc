@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "granmine/common/check.h"
+#include "granmine/obs/obs.h"
 
 namespace granmine {
 
@@ -21,6 +22,7 @@ IncrementalMatcher::IncrementalMatcher(
 }
 
 void IncrementalMatcher::Finalize(RootRuns* root) {
+  GM_COUNTER_ADD("granmine_stream_root_finalizations_total", "", 1);
   for (std::size_t c = 0; c < candidate_count_; ++c) {
     ResidentRun& slot = root->slots[c];
     if ((*active_)[c] != 0 && slot.verdict == RunVerdict::kPending) {
@@ -106,7 +108,14 @@ void IncrementalMatcher::AdvanceGroup(
 }
 
 void IncrementalMatcher::EvictBefore(TimePoint horizon) {
-  while (!roots_.empty() && roots_.front().t0 < horizon) roots_.pop_front();
+  std::size_t evicted = 0;
+  while (!roots_.empty() && roots_.front().t0 < horizon) {
+    roots_.pop_front();
+    ++evicted;
+  }
+  if (evicted > 0) {
+    GM_COUNTER_ADD("granmine_stream_roots_evicted_total", "", evicted);
+  }
 }
 
 std::size_t IncrementalMatcher::resident_configurations() const {

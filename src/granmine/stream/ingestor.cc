@@ -4,6 +4,7 @@
 #include <string>
 
 #include "granmine/common/check.h"
+#include "granmine/obs/obs.h"
 
 namespace granmine {
 
@@ -19,6 +20,7 @@ bool CanonicalLess(const Event& a, const Event& b) {
 Status StreamIngestor::Ingest(Event event) {
   if (tracker_.IsLate(event.time)) {
     ++late_events_;
+    GM_COUNTER_ADD("granmine_stream_events_late_total", "", 1);
     return Status::Invalid(
         "late event: type " + std::to_string(event.type) + " at t=" +
         std::to_string(event.time) + " is below the watermark t=" +

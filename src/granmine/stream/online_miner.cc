@@ -6,6 +6,7 @@
 #include "granmine/common/check.h"
 #include "granmine/mining/scan_driver.h"
 #include "granmine/mining/windows.h"
+#include "granmine/obs/obs.h"
 
 namespace granmine {
 
@@ -129,7 +130,9 @@ Result<OnlineMiner> OnlineMiner::Create(GranularitySystem* system,
 }
 
 Status OnlineMiner::Ingest(Event event) {
+  GM_TRACE_SPAN("stream_ingest");
   GM_RETURN_NOT_OK(ingestor_.Ingest(event));
+  GM_COUNTER_ADD("granmine_stream_events_ingested_total", "", 1);
   DrainReady();
   return Status::OK();
 }
@@ -149,10 +152,19 @@ void OnlineMiner::DrainReady() {
     i = j;
   }
   if (!ready.empty()) ingestor_.Discard(ready.size());
-  EvictCore(&core_, ingestor_.horizon());
+  {
+    GM_TRACE_SPAN("stream_evict");
+    EvictCore(&core_, ingestor_.horizon());
+  }
 }
 
 void OnlineMiner::CommitGroup(Core* core, std::span<const Event> raw_group) {
+  GM_TRACE_SPAN("stream_commit_group");
+  // Only the live core's commits count as stream progress; the snapshot path
+  // re-commits the reorder buffer into a throwaway clone.
+  if (core == &core_) {
+    GM_COUNTER_ADD("granmine_stream_groups_committed_total", "", 1);
+  }
   GroupRecord record;
   record.time = raw_group.front().time;
   record.raw = raw_group.size();
@@ -187,6 +199,10 @@ void OnlineMiner::CommitGroup(Core* core, std::span<const Event> raw_group) {
     }
     spawn_scratch_.push_back({pos, deadline});
   }
+  if (core == &core_ && !spawn_scratch_.empty()) {
+    GM_COUNTER_ADD("granmine_stream_roots_spawned_total", "",
+                   spawn_scratch_.size());
+  }
   core->matcher->AdvanceGroup(reduced_scratch_, spawn_scratch_,
                               executor_.get(), &scratches_);
 }
@@ -203,6 +219,8 @@ void OnlineMiner::EvictCore(Core* core, TimePoint horizon) {
 }
 
 Result<MiningReport> OnlineMiner::Snapshot(const ResourceGovernor* governor) {
+  GM_TRACE_SPAN("stream_snapshot");
+  GM_COUNTER_ADD("granmine_stream_snapshots_total", "", 1);
   std::span<const Event> buffered = ingestor_.Buffered();
 
   MiningReport report;
@@ -258,6 +276,8 @@ Result<MiningReport> OnlineMiner::Snapshot(const ResourceGovernor* governor) {
           matcher.root(r).slots[static_cast<std::size_t>(index)];
       ++out->tag_runs;
       out->configurations += slot.stats.configurations;
+      out->transitions += slot.stats.transitions;
+      out->kernel_groups += slot.stats.groups_advanced;
       if (slot.verdict == RunVerdict::kUnknown) {
         *reason = slot.stats.stopped != StopCause::kNone
                       ? slot.stats.stopped

@@ -64,6 +64,12 @@ struct MatchStats {
   std::uint64_t configurations = 0;  ///< configs created over the run
   std::size_t peak_frontier = 0;     ///< max simultaneous configs
   std::uint64_t events_scanned = 0;
+  /// Guard-satisfied labeled transitions taken (successors generated,
+  /// including duplicates later deduplicated). Plain field bumps in the
+  /// kernel; the obs layer flushes them in batch at scan/snapshot merges.
+  std::uint64_t transitions = 0;
+  /// AdvanceGroup invocations this run.
+  std::uint64_t groups_advanced = 0;
   /// The run hit its local max_configurations budget (outcome kUnknown).
   bool budget_exhausted = false;
   /// Why the run stopped early: kStepBudget for the local configuration

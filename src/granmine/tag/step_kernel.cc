@@ -125,6 +125,7 @@ TagKernel::GroupOutcome TagKernel::AdvanceGroup(
   MatchStats& st = *stats;
   const std::size_t clock_count = tag_->clocks().size();
   st.events_scanned += group.size();
+  ++st.groups_advanced;
 
   ComputeNow(group.front().time, &scratch->now);
   std::vector<std::int64_t>& now = scratch->now;
@@ -210,6 +211,7 @@ TagKernel::GroupOutcome TagKernel::AdvanceGroup(
           continue;
         }
         if (!tr.guard.IsSatisfied(values)) continue;
+        ++st.transitions;
         GroupNode successor = node;
         successor.config.state = tr.to;
         for (int c : tr.resets) {

@@ -1,0 +1,131 @@
+// Unit tests for the streaming layer's RingBuffer: logical-order indexing
+// across wraparound, push_back exactly at capacity (the Grow path with a
+// non-zero head), and pop_front resource release.
+
+#include "granmine/common/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace granmine {
+namespace {
+
+TEST(RingBufferTest, StartsEmpty) {
+  RingBuffer<int> buffer;
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.size(), 0u);
+}
+
+TEST(RingBufferTest, PushPopPreservesFifoOrder) {
+  RingBuffer<int> buffer;
+  for (int i = 0; i < 5; ++i) buffer.push_back(i);
+  ASSERT_EQ(buffer.size(), 5u);
+  EXPECT_EQ(buffer.front(), 0);
+  EXPECT_EQ(buffer.back(), 4);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(buffer.front(), i);
+    buffer.pop_front();
+  }
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(RingBufferTest, IndexingIsLogicalInsertionOrder) {
+  RingBuffer<int> buffer;
+  // Drive head_ away from 0 so Physical(i) != i, then check operator[].
+  for (int i = 0; i < 12; ++i) buffer.push_back(i);
+  for (int i = 0; i < 9; ++i) buffer.pop_front();
+  for (int i = 12; i < 20; ++i) buffer.push_back(i);
+  ASSERT_EQ(buffer.size(), 11u);
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    EXPECT_EQ(buffer[i], static_cast<int>(i) + 9) << "logical index " << i;
+  }
+}
+
+// The wraparound regression the streaming layer depends on: after interleaved
+// push/pop the live range straddles the physical end of the array; pushing
+// exactly when count_ == capacity must regrow without reordering.
+TEST(RingBufferTest, PushAtExactCapacityWithWrappedHead) {
+  RingBuffer<std::string> buffer;
+  // First Grow allocates 8 slots. Fill them, retire 5, refill to exactly 8
+  // live elements with head_ = 5 — the next push lands on the Grow path with
+  // a wrapped layout.
+  for (int i = 0; i < 8; ++i) buffer.push_back("v" + std::to_string(i));
+  for (int i = 0; i < 5; ++i) buffer.pop_front();
+  for (int i = 8; i < 13; ++i) buffer.push_back("v" + std::to_string(i));
+  ASSERT_EQ(buffer.size(), 8u);  // capacity reached, head wrapped
+
+  buffer.push_back("v13");  // triggers Grow with head_ != 0
+  ASSERT_EQ(buffer.size(), 9u);
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    EXPECT_EQ(buffer[i], "v" + std::to_string(i + 5));
+  }
+  EXPECT_EQ(buffer.front(), "v5");
+  EXPECT_EQ(buffer.back(), "v13");
+}
+
+TEST(RingBufferTest, ManyWrapCyclesStayConsistent) {
+  RingBuffer<int> buffer;
+  int next_in = 0;
+  int next_out = 0;
+  // A long alternating push/pop run cycles head_ through every physical slot
+  // several times without growing.
+  for (int round = 0; round < 100; ++round) {
+    buffer.push_back(next_in++);
+    buffer.push_back(next_in++);
+    EXPECT_EQ(buffer.front(), next_out);
+    buffer.pop_front();
+    ++next_out;
+  }
+  ASSERT_EQ(buffer.size(), 100u);
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    EXPECT_EQ(buffer[i], next_out + static_cast<int>(i));
+  }
+}
+
+// pop_front must drop the element's resources immediately (the streaming
+// layer retires whole committed groups this way), not when the slot is
+// eventually overwritten.
+TEST(RingBufferTest, PopFrontReleasesOwnedResources) {
+  RingBuffer<std::shared_ptr<int>> buffer;
+  auto tracked = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = tracked;
+  buffer.push_back(std::move(tracked));
+  buffer.push_back(std::make_shared<int>(7));
+  ASSERT_FALSE(watch.expired());
+  buffer.pop_front();
+  EXPECT_TRUE(watch.expired());
+  EXPECT_EQ(*buffer.front(), 7);
+}
+
+TEST(RingBufferTest, CopyPreservesLogicalOrder) {
+  RingBuffer<int> buffer;
+  for (int i = 0; i < 10; ++i) buffer.push_back(i);
+  for (int i = 0; i < 7; ++i) buffer.pop_front();
+  for (int i = 10; i < 16; ++i) buffer.push_back(i);
+
+  RingBuffer<int> copy = buffer;
+  ASSERT_EQ(copy.size(), buffer.size());
+  for (std::size_t i = 0; i < copy.size(); ++i) {
+    EXPECT_EQ(copy[i], buffer[i]);
+  }
+  // Mutating the copy must not alias the original.
+  copy.pop_front();
+  EXPECT_EQ(buffer.front(), 7);
+  EXPECT_EQ(copy.front(), 8);
+}
+
+TEST(RingBufferTest, ClearResetsToEmpty) {
+  RingBuffer<int> buffer;
+  for (int i = 0; i < 20; ++i) buffer.push_back(i);
+  buffer.clear();
+  EXPECT_TRUE(buffer.empty());
+  buffer.push_back(99);
+  ASSERT_EQ(buffer.size(), 1u);
+  EXPECT_EQ(buffer.front(), 99);
+}
+
+}  // namespace
+}  // namespace granmine

@@ -1,0 +1,98 @@
+// Unit tests for WatermarkTracker: watermark monotonicity under out-of-order
+// (but in-tolerance) arrivals, late-arrival rejection at the boundary, the
+// trailing retention horizon, and Seal terminal semantics.
+
+#include "granmine/common/watermark.h"
+
+#include <gtest/gtest.h>
+
+#include "granmine/common/math.h"
+
+namespace granmine {
+namespace {
+
+TEST(WatermarkTest, BeforeFirstEventNothingIsLateNothingCommits) {
+  WatermarkTracker tracker(/*tolerance=*/5, /*retention=*/100);
+  EXPECT_EQ(tracker.watermark(), -kInfinity);
+  EXPECT_EQ(tracker.horizon(), -kInfinity);
+  EXPECT_FALSE(tracker.IsLate(-1000000));
+  EXPECT_FALSE(tracker.sealed());
+}
+
+TEST(WatermarkTest, WatermarkTrailsMaxSeenByTolerance) {
+  WatermarkTracker tracker(/*tolerance=*/5, /*retention=*/kInfinity);
+  tracker.Observe(100);
+  EXPECT_EQ(tracker.watermark(), 95);
+  tracker.Observe(107);
+  EXPECT_EQ(tracker.watermark(), 102);
+}
+
+// The monotonicity contract: an in-tolerance regression in event time must
+// never move the watermark backwards — only the max timestamp drives it.
+TEST(WatermarkTest, OutOfOrderArrivalsNeverRegressTheWatermark) {
+  WatermarkTracker tracker(/*tolerance=*/10, /*retention=*/kInfinity);
+  TimePoint last_mark = -kInfinity;
+  for (TimePoint t : {TimePoint{50}, TimePoint{44}, TimePoint{60},
+                      TimePoint{51}, TimePoint{58}, TimePoint{60}}) {
+    ASSERT_FALSE(tracker.IsLate(t)) << "t=" << t;
+    tracker.Observe(t);
+    EXPECT_GE(tracker.watermark(), last_mark) << "t=" << t;
+    last_mark = tracker.watermark();
+  }
+  EXPECT_EQ(tracker.watermark(), 50);
+}
+
+// Boundary semantics: t == watermark is still on time (groups strictly below
+// the mark commit), t == watermark - 1 is late.
+TEST(WatermarkTest, LateBoundaryIsStrict) {
+  WatermarkTracker tracker(/*tolerance=*/5, /*retention=*/kInfinity);
+  tracker.Observe(100);
+  ASSERT_EQ(tracker.watermark(), 95);
+  EXPECT_FALSE(tracker.IsLate(95));
+  EXPECT_FALSE(tracker.IsLate(96));
+  EXPECT_TRUE(tracker.IsLate(94));
+}
+
+TEST(WatermarkTest, ZeroToleranceRejectsAnyRegression) {
+  WatermarkTracker tracker(/*tolerance=*/0, /*retention=*/kInfinity);
+  tracker.Observe(10);
+  EXPECT_FALSE(tracker.IsLate(10));  // equal timestamps still arrive
+  EXPECT_TRUE(tracker.IsLate(9));
+}
+
+TEST(WatermarkTest, HorizonTrailsWatermarkByRetention) {
+  WatermarkTracker tracker(/*tolerance=*/5, /*retention=*/20);
+  tracker.Observe(100);
+  EXPECT_EQ(tracker.watermark(), 95);
+  EXPECT_EQ(tracker.horizon(), 75);
+}
+
+TEST(WatermarkTest, UnboundedRetentionNeverEvicts) {
+  WatermarkTracker tracker(/*tolerance=*/0, /*retention=*/kInfinity);
+  tracker.Observe(1000000);
+  EXPECT_EQ(tracker.horizon(), -kInfinity);
+}
+
+// Seal is terminal: the watermark jumps to +infinity (all buffered groups
+// commit, all future arrivals are late), but the horizon must stay anchored
+// at the last real mark so the terminal flush cannot evict what it reports.
+TEST(WatermarkTest, SealCommitsEverythingButFreezesTheHorizon) {
+  WatermarkTracker tracker(/*tolerance=*/5, /*retention=*/20);
+  tracker.Observe(100);
+  tracker.Seal();
+  EXPECT_TRUE(tracker.sealed());
+  EXPECT_EQ(tracker.watermark(), kInfinity);
+  EXPECT_TRUE(tracker.IsLate(100));
+  EXPECT_TRUE(tracker.IsLate(1000000));
+  EXPECT_EQ(tracker.horizon(), 75);  // NOT +infinity - retention
+}
+
+TEST(WatermarkTest, SealBeforeAnyEventStillSeals) {
+  WatermarkTracker tracker(/*tolerance=*/5, /*retention=*/20);
+  tracker.Seal();
+  EXPECT_EQ(tracker.watermark(), kInfinity);
+  EXPECT_TRUE(tracker.IsLate(0));
+}
+
+}  // namespace
+}  // namespace granmine
