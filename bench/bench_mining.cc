@@ -149,6 +149,35 @@ BENCHMARK(BM_Mining_WeekendNoise_Naive)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Mining_WeekendNoise_Steps123)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Mining_WeekendNoise_Steps1234)->Unit(benchmark::kMillisecond);
 
+// PR6 comparison point: the identical steps-1..4 pipeline against a warm
+// hashed-memo system versus a frozen one, so the table/coverage lookup win
+// is visible on its own and not folded into end-to-end noise. Both variants
+// mine once untimed first, so the hashed side measures the steady-state
+// memoized path (shared-mutex + pointer hash per lookup) and the frozen
+// side the sealed id-indexed arrays.
+void RunFrozenComparison(benchmark::State& state, bool frozen) {
+  Scenario scenario = MakeScenario(/*noise_tickers=*/3);
+  if (frozen && !scenario.system->Freeze().ok()) {
+    state.SkipWithError("Freeze failed");
+    return;
+  }
+  Miner miner(scenario.system.get(), StepsUpTo(4));
+  benchmark::DoNotOptimize(
+      miner.Mine(scenario.problem, scenario.workload.sequence));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        miner.Mine(scenario.problem, scenario.workload.sequence));
+  }
+}
+void BM_Mining_HashedTables(benchmark::State& state) {
+  RunFrozenComparison(state, /*frozen=*/false);
+}
+void BM_Mining_FrozenTables(benchmark::State& state) {
+  RunFrozenComparison(state, /*frozen=*/true);
+}
+BENCHMARK(BM_Mining_HashedTables)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Mining_FrozenTables)->Unit(benchmark::kMillisecond);
+
 // range(0) = number of extra noise tickers (each adds 2 event types).
 BENCHMARK(BM_Mining_Naive)->Arg(1)->Arg(3)->Arg(6)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Mining_Step1)->Arg(1)->Arg(3)->Arg(6)->Unit(benchmark::kMillisecond);

@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "granmine/common/random.h"
+#include "granmine/constraint/propagation.h"
 #include "granmine/granularity/system.h"
 #include "granmine/tag/builder.h"
 #include "granmine/tag/matcher.h"
@@ -134,6 +135,58 @@ void BM_Match_Chains(benchmark::State& state) {
 BENCHMARK(BM_Match_Chains)
     ->DenseRange(1, 4)
     ->Unit(benchmark::kMicrosecond);
+
+// PR6 comparison point: the step-kernel itself reads only tick primitives,
+// but in the §5 pipeline every TAG run is preceded by a screening
+// propagation whose constraint conversion hits the minsize/maxsize/mingap
+// tables and the coverage cache. Measure that per-candidate unit of work —
+// propagate + match on a Gregorian-granularity chain — against a warm
+// hashed-memo system versus a frozen (sealed, id-indexed) one.
+void RunScreeningPlusMatch(benchmark::State& state, bool frozen) {
+  auto system = GranularitySystem::Gregorian();
+  EventStructure s;
+  for (int v = 0; v < 4; ++v) s.AddVariable("X" + std::to_string(v));
+  (void)s.AddConstraint(0, 1, Tcg::Of(0, 3, system->Find("b-day")));
+  (void)s.AddConstraint(1, 2, Tcg::Of(0, 2, system->Find("week")));
+  (void)s.AddConstraint(2, 3, Tcg::Of(0, 1, system->Find("month")));
+  // Warm the hashed memo either way, so the hashed variant measures the
+  // steady-state memoized path, not first-fill cost.
+  {
+    ConstraintPropagator warm(&system->tables(), &system->coverage());
+    benchmark::DoNotOptimize(warm.Propagate(s));
+  }
+  if (frozen) {
+    if (!system->Freeze().ok()) {
+      state.SkipWithError("Freeze failed");
+      return;
+    }
+  }
+  Result<TagBuildResult> built = BuildTagForStructure(s);
+  if (!built.ok()) {
+    state.SkipWithError("TAG build failed");
+    return;
+  }
+  TagMatcher matcher(&built->tag);
+  Rng rng(7);
+  EventSequence seq = RandomSequence(rng, 2048, 6);
+  std::vector<EventTypeId> phi;
+  for (int v = 0; v < s.variable_count(); ++v) phi.push_back(v % 6);
+  SymbolMap symbols = SymbolMap::FromAssignment(phi, 6);
+  for (auto _ : state) {
+    ConstraintPropagator propagator(&system->tables(), &system->coverage());
+    auto screened = propagator.Propagate(s);
+    benchmark::DoNotOptimize(screened);
+    benchmark::DoNotOptimize(matcher.Accepts(seq.View(), symbols, {}));
+  }
+}
+void BM_Match_ScreenedGregorian_Hashed(benchmark::State& state) {
+  RunScreeningPlusMatch(state, /*frozen=*/false);
+}
+void BM_Match_ScreenedGregorian_Frozen(benchmark::State& state) {
+  RunScreeningPlusMatch(state, /*frozen=*/true);
+}
+BENCHMARK(BM_Match_ScreenedGregorian_Hashed)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Match_ScreenedGregorian_Frozen)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace granmine

@@ -27,6 +27,13 @@
 // a stream never reveals its full type universe up front, every non-root
 // variable needs a --pin or the shared --types list.
 //
+// Every subcommand runs against one `Engine` (granmine/engine/engine.h)
+// owning the Gregorian granularity family: the shared engine flags
+// (--threads, --deadline-ms, --metrics-out, --trace-out) are parsed once
+// into EngineFlags and configure the engine, and structures defined in the
+// input files extend the family during the build phase — the first mining
+// request freezes it into the dense id-indexed caches.
+//
 // --metrics-out enables the obs layer's metrics and writes a Prometheus text
 // exposition on exit; --trace-out enables span tracing and writes Chrome
 // trace_event JSON (open in https://ui.perfetto.dev). Both also print a
@@ -47,14 +54,13 @@
 
 #include "granmine/constraint/exact.h"
 #include "granmine/constraint/propagation.h"
+#include "granmine/engine/engine.h"
 #include "granmine/granularity/system.h"
 #include "granmine/io/cli_args.h"
 #include "granmine/io/dot.h"
 #include "granmine/io/text_format.h"
 #include "granmine/mining/explain.h"
 #include "granmine/mining/miner.h"
-#include "granmine/obs/metrics.h"
-#include "granmine/obs/trace.h"
 #include "granmine/stream/online_miner.h"
 #include "granmine/tag/builder.h"
 
@@ -140,8 +146,8 @@ bool ApplyPins(const CliArgs& args, const std::vector<std::string>& names,
 
 int RunDemo();
 
-int RunMine(const CliArgs& args) {
-  auto system = GranularitySystem::Gregorian();
+int RunMine(const CliArgs& args, const EngineFlags& engine_flags,
+            Engine* engine) {
   auto structure_text = ReadFileToString(args.flags.at("structure"));
   auto events_text = ReadFileToString(args.flags.at("events"));
   if (!structure_text.ok() || !events_text.ok()) {
@@ -153,7 +159,8 @@ int RunMine(const CliArgs& args) {
     return 66;
   }
   std::vector<std::string> names;
-  auto structure = ParseEventStructure(*structure_text, system.get(), &names);
+  auto structure =
+      ParseEventStructure(*structure_text, engine->system(), &names);
   if (!structure.ok()) {
     std::fprintf(stderr, "structure: %s\n",
                  structure.status().ToString().c_str());
@@ -188,87 +195,68 @@ int RunMine(const CliArgs& args) {
     return exit_code;
   }
 
-  MinerOptions options = args.naive ? MinerOptions::Naive() : MinerOptions{};
-  if (args.flags.count("threads") &&
-      !Validated(ParseThreadCount(args.flags.at("threads")),
-                 &options.num_threads, &exit_code)) {
-    return exit_code;
-  }
+  MineRequest request;
+  request.problem = &problem;
+  request.sequence = &*sequence;
+  request.options = args.naive ? MinerOptions::Naive() : MinerOptions{};
   if (args.flags.count("on-budget")) {
     const std::string& policy = args.flags.at("on-budget");
     if (policy == "abort") {
-      options.on_exhaustion = MinerOptions::ExhaustionPolicy::kAbort;
+      request.options.on_exhaustion = MinerOptions::ExhaustionPolicy::kAbort;
     } else if (policy == "partial") {
-      options.on_exhaustion = MinerOptions::ExhaustionPolicy::kPartial;
+      request.options.on_exhaustion = MinerOptions::ExhaustionPolicy::kPartial;
     } else {
       std::fprintf(stderr,
                    "--on-budget expects 'abort' or 'partial', got '%s'\n",
                    policy.c_str());
       return 64;
     }
-  }
-  std::unique_ptr<ResourceGovernor> governor;
-  if (args.flags.count("deadline-ms")) {
-    std::int64_t deadline_ms = 0;
-    if (!Validated(ParsePositiveInt("deadline-ms", args.flags.at("deadline-ms")),
-                   &deadline_ms, &exit_code)) {
-      return exit_code;
-    }
+  } else if (engine_flags.deadline_ms.has_value()) {
     // A deadline without an explicit policy degrades gracefully: report
     // whatever was decided instead of failing the whole run.
-    if (!args.flags.count("on-budget")) {
-      options.on_exhaustion = MinerOptions::ExhaustionPolicy::kPartial;
-    }
-    GovernorLimits limits;
-    limits.deadline_ms = deadline_ms;
-    governor = std::make_unique<ResourceGovernor>(limits);
+    request.options.on_exhaustion = MinerOptions::ExhaustionPolicy::kPartial;
   }
-  Miner miner(system.get(), options);
-  const auto wall_start = std::chrono::steady_clock::now();
-  auto report = miner.Mine(problem, *sequence, governor.get());
-  const double elapsed_ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - wall_start)
-          .count();
-  if (!report.ok()) {
-    std::fprintf(stderr, "mining: %s\n", report.status().ToString().c_str());
+  auto response = engine->Mine(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "mining: %s\n",
+                 response.status().ToString().c_str());
     return 70;
   }
+  const MiningReport& report = response->report;
   // Diagnostics go to stderr: stdout must stay byte-identical across
   // --threads (docs/concurrency.md), and wall-clock never is.
   std::fprintf(stderr,
                "stats: stop-cause %s, elapsed %.2f ms, governor steps %llu\n",
-               std::string(StopCauseToString(report->completeness.stop))
+               std::string(StopCauseToString(report.completeness.stop))
                    .c_str(),
-               elapsed_ms,
-               static_cast<unsigned long long>(
-                   governor != nullptr ? governor->steps() : 0));
+               response->elapsed_ms,
+               static_cast<unsigned long long>(response->governor_steps));
   std::printf("events %zu (%zu after reduction), reference occurrences %zu "
               "(%zu survive), candidates %llu -> %llu, TAG runs %llu\n",
-              report->events_before, report->events_after_reduction,
-              report->total_roots, report->roots_after_reduction,
-              static_cast<unsigned long long>(report->candidates_before),
+              report.events_before, report.events_after_reduction,
+              report.total_roots, report.roots_after_reduction,
+              static_cast<unsigned long long>(report.candidates_before),
               static_cast<unsigned long long>(
-                  report->candidates_after_screening),
-              static_cast<unsigned long long>(report->tag_runs));
-  if (report->refuted_by_propagation) {
+                  report.candidates_after_screening),
+              static_cast<unsigned long long>(report.tag_runs));
+  if (report.refuted_by_propagation) {
     std::printf("structure is INCONSISTENT (refuted by propagation)\n");
     return 0;
   }
-  const MiningCompleteness& completeness = report->completeness;
+  const MiningCompleteness& completeness = report.completeness;
   if (!completeness.complete) {
     std::printf(
         "PARTIAL result (stopped by %s after %.2f ms, %llu step(s) "
         "charged): %llu confirmed, %llu refuted, %llu unknown, "
         "%llu not evaluated\n",
-        std::string(StopCauseToString(completeness.stop)).c_str(), elapsed_ms,
-        static_cast<unsigned long long>(governor != nullptr ? governor->steps()
-                                                            : 0),
+        std::string(StopCauseToString(completeness.stop)).c_str(),
+        response->elapsed_ms,
+        static_cast<unsigned long long>(response->governor_steps),
         static_cast<unsigned long long>(completeness.confirmed),
         static_cast<unsigned long long>(completeness.refuted),
         static_cast<unsigned long long>(completeness.unknown),
         static_cast<unsigned long long>(completeness.not_evaluated));
-    for (const UnknownCandidate& unknown : report->unknown_sample) {
+    for (const UnknownCandidate& unknown : report.unknown_sample) {
       std::printf("  unknown (%s):",
                   std::string(StopCauseToString(unknown.reason)).c_str());
       for (std::size_t v = 0; v < unknown.assignment.size(); ++v) {
@@ -277,16 +265,16 @@ int RunMine(const CliArgs& args) {
       }
       std::printf("\n");
     }
-    if (completeness.unknown > report->unknown_sample.size()) {
+    if (completeness.unknown > report.unknown_sample.size()) {
       std::printf("  ... and %llu more unknown candidate(s)\n",
                   static_cast<unsigned long long>(
-                      completeness.unknown - report->unknown_sample.size()));
+                      completeness.unknown - report.unknown_sample.size()));
     }
   }
   std::printf("%s%zu solution(s) with frequency > %.3f:\n",
               completeness.complete ? "" : "at least ",
-              report->solutions.size(), problem.min_confidence);
-  for (const DiscoveredType& found : report->solutions) {
+              report.solutions.size(), problem.min_confidence);
+  for (const DiscoveredType& found : report.solutions) {
     std::printf("  freq %.3f:", found.frequency);
     for (std::size_t v = 0; v < found.assignment.size(); ++v) {
       std::printf(" %s=%s", names[v].c_str(),
@@ -330,15 +318,15 @@ void PrintStreamSnapshot(const MiningReport& report, const std::string& label,
   }
 }
 
-int RunStream(const CliArgs& args) {
-  auto system = GranularitySystem::Gregorian();
+int RunStream(const CliArgs& args, Engine* engine) {
   auto structure_text = ReadFileToString(args.flags.at("structure"));
   if (!structure_text.ok()) {
     std::fprintf(stderr, "%s\n", structure_text.status().ToString().c_str());
     return 66;
   }
   std::vector<std::string> names;
-  auto structure = ParseEventStructure(*structure_text, system.get(), &names);
+  auto structure =
+      ParseEventStructure(*structure_text, engine->system(), &names);
   if (!structure.ok()) {
     std::fprintf(stderr, "structure: %s\n",
                  structure.status().ToString().c_str());
@@ -399,20 +387,16 @@ int RunStream(const CliArgs& args) {
     problem.allowed[static_cast<std::size_t>(v)] = shared_pool;
   }
 
-  OnlineMinerOptions options;
-  options.retention = window.window;
+  StreamRequest request;
+  request.problem = &problem;
+  request.options.retention = window.window;
   if (args.flags.count("tolerance") &&
       !Validated(ParseNonNegativeInt("tolerance", args.flags.at("tolerance")),
-                 &options.tolerance, &exit_code)) {
-    return exit_code;
-  }
-  if (args.flags.count("threads") &&
-      !Validated(ParseThreadCount(args.flags.at("threads")),
-                 &options.num_threads, &exit_code)) {
+                 &request.options.tolerance, &exit_code)) {
     return exit_code;
   }
 
-  auto miner = OnlineMiner::Create(system.get(), problem, options);
+  auto miner = engine->OpenStream(request);
   if (!miner.ok()) {
     std::fprintf(stderr, "stream: %s\n", miner.status().ToString().c_str());
     return 65;
@@ -498,20 +482,26 @@ int RunStream(const CliArgs& args) {
   return 0;
 }
 
-int RunCheck(const CliArgs& args) {
-  auto system = GranularitySystem::Gregorian();
+int RunCheck(const CliArgs& args, Engine* engine) {
   auto text = ReadFileToString(args.flags.at("structure"));
   if (!text.ok()) {
     std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
     return 66;
   }
-  auto structure = ParseEventStructure(*text, system.get());
+  auto structure = ParseEventStructure(*text, engine->system());
   if (!structure.ok()) {
     std::fprintf(stderr, "structure: %s\n",
                  structure.status().ToString().c_str());
     return 65;
   }
-  ConstraintPropagator propagator(&system->tables(), &system->coverage());
+  // Build phase over (the structure may have defined new granularities):
+  // freeze so the consistency checks run on the dense id-indexed caches.
+  if (Status frozen = engine->Freeze(); !frozen.ok()) {
+    std::fprintf(stderr, "freeze: %s\n", frozen.ToString().c_str());
+    return 70;
+  }
+  const GranularitySystem& system = *engine->system();
+  ConstraintPropagator propagator(&system.tables(), &system.coverage());
   auto propagation = propagator.Propagate(*structure);
   if (!propagation.ok()) {
     std::fprintf(stderr, "propagation: %s\n",
@@ -525,7 +515,7 @@ int RunCheck(const CliArgs& args) {
   std::printf("not refuted by approximate propagation (%d iterations)\n",
               propagation->iterations);
   if (args.exact) {
-    ExactConsistencyChecker checker(&system->tables(), &system->coverage());
+    ExactConsistencyChecker checker(&system.tables(), &system.coverage());
     auto result = checker.Check(*structure);
     if (!result.ok()) {
       std::fprintf(stderr, "exact: %s\n", result.status().ToString().c_str());
@@ -547,15 +537,14 @@ int RunCheck(const CliArgs& args) {
   return 0;
 }
 
-int RunDot(const CliArgs& args) {
-  auto system = GranularitySystem::Gregorian();
+int RunDot(const CliArgs& args, Engine* engine) {
   auto text = ReadFileToString(args.flags.at("structure"));
   if (!text.ok()) {
     std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
     return 66;
   }
   std::vector<std::string> names;
-  auto structure = ParseEventStructure(*text, system.get(), &names);
+  auto structure = ParseEventStructure(*text, engine->system(), &names);
   if (!structure.ok()) {
     std::fprintf(stderr, "structure: %s\n",
                  structure.status().ToString().c_str());
@@ -610,38 +599,19 @@ int RunDemo() {
   return 0;
 }
 
-// Turns the runtime obs switches on before the command runs. Uses the obs
-// classes directly (not the GM_* macros) so --metrics-out / --trace-out
-// still produce well-formed — if empty — files in a GRANMINE_OBS=OFF build.
-void EnableObservability(const CliArgs& args) {
-  if (args.flags.count("metrics-out")) {
-    obs::MetricsRegistry::Global().set_enabled(true);
-  }
-  if (args.flags.count("trace-out")) {
-    obs::TraceCollector::Global().set_enabled(true);
-  }
-}
-
 // Writes the requested exposition files after the command finished. Returns
 // 0 or an I/O exit code; never overrides a failing command's own code.
-int WriteObservability(const CliArgs& args) {
+int WriteObservability(const EngineFlags& flags, const Engine& engine) {
   int exit_code = 0;
-  if (auto it = args.flags.find("metrics-out"); it != args.flags.end()) {
-    std::ofstream out(it->second);
-    if (out) {
-      out << obs::MetricsRegistry::Global().Snapshot().ToPrometheusText();
-    }
-    if (!out) {
-      std::fprintf(stderr, "cannot write metrics to '%s'\n",
-                   it->second.c_str());
+  if (!flags.metrics_out.empty()) {
+    if (Status status = engine.WriteMetrics(flags.metrics_out); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.message().c_str());
       exit_code = 74;
     }
   }
-  if (auto it = args.flags.find("trace-out"); it != args.flags.end()) {
-    std::ofstream out(it->second);
-    if (out) out << obs::TraceCollector::Global().ExportJson();
-    if (!out) {
-      std::fprintf(stderr, "cannot write trace to '%s'\n", it->second.c_str());
+  if (!flags.trace_out.empty()) {
+    if (Status status = engine.WriteTrace(flags.trace_out); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.message().c_str());
       exit_code = 74;
     }
   }
@@ -653,26 +623,42 @@ int WriteObservability(const CliArgs& args) {
 int main(int argc, char** argv) {
   auto args = ParseCliArgs(argc, argv);
   if (!args.ok()) return Usage();
+  // The engine flags are shared by every subcommand and validated once —
+  // one parser, one set of error messages.
+  auto engine_flags = ParseEngineFlags(*args);
+  if (!engine_flags.ok()) {
+    std::fprintf(stderr, "%s\n", engine_flags.status().ToString().c_str());
+    return 64;
+  }
+  EngineOptions engine_options;
+  engine_options.num_threads = engine_flags->threads.value_or(1);
+  engine_options.limits.deadline_ms = engine_flags->deadline_ms.value_or(0);
+  engine_options.enable_metrics = !engine_flags->metrics_out.empty();
+  engine_options.enable_tracing = !engine_flags->trace_out.empty();
+  auto engine = Engine::CreateGregorian(engine_options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 70;
+  }
   auto need = [&](const char* flag) {
     return args->flags.count(flag) > 0;
   };
-  EnableObservability(*args);
   int code = -1;
   if (args->command == "demo") {
     code = RunDemo();
   } else if (args->command == "mine" && need("structure") && need("events") &&
              need("reference")) {
-    code = RunMine(*args);
+    code = RunMine(*args, *engine_flags, engine->get());
   } else if (args->command == "stream" && need("structure") &&
              need("reference") && need("window") && need("slide")) {
-    code = RunStream(*args);
+    code = RunStream(*args, engine->get());
   } else if (args->command == "check" && need("structure")) {
-    code = RunCheck(*args);
+    code = RunCheck(*args, engine->get());
   } else if (args->command == "dot" && need("structure")) {
-    code = RunDot(*args);
+    code = RunDot(*args, engine->get());
   } else {
     return Usage();
   }
-  const int obs_code = WriteObservability(*args);
+  const int obs_code = WriteObservability(*engine_flags, **engine);
   return code != 0 ? code : obs_code;
 }

@@ -1,0 +1,134 @@
+#include "granmine/engine/engine.h"
+
+#include <chrono>
+#include <fstream>
+#include <utility>
+
+#include "granmine/common/check.h"
+
+namespace granmine {
+
+Engine::Engine(std::unique_ptr<GranularitySystem> system,
+               EngineOptions options)
+    : system_(std::move(system)),
+      options_(options),
+      num_threads_(Executor::Resolve(options.num_threads)),
+      metrics_(&obs::MetricsRegistry::Global()),
+      trace_(&obs::TraceCollector::Global()) {
+  if (num_threads_ > 1) {
+    executor_ = std::make_unique<Executor>(num_threads_);
+  }
+}
+
+Result<std::unique_ptr<Engine>> Engine::Create(
+    std::unique_ptr<GranularitySystem> system, EngineOptions options) {
+  if (system == nullptr) {
+    return Status::Invalid("Engine::Create requires a granularity system");
+  }
+  if (options.enable_metrics) {
+    obs::MetricsRegistry::Global().set_enabled(true);
+  }
+  if (options.enable_tracing) {
+    obs::TraceCollector::Global().set_enabled(true);
+  }
+  return std::unique_ptr<Engine>(new Engine(std::move(system), options));
+}
+
+Result<std::unique_ptr<Engine>> Engine::CreateGregorian(
+    EngineOptions options) {
+  return Create(GranularitySystem::Gregorian(), options);
+}
+
+std::unique_ptr<ResourceGovernor> Engine::MakeGovernor(
+    std::optional<GovernorLimits> limits) const {
+  const GovernorLimits resolved = limits.value_or(options_.limits);
+  if (resolved.deadline_ms <= 0 && resolved.max_steps == 0) return nullptr;
+  return std::make_unique<ResourceGovernor>(resolved);
+}
+
+Result<MineResponse> Engine::Mine(const MineRequest& request) {
+  if (request.problem == nullptr || request.sequence == nullptr) {
+    return Status::Invalid("MineRequest needs a problem and a sequence");
+  }
+  GM_RETURN_NOT_OK(Freeze());
+  MinerOptions options = request.options;
+  options.num_threads = num_threads_;
+  options.executor = executor_.get();
+  std::unique_ptr<ResourceGovernor> owned_governor;
+  const ResourceGovernor* governor = request.governor;
+  if (governor == nullptr) {
+    owned_governor = MakeGovernor(request.limits);
+    governor = owned_governor.get();
+  }
+  Miner miner(system_.get(), options);
+  const auto wall_start = std::chrono::steady_clock::now();
+  GM_ASSIGN_OR_RETURN(MiningReport report,
+                      miner.Mine(*request.problem, *request.sequence,
+                                 governor));
+  MineResponse response;
+  response.report = std::move(report);
+  response.governor_steps = governor != nullptr ? governor->steps() : 0;
+  response.elapsed_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+  return response;
+}
+
+Result<MatchResponse> Engine::Match(const MatchRequest& request) {
+  if (request.tag == nullptr || request.symbols == nullptr) {
+    return Status::Invalid("MatchRequest needs a tag and a symbol map");
+  }
+  GM_RETURN_NOT_OK(Freeze());
+  MatchOptions options = request.options;
+  std::unique_ptr<ResourceGovernor> owned_governor;
+  if (options.governor == nullptr && request.governor != nullptr) {
+    options.governor = request.governor;
+  }
+  if (options.governor == nullptr) {
+    owned_governor = MakeGovernor(request.limits);
+    options.governor = owned_governor.get();
+  }
+  TagMatcher matcher(request.tag);
+  MatchResponse response;
+  response.outcome = matcher.Run(request.events, *request.symbols, options,
+                                 &response.stats);
+  response.governor_steps =
+      options.governor != nullptr ? options.governor->steps() : 0;
+  return response;
+}
+
+Result<OnlineMiner> Engine::OpenStream(const StreamRequest& request) {
+  if (request.problem == nullptr) {
+    return Status::Invalid("StreamRequest needs a problem");
+  }
+  GM_RETURN_NOT_OK(Freeze());
+  OnlineMinerOptions options = request.options;
+  options.num_threads = request.num_threads_override.value_or(num_threads_);
+  return OnlineMiner::Create(system_.get(), *request.problem, options);
+}
+
+namespace {
+
+Status WriteTextFile(const std::string& path, const std::string& contents,
+                     const char* what) {
+  std::ofstream out(path);
+  if (out) out << contents;
+  if (!out) {
+    return Status::Internal("cannot write " + std::string(what) + " to '" +
+                            path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Engine::WriteMetrics(const std::string& path) const {
+  return WriteTextFile(path, metrics_->Snapshot().ToPrometheusText(),
+                       "metrics");
+}
+
+Status Engine::WriteTrace(const std::string& path) const {
+  return WriteTextFile(path, trace_->ExportJson(), "trace");
+}
+
+}  // namespace granmine

@@ -1,0 +1,182 @@
+#ifndef GRANMINE_ENGINE_ENGINE_H_
+#define GRANMINE_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "granmine/common/executor.h"
+#include "granmine/common/governor.h"
+#include "granmine/common/result.h"
+#include "granmine/granularity/system.h"
+#include "granmine/mining/discovery.h"
+#include "granmine/mining/miner.h"
+#include "granmine/obs/metrics.h"
+#include "granmine/obs/trace.h"
+#include "granmine/sequence/sequence.h"
+#include "granmine/stream/online_miner.h"
+#include "granmine/tag/matcher.h"
+
+namespace granmine {
+
+/// Engine-wide defaults. Every request knob left unset resolves against
+/// these, so callers configure (threads, limits, observability) once instead
+/// of threading the same quadruple through every call chain.
+struct EngineOptions {
+  /// Worker threads shared by every Mine request and the default for stream
+  /// sessions. 1 = serial (bit-identical to the single-threaded paths);
+  /// <= 0 = hardware concurrency.
+  int num_threads = 1;
+  /// Default per-request governor limits; all-zero = ungoverned. A request
+  /// overrides them with `limits`, or bypasses the factory entirely with a
+  /// caller-owned `governor`.
+  GovernorLimits limits;
+  /// Flip the process-wide runtime switches of the obs layer on at Create
+  /// (they stay off otherwise; see docs/observability.md).
+  bool enable_metrics = false;
+  bool enable_tracing = false;
+};
+
+/// One batch discovery request. `problem` and `sequence` must stay alive for
+/// the duration of the call.
+struct MineRequest {
+  const DiscoveryProblem* problem = nullptr;
+  const EventSequence* sequence = nullptr;
+  /// Per-request mining knobs. `num_threads` and `executor` are resolved by
+  /// the engine (its shared pool) and need not be set.
+  MinerOptions options;
+  /// Governor limits for this request; unset = the engine's default limits.
+  std::optional<GovernorLimits> limits;
+  /// Caller-owned governor (e.g. carrying an external cancellation token).
+  /// When set it wins over `limits` and the engine creates none.
+  const ResourceGovernor* governor = nullptr;
+};
+
+struct MineResponse {
+  MiningReport report;
+  /// Steps the per-request governor charged (0 when ungoverned).
+  std::uint64_t governor_steps = 0;
+  double elapsed_ms = 0;
+};
+
+/// One TAG evaluation request over an in-memory event span. `tag`, `events`
+/// and `symbols` must stay alive for the duration of the call.
+struct MatchRequest {
+  const Tag* tag = nullptr;
+  std::span<const Event> events;
+  const SymbolMap* symbols = nullptr;
+  /// Per-request matcher knobs; `governor` is resolved by the engine.
+  MatchOptions options;
+  std::optional<GovernorLimits> limits;
+  const ResourceGovernor* governor = nullptr;
+};
+
+struct MatchResponse {
+  MatchOutcome outcome = MatchOutcome::kRejected;
+  MatchStats stats;
+  std::uint64_t governor_steps = 0;
+};
+
+/// One streaming session request. `problem` (and its structure) must outlive
+/// the returned OnlineMiner.
+struct StreamRequest {
+  const DiscoveryProblem* problem = nullptr;
+  /// Per-session knobs. `num_threads` is resolved by the engine unless
+  /// `num_threads_override` is set.
+  OnlineMinerOptions options;
+  /// Session thread count; unset = the engine's default.
+  std::optional<int> num_threads_override;
+};
+
+/// The serving facade over one frozen granularity family: owns the
+/// `GranularitySystem`, the shared step-5 thread pool, the governor factory,
+/// and the handles to the process obs registries, and exposes the three
+/// entry points (`Mine`, `Match`, `OpenStream`) the CLI, batch and stream
+/// callers previously wired by hand.
+///
+/// Lifecycle (docs/architecture.md): *build* — create the engine, define
+/// further granularities through `system()` (e.g. structure files with
+/// `granularity NAME = ...` lines); *freeze* — the first serve call (or an
+/// explicit `Freeze()`) seals the family into the dense id-indexed caches;
+/// *serve* — any number of requests against the immutable core. After the
+/// freeze, table/coverage lookups are lock-free array reads, so one engine
+/// supports many concurrent sessions.
+///
+/// Thread safety: `Mine` serializes internally on the shared pool (one
+/// parallel loop at a time per Executor); `Match` is safe from any thread
+/// once frozen; each `OpenStream` session is single-threaded externally,
+/// like `OnlineMiner` itself.
+class Engine {
+ public:
+  /// Takes ownership of `system` (must be non-null). Flips the obs runtime
+  /// switches on when asked, and builds the shared pool for
+  /// `options.num_threads`. The system stays unfrozen so callers can keep
+  /// defining granularities until the first serve call.
+  static Result<std::unique_ptr<Engine>> Create(
+      std::unique_ptr<GranularitySystem> system,
+      EngineOptions options = EngineOptions{});
+
+  /// Convenience: an engine over the standard Gregorian family.
+  static Result<std::unique_ptr<Engine>> CreateGregorian(
+      EngineOptions options = EngineOptions{});
+
+  /// Ends the build phase (idempotent; implied by the first serve call).
+  Status Freeze() { return system_->Freeze(); }
+
+  bool frozen() const { return system_->frozen(); }
+
+  /// The owned granularity family — mutable before the freeze (to define
+  /// types), shared read-only after.
+  GranularitySystem* system() { return system_.get(); }
+  const GranularitySystem& system() const { return *system_; }
+
+  /// Batch §5 discovery on the engine's pool. Freezes on first use.
+  Result<MineResponse> Mine(const MineRequest& request);
+
+  /// One TAG evaluation. Freezes on first use.
+  Result<MatchResponse> Match(const MatchRequest& request);
+
+  /// Opens a streaming session resolved against engine defaults. Freezes on
+  /// first use. The session borrows the engine's system (not its pool: a
+  /// stream session owns per-session executor state).
+  Result<OnlineMiner> OpenStream(const StreamRequest& request);
+
+  /// The governor factory: a fresh per-request governor for `limits`
+  /// (default: the engine's), or nullptr when the resolved limits are
+  /// all-zero — an ungoverned request needs no shared context at all.
+  std::unique_ptr<ResourceGovernor> MakeGovernor(
+      std::optional<GovernorLimits> limits = std::nullopt) const;
+
+  /// Resolved engine-wide worker count (>= 1).
+  int num_threads() const { return num_threads_; }
+
+  /// The shared step-5 pool; null when the engine is serial.
+  Executor* executor() { return executor_.get(); }
+
+  /// The process obs registries the engine switched on (always valid; when
+  /// the corresponding EngineOptions switch was off they simply stay
+  /// disabled and export empty).
+  obs::MetricsRegistry& metrics() const { return *metrics_; }
+  obs::TraceCollector& trace() const { return *trace_; }
+
+  /// Prometheus text exposition of `metrics()` to `path`.
+  Status WriteMetrics(const std::string& path) const;
+  /// Chrome trace_event JSON of `trace()` to `path`.
+  Status WriteTrace(const std::string& path) const;
+
+ private:
+  Engine(std::unique_ptr<GranularitySystem> system, EngineOptions options);
+
+  std::unique_ptr<GranularitySystem> system_;
+  EngineOptions options_;
+  int num_threads_ = 1;
+  std::unique_ptr<Executor> executor_;
+  obs::MetricsRegistry* metrics_;
+  obs::TraceCollector* trace_;
+};
+
+}  // namespace granmine
+
+#endif  // GRANMINE_ENGINE_ENGINE_H_

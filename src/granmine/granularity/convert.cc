@@ -100,8 +100,38 @@ bool SupportCovers(const Granularity& target, const Granularity& source,
   return true;
 }
 
+void SupportCoverageCache::Seal(
+    const std::vector<const Granularity*>& family) {
+  if (sealed_) return;
+  const std::size_t n = family.size();
+  sealed_family_ = family;
+  sealed_matrix_.assign(n * n, false);
+  for (std::size_t t = 0; t < n; ++t) {
+    GM_CHECK(family[t] != nullptr);
+    GM_CHECK(family[t]->id() == static_cast<GranularityId>(t));
+    for (std::size_t s = 0; s < n; ++s) {
+      sealed_matrix_[t * n + s] = Covers(*family[t], *family[s]);
+    }
+  }
+  sealed_ = true;
+}
+
 bool SupportCoverageCache::Covers(const Granularity& target,
                                   const Granularity& source) {
+  if (sealed_) {
+    const std::size_t n = sealed_family_.size();
+    const GranularityId tid = target.id();
+    const GranularityId sid = source.id();
+    if (tid >= 0 && sid >= 0 && static_cast<std::size_t>(tid) < n &&
+        static_cast<std::size_t>(sid) < n &&
+        sealed_family_[static_cast<std::size_t>(tid)] == &target &&
+        sealed_family_[static_cast<std::size_t>(sid)] == &source) {
+      GM_COUNTER_ADD("granmine_coverage_lookups_total", "result=\"sealed\"",
+                     1);
+      return sealed_matrix_[static_cast<std::size_t>(tid) * n +
+                            static_cast<std::size_t>(sid)];
+    }
+  }
   const Key key = std::make_pair(&target, &source);
   Shard& shard = ShardFor(key);
   {

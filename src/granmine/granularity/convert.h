@@ -7,6 +7,7 @@
 #include <shared_mutex>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "granmine/granularity/granularity.h"
 
@@ -31,16 +32,33 @@ bool SupportContainsSpan(const Granularity& g, const TimeSpan& span);
 bool SupportCovers(const Granularity& target, const Granularity& source,
                    std::int64_t scan_cap = std::int64_t{1} << 20);
 
-/// Memoizing wrapper around SupportCovers, keyed by granularity addresses.
-/// Must not outlive the granularities it has seen.
+/// Memoizing wrapper around SupportCovers. Must not outlive the
+/// granularities it has seen.
 ///
-/// Thread safety: `Covers` may be called concurrently. The memo is split
-/// into address-hashed shards, each behind a `std::shared_mutex`; hits take
-/// only the shared lock, and misses compute `SupportCovers` (a pure
-/// function) outside any lock, so a race at worst recomputes the same value.
+/// Identity has two phases, mirroring `GranularityTables`. While building,
+/// pairs are keyed by address in hashed shards; after `Seal()` (driven by
+/// `GranularitySystem::Freeze()`) every (target, source) answer for the
+/// family lives in a flat id×id matrix and a lookup is two bounds-checked
+/// array reads — no hashing, no lock. Pairs involving a granularity outside
+/// the sealed family fall back to the sharded memo.
+///
+/// Thread safety: `Covers` may be called concurrently. Pre-seal (and on the
+/// fallback path) the memo is split into address-hashed shards, each behind
+/// a `std::shared_mutex`; hits take only the shared lock, and misses compute
+/// `SupportCovers` (a pure function) outside any lock, so a race at worst
+/// recomputes the same value. Post-seal the matrix is immutable, so sealed
+/// hits are wait-free.
 class SupportCoverageCache {
  public:
   bool Covers(const Granularity& target, const Granularity& source);
+
+  /// Freezes coverage for `family` (listed in id order): precomputes
+  /// SupportCovers for every ordered pair into a dense id×id matrix.
+  /// Idempotent; must not race with `Covers` (freeze on the build thread,
+  /// then share).
+  void Seal(const std::vector<const Granularity*>& family);
+
+  bool sealed() const { return sealed_; }
 
  private:
   using Key = std::pair<const Granularity*, const Granularity*>;
@@ -65,6 +83,13 @@ class SupportCoverageCache {
   }
 
   Shard shards_[kShards];
+
+  /// Immutable after Seal. `sealed_matrix_[target_id * n + source_id]`
+  /// holds the answer; `sealed_family_` doubles as the id → address guard
+  /// (a slot is trusted only when both addresses match).
+  std::vector<const Granularity*> sealed_family_;
+  std::vector<bool> sealed_matrix_;
+  bool sealed_ = false;
 };
 
 }  // namespace granmine

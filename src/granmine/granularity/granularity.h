@@ -10,6 +10,15 @@
 
 namespace granmine {
 
+/// Dense index of a granularity within its owning `GranularitySystem`,
+/// assigned in registration order. Ids are the identity the frozen caches
+/// key on: after `GranularitySystem::Freeze()` every table/coverage lookup
+/// is a bounds-checked array access on `id()` instead of pointer hashing.
+using GranularityId = std::int32_t;
+
+/// `id()` of a granularity not (yet) registered with a system.
+inline constexpr GranularityId kInvalidGranularityId = -1;
+
 /// A *temporal type* per §2 of the paper: a mapping from tick indices
 /// (positive integers) to sets of absolute time instants such that
 ///   (1) non-empty ticks are monotonically ordered, and
@@ -21,8 +30,12 @@ namespace granmine {
 /// `IsStrictlyPeriodic()`. Every algorithm in granmine manipulates
 /// granularities exclusively through this interface.
 ///
-/// Identity is by object address; granularities are created and owned by a
-/// `GranularitySystem` and referenced by `const Granularity*`.
+/// Granularities are created and owned by a `GranularitySystem` and
+/// referenced by `const Granularity*`; the system additionally assigns each
+/// one a dense `GranularityId` (`id()`), which is the identity the shared
+/// caches use after `Freeze()` — the pointer remains a convenient handle,
+/// but the frozen tables and coverage matrix are indexed by id, not hashed
+/// by address.
 class Granularity {
  public:
   /// Periodic structure of the hull pattern:
@@ -40,6 +53,10 @@ class Granularity {
   Granularity& operator=(const Granularity&) = delete;
 
   const std::string& name() const { return name_; }
+
+  /// Dense index within the owning system (`kInvalidGranularityId` until
+  /// registered). `system.family()[g->id()] == g` for registered types.
+  GranularityId id() const { return id_; }
 
   /// The index of the tick whose extent contains instant `t`, or nullopt when
   /// `t` falls in a gap between ticks (e.g., a Saturday for `b-day`) or
@@ -87,7 +104,10 @@ class Granularity {
   bool InSupport(TimePoint t) const { return TickContaining(t).has_value(); }
 
  private:
+  friend class GranularitySystem;  // assigns id_ at registration
+
   std::string name_;
+  GranularityId id_ = kInvalidGranularityId;
 };
 
 /// `⌈t2⌉^μ − ⌈t1⌉^μ` when both ticks are defined, else nullopt.

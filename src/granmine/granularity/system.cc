@@ -71,29 +71,44 @@ std::unique_ptr<GranularitySystem> GranularitySystem::GregorianDays(
 
 const Granularity* GranularitySystem::Register(
     std::unique_ptr<Granularity> g) {
+  GM_CHECK(!frozen_) << "Register on a frozen system";
   GM_CHECK(by_name_.find(g->name()) == by_name_.end())
       << "duplicate granularity name " << g->name();
+  g->id_ = static_cast<GranularityId>(family_.size());
   const Granularity* raw = g.get();
   by_name_.emplace(g->name(), raw);
+  family_.push_back(raw);
   owned_.push_back(std::move(g));
   return raw;
+}
+
+bool GranularitySystem::RejectIfFrozen(const std::string& name) {
+  if (!frozen_) return false;
+  last_add_error_ = Status::Invalid(
+      "cannot add granularity '" + name +
+      "': the system is frozen (Freeze() ends the build phase; create a new "
+      "GranularitySystem to define more types)");
+  return true;
 }
 
 const Granularity* GranularitySystem::AddUniform(std::string name,
                                                  std::int64_t width,
                                                  TimePoint offset) {
+  if (RejectIfFrozen(name)) return nullptr;
   return Register(
       std::make_unique<UniformGranularity>(std::move(name), width, offset));
 }
 
 const Granularity* GranularitySystem::AddMonths(std::string name,
                                                 std::int64_t units_per_day) {
+  if (RejectIfFrozen(name)) return nullptr;
   return Register(
       std::make_unique<MonthGranularity>(std::move(name), units_per_day));
 }
 
 const Granularity* GranularitySystem::AddYears(std::string name,
                                                std::int64_t units_per_day) {
+  if (RejectIfFrozen(name)) return nullptr;
   return Register(
       std::make_unique<YearGranularity>(std::move(name), units_per_day));
 }
@@ -102,6 +117,7 @@ const Granularity* GranularitySystem::AddFilter(std::string name,
                                                 const Granularity* base,
                                                 PeriodicPattern pattern,
                                                 std::vector<Tick> removed) {
+  if (RejectIfFrozen(name)) return nullptr;
   return Register(std::make_unique<FilterGranularity>(
       std::move(name), base, std::move(pattern), std::move(removed)));
 }
@@ -110,6 +126,7 @@ const Granularity* GranularitySystem::AddGroup(std::string name,
                                                const Granularity* base,
                                                std::int64_t k,
                                                std::int64_t phase) {
+  if (RejectIfFrozen(name)) return nullptr;
   return Register(
       std::make_unique<GroupGranularity>(std::move(name), base, k, phase));
 }
@@ -117,6 +134,7 @@ const Granularity* GranularitySystem::AddGroup(std::string name,
 const Granularity* GranularitySystem::AddGroupBy(std::string name,
                                                  const Granularity* inner,
                                                  const Granularity* outer) {
+  if (RejectIfFrozen(name)) return nullptr;
   return Register(
       std::make_unique<GroupByGranularity>(std::move(name), inner, outer));
 }
@@ -124,6 +142,7 @@ const Granularity* GranularitySystem::AddGroupBy(std::string name,
 const Granularity* GranularitySystem::AddSynthetic(
     std::string name, std::int64_t period, std::vector<TimeSpan> ticks,
     TimePoint origin) {
+  if (RejectIfFrozen(name)) return nullptr;
   return Register(std::make_unique<SyntheticGranularity>(
       std::move(name), period, std::move(ticks), origin));
 }
@@ -131,6 +150,14 @@ const Granularity* GranularitySystem::AddSynthetic(
 const Granularity* GranularitySystem::Find(std::string_view name) const {
   auto it = by_name_.find(std::string(name));
   return it == by_name_.end() ? nullptr : it->second;
+}
+
+Status GranularitySystem::Freeze() {
+  if (frozen_) return Status::OK();
+  tables_.Seal(family_);
+  coverage_.Seal(family_);
+  frozen_ = true;
+  return Status::OK();
 }
 
 }  // namespace granmine

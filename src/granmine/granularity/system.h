@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "granmine/common/status.h"
 #include "granmine/granularity/calendar_types.h"
 #include "granmine/granularity/civil_calendar.h"
 #include "granmine/granularity/convert.h"
@@ -22,14 +23,24 @@ namespace granmine {
 
 /// Owns a family of granularities over one primitive time line, plus the
 /// shared caches (Appendix-A.1 tables and support-coverage results) that the
-/// constraint algorithms consult. The registry is append-only; granularity
+/// constraint algorithms consult. The registry is append-only; each
+/// granularity gets a dense `GranularityId` in registration order, and
 /// pointers remain valid for the lifetime of the system.
+///
+/// Lifecycle: build → freeze → serve. `Freeze()` ends the build phase — it
+/// seals `tables()` and `coverage()` into flat id-indexed arrays (lookups
+/// become bounds-checked array reads, no hashing, no locks) and makes the
+/// family immutable: any later `Add*` returns nullptr and records a Status
+/// retrievable via `last_add_error()`. Freezing is optional; an unfrozen
+/// system behaves exactly as before on the sharded-memo path.
 ///
 /// Thread safety: the caches returned by `tables()` and `coverage()` are
 /// internally synchronized, so a fully built system may be shared by any
 /// number of reader/query threads — every worker warms the same tables
-/// instead of rebuilding them. Registration (`Add*`) is not synchronized;
-/// finish building the family before sharing the system across threads.
+/// instead of rebuilding them. Registration (`Add*`) and `Freeze()` are not
+/// synchronized; finish building (and freeze, if desired) before sharing
+/// the system across threads. A *frozen* system needs no synchronization at
+/// all for table/coverage hits within the sealed range.
 class GranularitySystem {
  public:
   GranularitySystem() = default;
@@ -67,14 +78,34 @@ class GranularitySystem {
   /// Looks up a granularity by name; nullptr when absent.
   const Granularity* Find(std::string_view name) const;
 
+  /// Ends the build phase: precomputes the table/coverage caches into dense
+  /// id-indexed arrays and rejects further `Add*` calls. Idempotent; call
+  /// from the build thread before sharing the system. Always succeeds (an
+  /// empty family freezes fine).
+  Status Freeze();
+
+  bool frozen() const { return frozen_; }
+
+  /// The registered granularities in id order: `family()[g->id()] == g`.
+  const std::vector<const Granularity*>& family() const { return family_; }
+
+  /// The Status of the most recent rejected `Add*` (one that returned
+  /// nullptr because the system is frozen); OK when none has been rejected.
+  const Status& last_add_error() const { return last_add_error_; }
+
   GranularityTables& tables() const { return tables_; }
   SupportCoverageCache& coverage() const { return coverage_; }
 
  private:
   const Granularity* Register(std::unique_ptr<Granularity> g);
+  /// Records and rejects a post-freeze `Add*`; returns true when frozen.
+  bool RejectIfFrozen(const std::string& name);
 
   std::vector<std::unique_ptr<Granularity>> owned_;
+  std::vector<const Granularity*> family_;
   std::unordered_map<std::string, const Granularity*> by_name_;
+  bool frozen_ = false;
+  Status last_add_error_ = Status::OK();
   mutable GranularityTables tables_;
   mutable SupportCoverageCache coverage_;
 };

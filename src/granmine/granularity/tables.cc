@@ -13,6 +13,66 @@ GranularityTables::GranularityTables() : GranularityTables(Options{}) {}
 
 GranularityTables::GranularityTables(Options options) : options_(options) {}
 
+void GranularityTables::Seal(const std::vector<const Granularity*>& family) {
+  if (sealed_) return;
+  sealed_entries_.clear();
+  sealed_entries_.resize(family.size());
+  for (std::size_t id = 0; id < family.size(); ++id) {
+    const Granularity* g = family[id];
+    GM_CHECK(g != nullptr);
+    GM_CHECK(g->id() == static_cast<GranularityId>(id));
+    SealedEntry& slot = sealed_entries_[id];
+    slot.minsize.assign(static_cast<std::size_t>(kSealedKCap) + 1,
+                        kSealedNoValue);
+    slot.maxsize.assign(static_cast<std::size_t>(kSealedKCap) + 1,
+                        kSealedNoValue);
+    slot.mingap.assign(static_cast<std::size_t>(kSealedKCap) + 1,
+                       kSealedNoValue);
+    for (std::int64_t k = 1; k <= kSealedKCap; ++k) {
+      auto store = [k](std::vector<std::int64_t>& table,
+                       std::optional<std::int64_t> v) {
+        table[static_cast<std::size_t>(k)] = v.value_or(kSealedNoValue);
+      };
+      store(slot.minsize, MinSize(*g, k));
+      store(slot.maxsize, MaxSize(*g, k));
+      store(slot.mingap, MinGap(*g, k));
+    }
+    // Publish the guard pointer last: SealedValue only trusts a slot whose
+    // address matches, so a granularity from a *different* system that
+    // happens to share an id can never read a foreign row.
+    slot.gran = g;
+  }
+  sealed_ = true;
+}
+
+std::optional<std::optional<std::int64_t>> GranularityTables::SealedValue(
+    Table table, const Granularity& g, std::int64_t k) const {
+  if (!sealed_ || k < 1 || k > kSealedKCap) return std::nullopt;
+  const GranularityId id = g.id();
+  if (id < 0 || static_cast<std::size_t>(id) >= sealed_entries_.size()) {
+    return std::nullopt;
+  }
+  const SealedEntry& slot = sealed_entries_[static_cast<std::size_t>(id)];
+  if (slot.gran != &g) return std::nullopt;
+  const std::vector<std::int64_t>* values = nullptr;
+  switch (table) {
+    case Table::kMinSize:
+      values = &slot.minsize;
+      break;
+    case Table::kMaxSize:
+      values = &slot.maxsize;
+      break;
+    default:
+      values = &slot.mingap;
+      break;
+  }
+  std::int64_t v = (*values)[static_cast<std::size_t>(k)];
+  if (v == kSealedNoValue) {
+    return std::optional<std::optional<std::int64_t>>(std::nullopt);
+  }
+  return std::optional<std::optional<std::int64_t>>(v);
+}
+
 GranularityTables::Entry& GranularityTables::EntryFor(const Granularity& g) {
   {
     std::shared_lock<std::shared_mutex> lock(entries_mutex_);
@@ -104,6 +164,10 @@ std::optional<std::int64_t> GranularityTables::MinSize(const Granularity& g,
                                                        std::int64_t k) {
   GM_CHECK(k >= 0);
   if (k == 0) return 0;
+  if (auto sealed = SealedValue(Table::kMinSize, g, k); sealed.has_value()) {
+    GM_COUNTER_ADD("granmine_tables_lookups_total", "result=\"sealed\"", 1);
+    return *sealed;
+  }
   if (std::optional<std::int64_t> v = g.AnalyticMinSize(k); v.has_value()) {
     return v;
   }
@@ -114,6 +178,10 @@ std::optional<std::int64_t> GranularityTables::MaxSize(const Granularity& g,
                                                        std::int64_t k) {
   GM_CHECK(k >= 0);
   if (k == 0) return 0;
+  if (auto sealed = SealedValue(Table::kMaxSize, g, k); sealed.has_value()) {
+    GM_COUNTER_ADD("granmine_tables_lookups_total", "result=\"sealed\"", 1);
+    return *sealed;
+  }
   if (std::optional<std::int64_t> v = g.AnalyticMaxSize(k); v.has_value()) {
     return v;
   }
@@ -127,6 +195,10 @@ std::optional<std::int64_t> GranularityTables::MinGap(const Granularity& g,
     std::optional<std::int64_t> max1 = MaxSize(g, 1);
     if (!max1.has_value()) return std::nullopt;
     return 1 - *max1;
+  }
+  if (auto sealed = SealedValue(Table::kMinGap, g, k); sealed.has_value()) {
+    GM_COUNTER_ADD("granmine_tables_lookups_total", "result=\"sealed\"", 1);
+    return *sealed;
   }
   if (std::optional<std::int64_t> v = g.AnalyticMinGap(k); v.has_value()) {
     return v;

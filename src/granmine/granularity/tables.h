@@ -2,6 +2,7 @@
 #define GRANMINE_GRANULARITY_TABLES_H_
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <shared_mutex>
@@ -26,14 +27,21 @@ namespace granmine {
 /// exhibit. Queries return nullopt only when a scan would exceed the
 /// configured cap; callers treat that conservatively (no bound derived).
 ///
-/// Granularities are keyed by address; a table instance must not outlive the
-/// granularities it has been queried with.
+/// Identity has two phases. While *building*, granularities are keyed by
+/// address in a sharded hashed directory; after `Seal()` (driven by
+/// `GranularitySystem::Freeze()`) the family's values for k up to
+/// `kSealedKCap` live in flat per-`GranularityId` arrays and a lookup is a
+/// bounds-checked array read — no hashing, no lock. A table instance must
+/// not outlive the granularities it has been queried with.
 ///
 /// Thread safety: all queries may be issued concurrently from any number of
-/// threads. Entries are sharded per granularity behind a `std::shared_mutex`
-/// each (memo hits take only the shared lock; a miss computes under the
-/// exclusive lock, so each value is scanned once and then shared), and the
-/// shard directory itself is guarded the same way. See docs/concurrency.md.
+/// threads. Pre-seal (and for k beyond `kSealedKCap`, or granularities
+/// outside the sealed family), entries are sharded per granularity behind a
+/// `std::shared_mutex` each (memo hits take only the shared lock; a miss
+/// computes under the exclusive lock, so each value is scanned once and then
+/// shared), and the shard directory itself is guarded the same way. Post-seal
+/// the dense arrays are immutable, so sealed hits are wait-free. See
+/// docs/concurrency.md and docs/architecture.md.
 class GranularityTables {
  public:
   struct Options {
@@ -41,8 +49,23 @@ class GranularityTables {
     std::int64_t hull_cache_cap = std::int64_t{1} << 20;
   };
 
+  /// Largest k precomputed per (granularity, table) by `Seal`. Constraint
+  /// conversion and propagation consult small k almost exclusively; larger
+  /// k (deep binary-search probes of the Least* queries) stay on the memo.
+  static constexpr std::int64_t kSealedKCap = 128;
+
   GranularityTables();
   explicit GranularityTables(Options options);
+
+  /// Freezes the table set for `family` (granularities listed in id order,
+  /// `family[i]->id() == i`): precomputes minsize/maxsize/mingap for every
+  /// k in [1, kSealedKCap] into flat id-indexed arrays. Afterwards those
+  /// lookups are plain array reads; anything else falls back to the sharded
+  /// memo. Idempotent; must not race with queries (freeze on the build
+  /// thread, then share).
+  void Seal(const std::vector<const Granularity*>& family);
+
+  bool sealed() const { return sealed_; }
 
   /// minsize(g, k); k >= 0 (0 yields 0).
   std::optional<std::int64_t> MinSize(const Granularity& g, std::int64_t k);
@@ -79,6 +102,20 @@ class GranularityTables {
   /// The table function a scan computes; selects memo map and fold.
   enum class Table { kMinSize, kMaxSize, kMinGap };
 
+  /// One frozen granularity's precomputed tables: `minsize[k]` etc. for k in
+  /// [1, kSealedKCap] (index 0 unused), `kSealedNoValue` marking nullopt.
+  /// `gran` guards against id collisions across systems: a lookup only
+  /// trusts the slot when the address matches.
+  struct SealedEntry {
+    const Granularity* gran = nullptr;
+    std::vector<std::int64_t> minsize;
+    std::vector<std::int64_t> maxsize;
+    std::vector<std::int64_t> mingap;
+  };
+
+  static constexpr std::int64_t kSealedNoValue =
+      std::numeric_limits<std::int64_t>::min();
+
   Entry& EntryFor(const Granularity& g);
   /// Memoized lookup/compute of one table value for k >= 1 (analytic paths
   /// already exhausted by the caller). Locks the entry internally.
@@ -90,11 +127,21 @@ class GranularityTables {
   /// Number of distinct scan start positions needed for exactness.
   std::int64_t ScanStarts(const Granularity& g) const;
 
+  /// Sealed fast path of ScannedValue: the precomputed value for
+  /// (table, g, k), or nullopt when the lookup must fall back to the memo
+  /// (not sealed, k out of range, or g outside the sealed family). The
+  /// inner optional is the table answer itself (kSealedNoValue → nullopt).
+  std::optional<std::optional<std::int64_t>> SealedValue(
+      Table table, const Granularity& g, std::int64_t k) const;
+
   Options options_;
   std::shared_mutex entries_mutex_;
   // unique_ptr values keep Entry addresses stable and the map movable even
   // though Entry itself (owning a mutex) is not.
   std::unordered_map<const Granularity*, std::unique_ptr<Entry>> entries_;
+  /// Immutable after Seal; indexed by GranularityId.
+  std::vector<SealedEntry> sealed_entries_;
+  bool sealed_ = false;
 };
 
 }  // namespace granmine

@@ -94,6 +94,32 @@ Result<double> ParseConfidence(const std::string& flag,
   return value;
 }
 
+Result<EngineFlags> ParseEngineFlags(const CliArgs& args) {
+  EngineFlags flags;
+  if (auto it = args.flags.find("threads"); it != args.flags.end()) {
+    GM_ASSIGN_OR_RETURN(int threads, ParseThreadCount(it->second));
+    flags.threads = threads;
+  }
+  if (auto it = args.flags.find("deadline-ms"); it != args.flags.end()) {
+    GM_ASSIGN_OR_RETURN(std::int64_t deadline_ms,
+                        ParsePositiveInt("deadline-ms", it->second));
+    flags.deadline_ms = deadline_ms;
+  }
+  if (auto it = args.flags.find("metrics-out"); it != args.flags.end()) {
+    if (it->second.empty()) {
+      return Status::Invalid("--metrics-out expects a file path");
+    }
+    flags.metrics_out = it->second;
+  }
+  if (auto it = args.flags.find("trace-out"); it != args.flags.end()) {
+    if (it->second.empty()) {
+      return Status::Invalid("--trace-out expects a file path");
+    }
+    flags.trace_out = it->second;
+  }
+  return flags;
+}
+
 Result<StreamWindowArgs> ParseStreamWindow(const std::string& window_text,
                                            const std::string& slide_text,
                                            const std::string* theta_text) {

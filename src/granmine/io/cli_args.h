@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,25 @@ Result<std::int64_t> ParseNonNegativeInt(const std::string& flag,
 /// Unlike std::stod, garbage is a Status, not an exception.
 Result<double> ParseConfidence(const std::string& flag,
                                const std::string& text);
+
+/// The engine-wide flags shared by every subcommand — `--threads`,
+/// `--deadline-ms`, `--metrics-out`, `--trace-out` — validated once by
+/// `ParseEngineFlags` instead of per-subcommand copies, so the usage and
+/// error messages are identical everywhere they appear.
+struct EngineFlags {
+  /// Unset = the engine default (serial).
+  std::optional<int> threads;
+  /// Unset = no wall-clock limit.
+  std::optional<std::int64_t> deadline_ms;
+  /// Output paths; empty = the corresponding obs layer stays disabled.
+  std::string metrics_out;
+  std::string trace_out;
+};
+
+/// Extracts and validates the shared engine flags from a parsed command
+/// line. Flags that are absent stay unset; the first invalid value is the
+/// returned Status.
+Result<EngineFlags> ParseEngineFlags(const CliArgs& args);
 
 /// Validated `granmine_cli stream` window geometry.
 struct StreamWindowArgs {

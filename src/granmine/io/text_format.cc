@@ -226,6 +226,12 @@ Result<const Granularity*> ParseGranularityDefinition(
     }
     return base;
   };
+  // Add* returns nullptr (with the reason in last_add_error) when the
+  // system has been frozen; surface that as a parse error.
+  auto added = [&](const Granularity* g) -> Result<const Granularity*> {
+    if (g == nullptr) return system->last_add_error();
+    return g;
+  };
 
   if (func == "uniform") {
     if (args.empty() || args.size() > 2) {
@@ -237,7 +243,7 @@ Result<const Granularity*> ParseGranularityDefinition(
       GM_ASSIGN_OR_RETURN(offset, ParseInt(args[1]));
     }
     if (width < 1) return Status::Invalid("width must be >= 1");
-    return system->AddUniform(std::string(name), width, offset);
+    return added(system->AddUniform(std::string(name), width, offset));
   }
   if (func == "group") {
     if (args.size() < 2 || args.size() > 3) {
@@ -250,13 +256,13 @@ Result<const Granularity*> ParseGranularityDefinition(
       GM_ASSIGN_OR_RETURN(phase, ParseInt(args[2]));
     }
     if (k < 1 || phase < 0) return Status::Invalid("need K >= 1, PHASE >= 0");
-    return system->AddGroup(std::string(name), base, k, phase);
+    return added(system->AddGroup(std::string(name), base, k, phase));
   }
   if (func == "groupby") {
     if (args.size() != 2) return Status::Invalid("groupby(INNER, OUTER)");
     GM_ASSIGN_OR_RETURN(const Granularity* inner, base_of(args[0]));
     GM_ASSIGN_OR_RETURN(const Granularity* outer, base_of(args[1]));
-    return system->AddGroupBy(std::string(name), inner, outer);
+    return added(system->AddGroupBy(std::string(name), inner, outer));
   }
   if (func == "filter") {
     if (args.size() != 3) {
@@ -274,7 +280,8 @@ Result<const Granularity*> ParseGranularityDefinition(
     for (std::int64_t o : pattern.kept) {
       if (o < 0 || o >= period) return Status::Invalid("offset out of range");
     }
-    return system->AddFilter(std::string(name), base, std::move(pattern));
+    return added(system->AddFilter(std::string(name), base,
+                                   std::move(pattern)));
   }
   if (func == "synthetic") {
     if (args.size() != 2) {
@@ -301,7 +308,8 @@ Result<const Granularity*> ParseGranularityDefinition(
       ticks.push_back(TimeSpan::Of(a, b));
     }
     if (ticks.empty()) return Status::Invalid("no tick intervals");
-    return system->AddSynthetic(std::string(name), period, std::move(ticks));
+    return added(
+        system->AddSynthetic(std::string(name), period, std::move(ticks)));
   }
   return Status::Invalid("unknown granularity constructor '" +
                          std::string(func) + "'");

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "granmine/common/executor.h"
 #include "granmine/common/result.h"
 #include "granmine/granularity/system.h"
 #include "granmine/mining/discovery.h"
@@ -58,6 +59,11 @@ struct MinerOptions {
   /// MiningReport solutions in the same (lexicographic assignment) order —
   /// results are merged back in candidate-index order.
   int num_threads = 1;
+  /// Borrowed thread pool for the step-5 scan (the Engine threads its own
+  /// here so every Mine request reuses one pool). When set it supersedes
+  /// `num_threads`; when null the scan constructs a transient pool. The
+  /// report is identical either way.
+  Executor* executor = nullptr;
 
   static MinerOptions Naive() {
     MinerOptions options;

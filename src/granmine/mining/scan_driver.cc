@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 #include "granmine/common/executor.h"
 #include "granmine/obs/obs.h"
@@ -128,22 +129,31 @@ ScanMergeResult ScanCandidates(
 
   std::vector<ScanOutcome> outcomes;
   std::uint64_t merge_chunk_size = scan_total;
-  if (options.num_threads == 1) {
+  const bool serial = options.executor == nullptr && options.num_threads == 1;
+  if (serial) {
     outcomes.resize(1);
     scan_range(0, scan_total, 0, &outcomes[0]);
   } else {
-    Executor executor(options.num_threads);
+    // Borrow the caller's pool (Engine-owned, reused across requests) or
+    // spin up a transient one for this scan.
+    std::unique_ptr<Executor> owned;
+    Executor* executor = options.executor;
+    if (executor == nullptr) {
+      owned = std::make_unique<Executor>(options.num_threads);
+      executor = owned.get();
+    }
     // Chunks keep per-item dispatch cheap while staying numerous enough to
     // balance load; chunk size never affects the merged report.
     const std::uint64_t per_worker =
-        scan_total / (8 * static_cast<std::uint64_t>(executor.num_threads())) +
+        scan_total /
+            (8 * static_cast<std::uint64_t>(executor->num_threads())) +
         1;
     const std::uint64_t chunk_size =
         std::max<std::uint64_t>(1, std::min<std::uint64_t>(1024, per_worker));
     merge_chunk_size = chunk_size;
     const std::size_t chunk_count =
         static_cast<std::size_t>((scan_total + chunk_size - 1) / chunk_size);
-    outcomes = executor.ParallelMap<ScanOutcome>(
+    outcomes = executor->ParallelMap<ScanOutcome>(
         chunk_count,
         [&](std::size_t chunk, int worker) {
           GM_TRACE_SPAN("scan_chunk");

@@ -11,6 +11,8 @@
 
 namespace granmine {
 
+class Executor;
+
 /// Mixed-radix enumeration of candidate assignments over `allowed` with the
 /// root variable pinned and the last variable least significant. `OdometerAt`
 /// seeks straight to the state after `index` advances so chunked workers can
@@ -72,6 +74,13 @@ struct ScanDriverOptions {
   /// 1 = serial path (bit-identical to the single-threaded implementation);
   /// <= 0 = hardware concurrency.
   int num_threads = 1;
+  /// Borrowed thread pool for the parallel path (e.g. the Engine's). When
+  /// null the driver constructs a transient Executor(num_threads) per scan;
+  /// when set, the pool's thread count wins over `num_threads` (size
+  /// per-worker scratch with `Executor::Resolve` on the same pool). The
+  /// merged report is identical either way — chunking depends only on the
+  /// worker count.
+  Executor* executor = nullptr;
   /// ExhaustionPolicy::kPartial: interruptions degrade candidates to unknown
   /// instead of aborting the scan.
   bool partial = false;

@@ -118,5 +118,50 @@ TEST(ParseStreamWindowTest, ParsesAndValidatesTheta) {
   EXPECT_FALSE(ParseStreamWindow("600", "60", &bad).ok());
 }
 
+TEST(ParseEngineFlagsTest, AbsentFlagsStayUnset) {
+  auto args = Parse({"mine", "--structure", "s.txt"});
+  ASSERT_TRUE(args.ok());
+  auto flags = ParseEngineFlags(*args);
+  ASSERT_TRUE(flags.ok());
+  EXPECT_FALSE(flags->threads.has_value());
+  EXPECT_FALSE(flags->deadline_ms.has_value());
+  EXPECT_TRUE(flags->metrics_out.empty());
+  EXPECT_TRUE(flags->trace_out.empty());
+}
+
+TEST(ParseEngineFlagsTest, ParsesAllFourFlags) {
+  auto args = Parse({"stream", "--threads", "8", "--deadline-ms=250",
+                     "--metrics-out", "m.prom", "--trace-out", "t.json"});
+  ASSERT_TRUE(args.ok());
+  auto flags = ParseEngineFlags(*args);
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->threads, 8);
+  EXPECT_EQ(flags->deadline_ms, 250);
+  EXPECT_EQ(flags->metrics_out, "m.prom");
+  EXPECT_EQ(flags->trace_out, "t.json");
+}
+
+TEST(ParseEngineFlagsTest, InvalidValuesNameTheFlag) {
+  auto zero_threads = Parse({"mine", "--threads", "0"});
+  ASSERT_TRUE(zero_threads.ok());
+  auto flags = ParseEngineFlags(*zero_threads);
+  ASSERT_FALSE(flags.ok());
+  EXPECT_NE(flags.status().message().find("--threads"), std::string::npos);
+
+  auto bad_deadline = Parse({"match", "--deadline-ms", "-5"});
+  ASSERT_TRUE(bad_deadline.ok());
+  auto deadline_flags = ParseEngineFlags(*bad_deadline);
+  ASSERT_FALSE(deadline_flags.ok());
+  EXPECT_NE(deadline_flags.status().message().find("--deadline-ms"),
+            std::string::npos);
+
+  auto empty_path = Parse({"mine", "--metrics-out="});
+  ASSERT_TRUE(empty_path.ok());
+  auto path_flags = ParseEngineFlags(*empty_path);
+  ASSERT_FALSE(path_flags.ok());
+  EXPECT_NE(path_flags.status().message().find("--metrics-out"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace granmine

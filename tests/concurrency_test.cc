@@ -217,6 +217,50 @@ TEST(ConcurrentTablesTest, HammeredQueriesMatchTheSerialOracle) {
   EXPECT_EQ(mismatches.load(), 0);
 }
 
+// Same hammering, but against a *frozen* system: every query lands in the
+// sealed id-indexed arrays, so TSAN certifies the wait-free read path (the
+// hashed-memo test above certifies the sharded-mutex path).
+TEST(ConcurrentTablesTest, FrozenSystemHammeredQueriesMatchTheSerialOracle) {
+  auto oracle_system = GranularitySystem::Gregorian();
+  std::map<std::tuple<std::string, std::int64_t, int>,
+           std::optional<std::int64_t>>
+      oracle;
+  for (const TableQuery& q : kTableQueries) {
+    const Granularity* g = oracle_system->Find(q.granularity);
+    ASSERT_NE(g, nullptr) << q.granularity;
+    oracle[{q.granularity, q.k, 0}] = oracle_system->tables().MinSize(*g, q.k);
+    oracle[{q.granularity, q.k, 1}] = oracle_system->tables().MaxSize(*g, q.k);
+    oracle[{q.granularity, q.k, 2}] = oracle_system->tables().MinGap(*g, q.k);
+  }
+
+  auto shared_system = GranularitySystem::Gregorian();
+  ASSERT_TRUE(shared_system->Freeze().ok());
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 25;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      GranularityTables& tables = shared_system->tables();
+      const std::size_t n = std::size(kTableQueries);
+      for (int round = 0; round < kRounds; ++round) {
+        for (std::size_t j = 0; j < n; ++j) {
+          const TableQuery& q =
+              kTableQueries[(j + static_cast<std::size_t>(t)) % n];
+          const Granularity* g = shared_system->Find(q.granularity);
+          if (tables.MinSize(*g, q.k) != oracle[{q.granularity, q.k, 0}] ||
+              tables.MaxSize(*g, q.k) != oracle[{q.granularity, q.k, 1}] ||
+              tables.MinGap(*g, q.k) != oracle[{q.granularity, q.k, 2}]) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
 TEST(ConcurrentTablesTest, InverseQueriesAreSafeUnderContention) {
   auto oracle_system = GranularitySystem::Gregorian();
   auto shared_system = GranularitySystem::Gregorian();
