@@ -74,8 +74,8 @@ int Usage() {
       "usage:\n"
       "  granmine_cli mine   --structure FILE --events FILE "
       "--reference TYPE [--confidence C] [--pin VAR=TYPE]... "
-      "[--naive] [--threads N] [--deadline-ms N] "
-      "[--on-budget abort|partial] "
+      "[--naive] [--threads N] [--deadline-ms N] [--mem-budget-mb N] "
+      "[--max-queue N] [--degrade] [--on-budget abort|partial] "
       "[--metrics-out FILE] [--trace-out FILE]\n"
       "  granmine_cli stream --structure FILE --reference TYPE "
       "--window SECS --slide SECS [--theta C] [--events FILE|-] "
@@ -633,8 +633,20 @@ int main(int argc, char** argv) {
   EngineOptions engine_options;
   engine_options.num_threads = engine_flags->threads.value_or(1);
   engine_options.limits.deadline_ms = engine_flags->deadline_ms.value_or(0);
+  engine_options.limits.memory_budget_bytes =
+      static_cast<std::uint64_t>(engine_flags->mem_budget_mb.value_or(0)) *
+      1024 * 1024;
   engine_options.enable_metrics = !engine_flags->metrics_out.empty();
   engine_options.enable_tracing = !engine_flags->trace_out.empty();
+  // --max-queue or --degrade switch the admission controller on; a memory
+  // or deadline stop then degrades to screening-only instead of failing the
+  // run when --degrade is given (docs/robustness.md).
+  if (engine_flags->max_queue.has_value() || engine_flags->degrade) {
+    engine_options.admission.enabled = true;
+    engine_options.admission.max_queue = static_cast<std::size_t>(
+        engine_flags->max_queue.value_or(16));
+    engine_options.admission.degrade_when_saturated = engine_flags->degrade;
+  }
   auto engine = Engine::CreateGregorian(engine_options);
   if (!engine.ok()) {
     std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());

@@ -24,7 +24,28 @@ void NoteGovernorStop(StopCause cause) {
       GM_COUNTER_ADD("granmine_governor_stops_total",
                      "cause=\"fault-injected\"", 1);
       break;
+    case StopCause::kMemBudget:
+      GM_COUNTER_ADD("granmine_governor_stops_total", "cause=\"mem-budget\"",
+                     1);
+      break;
+    case StopCause::kDegraded:
+      GM_COUNTER_ADD("granmine_governor_stops_total", "cause=\"degraded\"", 1);
+      break;
   }
+}
+
+std::string_view FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kGovernorCheck:
+      return "governor-check";
+    case FaultKind::kAllocFailure:
+      return "alloc-failure";
+    case FaultKind::kQueueFull:
+      return "queue-full";
+    case FaultKind::kSlowWorker:
+      return "slow-worker";
+  }
+  return "unknown";
 }
 
 std::string_view StopCauseToString(StopCause cause) {
@@ -39,6 +60,10 @@ std::string_view StopCauseToString(StopCause cause) {
       return "cancelled";
     case StopCause::kFaultInjected:
       return "fault-injected";
+    case StopCause::kMemBudget:
+      return "mem-budget";
+    case StopCause::kDegraded:
+      return "degraded";
   }
   return "unknown";
 }
@@ -57,6 +82,12 @@ Status StopCauseToStatus(StopCause cause, std::string_view what) {
     case StopCause::kFaultInjected:
       return Status::ResourceExhausted(subject +
                                        " stopped by an injected fault");
+    case StopCause::kMemBudget:
+      return Status::ResourceExhausted(subject +
+                                       " exceeded its memory budget");
+    case StopCause::kDegraded:
+      return Status::ResourceExhausted(
+          subject + " was demoted to degraded (screening-only) service");
   }
   return Status::Internal(subject + " stopped for an unknown cause");
 }

@@ -20,6 +20,8 @@ enum class StopCause : int {
   kStepBudget,     ///< a step/configuration budget ran out
   kCancelled,      ///< an external caller requested cancellation
   kFaultInjected,  ///< a test-only FaultInjector forced the stop
+  kMemBudget,      ///< the memory budget ran out (GovernorAllocator refusal)
+  kDegraded,       ///< admission pressure demoted the request to screening-only
 };
 
 /// Canonical lowercase name ("none", "deadline", ...).
@@ -46,6 +48,20 @@ enum class GovernorScope : int {
   kMine,         ///< Miner step-5 candidate enumeration
 };
 
+/// What kind of failure a FaultInjector injects. Each kind targets one
+/// checkpoint family; a checkpoint only consults injectors of its own kind,
+/// so an alloc-failure injector never trips an ordinary governor check and
+/// vice versa.
+enum class FaultKind : int {
+  kGovernorCheck = 0,  ///< fail GovernorTicket::Charge slow-path checks
+  kAllocFailure,       ///< fail GovernorAllocator::Charge (memory growth)
+  kQueueFull,          ///< make the admission queue report itself full
+  kSlowWorker,         ///< stall a worker at the checkpoint (admission p95)
+};
+
+/// Canonical lowercase name ("governor-check", "alloc-failure", ...).
+std::string_view FaultKindToString(FaultKind kind);
+
 /// Test-only hook that forces a governed loop to stop at a chosen point.
 ///
 /// Every governor checkpoint carries a *deterministic progress index* owned
@@ -55,6 +71,11 @@ enum class GovernorScope : int {
 /// not of thread arrival order, so an injected partial result is
 /// byte-identical across runs and across `num_threads` settings.
 ///
+/// The `kind` selects which checkpoint family fails: ordinary governor
+/// checks (the default), GovernorAllocator memory charges, admission-queue
+/// capacity probes, or a deterministic slow-worker stall. Progress indices
+/// for the admission kinds are the controller's arrival sequence numbers.
+///
 /// With `cancel_globally` the trip additionally raises the governor's shared
 /// stop flag, exercising the real cancellation fan-out (workers stop
 /// claiming chunks); that path is inherently racy in what it leaves
@@ -62,19 +83,30 @@ enum class GovernorScope : int {
 class FaultInjector {
  public:
   FaultInjector(GovernorScope scope, std::uint64_t trip_index,
-                bool cancel_globally = false)
+                bool cancel_globally = false,
+                FaultKind kind = FaultKind::kGovernorCheck)
       : scope_(scope),
         trip_index_(trip_index),
-        cancel_globally_(cancel_globally) {}
+        cancel_globally_(cancel_globally),
+        kind_(kind) {}
 
-  /// Whether a check in `scope` at `index` must fail. Thread-safe.
+  /// Whether a governor check in `scope` at `index` must fail. Thread-safe.
   bool ShouldTrip(GovernorScope scope, std::uint64_t index) const {
+    return ShouldFail(FaultKind::kGovernorCheck, scope, index);
+  }
+
+  /// Whether a checkpoint of `kind` in `scope` at `index` must fail.
+  /// Thread-safe. Non-matching kinds count as observed checks but never
+  /// trip, so one injector can be installed while every family probes it.
+  bool ShouldFail(FaultKind kind, GovernorScope scope,
+                  std::uint64_t index) const {
     checks_.fetch_add(1, std::memory_order_relaxed);
-    if (scope != scope_ || index < trip_index_) return false;
+    if (kind != kind_ || scope != scope_ || index < trip_index_) return false;
     trips_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
 
+  FaultKind kind() const { return kind_; }
   bool cancel_globally() const { return cancel_globally_; }
   std::uint64_t checks_observed() const {
     return checks_.load(std::memory_order_relaxed);
@@ -87,6 +119,7 @@ class FaultInjector {
   const GovernorScope scope_;
   const std::uint64_t trip_index_;
   const bool cancel_globally_;
+  const FaultKind kind_;
   mutable std::atomic<std::uint64_t> checks_{0};
   mutable std::atomic<std::uint64_t> trips_{0};
 };
@@ -98,6 +131,11 @@ struct GovernorLimits {
   /// Total steps (search nodes, matcher configurations, candidates) across
   /// every thread sharing the governor.
   std::uint64_t max_steps = 0;
+  /// Total bytes of governed scratch memory (exact-search candidate pools,
+  /// TAG frontiers, subset-sum structures, scan buffers) live at once across
+  /// every thread sharing the governor. Charged through GovernorAllocator;
+  /// exceeding it trips StopCause::kMemBudget.
+  std::uint64_t memory_budget_bytes = 0;
   /// How many GovernorTicket::Charge calls ride the cheap inline path
   /// between slow checks (clock read + step accounting). A stop raised on
   /// another thread is observed at the next slow check, i.e. within one
@@ -190,6 +228,50 @@ class ResourceGovernor {
     return StopCause::kNone;
   }
 
+  /// The memory slow path, called by GovernorAllocator::Charge: consults an
+  /// alloc-failure injector, the sticky flag, then the memory budget. On
+  /// refusal the bytes are NOT charged — the caller must unwind without the
+  /// allocation it asked for. A local (non-global) injected failure refuses
+  /// without tripping the shared flag, exactly like CheckNow, so one
+  /// candidate fails deterministically while the rest proceed.
+  StopCause ChargeMemory(GovernorScope scope, std::uint64_t index,
+                         std::uint64_t bytes) const {
+    if (injector_ != nullptr &&
+        injector_->ShouldFail(FaultKind::kAllocFailure, scope, index)) {
+      if (injector_->cancel_globally()) Trip(StopCause::kFaultInjected);
+      return StopCause::kFaultInjected;
+    }
+    if (stop_flag_.load(std::memory_order_acquire)) return cause();
+    std::uint64_t total =
+        mem_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    if (limits_.memory_budget_bytes > 0 &&
+        total > limits_.memory_budget_bytes) {
+      mem_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+      Trip(StopCause::kMemBudget);
+      return StopCause::kMemBudget;
+    }
+    std::uint64_t peak = mem_peak_.load(std::memory_order_relaxed);
+    while (total > peak &&
+           !mem_peak_.compare_exchange_weak(peak, total,
+                                            std::memory_order_relaxed)) {
+    }
+    return StopCause::kNone;
+  }
+
+  /// Returns bytes previously charged via ChargeMemory. Called by
+  /// GovernorAllocator's destructor (scoped-arena release).
+  void ReleaseMemory(std::uint64_t bytes) const {
+    mem_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  /// Governed scratch bytes currently charged / the high-water mark.
+  std::uint64_t memory_bytes() const {
+    return mem_bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t memory_peak_bytes() const {
+    return mem_peak_.load(std::memory_order_relaxed);
+  }
+
  private:
   void Trip(StopCause cause) const {
     int expected = static_cast<int>(StopCause::kNone);
@@ -207,6 +289,8 @@ class ResourceGovernor {
   mutable std::atomic<bool> stop_flag_{false};
   mutable std::atomic<int> cause_{static_cast<int>(StopCause::kNone)};
   mutable std::atomic<std::uint64_t> steps_{0};
+  mutable std::atomic<std::uint64_t> mem_bytes_{0};
+  mutable std::atomic<std::uint64_t> mem_peak_{0};
 };
 
 /// The per-call-site handle a governed loop charges once per unit of work.

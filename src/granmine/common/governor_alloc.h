@@ -1,0 +1,110 @@
+#ifndef GRANMINE_COMMON_GOVERNOR_ALLOC_H_
+#define GRANMINE_COMMON_GOVERNOR_ALLOC_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "granmine/common/governor.h"
+
+namespace granmine {
+
+/// The memory-budget counterpart of GovernorTicket: a scoped arena handle a
+/// governed loop charges before it grows a scratch structure (exact-search
+/// candidate pools, TAG frontiers, subset-sum tables, scan buffers).
+///
+/// An allocator belongs to one thread and one lexical scope — typically a
+/// member of a per-worker scratch object — and accumulates its charges
+/// locally; its destructor releases everything it charged back to the shared
+/// governor, so the budget tracks *live* governed bytes, not a lifetime
+/// total. Charge points carry the same deterministic progress index as the
+/// neighbouring GovernorTicket checkpoint, which lets an alloc-failure
+/// FaultInjector (FaultKind::kAllocFailure) refuse exactly one deterministic
+/// allocation: the work unit that owns it reports kUnknown while every other
+/// unit proceeds — the byte-identity lever used by tests/overload_test.cc.
+///
+/// Contract at every call site: a non-kNone return means the bytes were NOT
+/// charged and the allocation must not happen; the caller unwinds exactly as
+/// it would on a governor stop ("a stopped computation may say less, but it
+/// must never say something wrong").
+class GovernorAllocator {
+ public:
+  /// Detached allocator: Charge always returns kNone and nothing is tracked.
+  GovernorAllocator() = default;
+
+  /// `governor` may be nullptr (detached).
+  GovernorAllocator(const ResourceGovernor* governor, GovernorScope scope)
+      : governor_(governor), scope_(scope) {}
+
+  GovernorAllocator(const GovernorAllocator&) = delete;
+  GovernorAllocator& operator=(const GovernorAllocator&) = delete;
+
+  GovernorAllocator(GovernorAllocator&& other) noexcept
+      : governor_(other.governor_),
+        scope_(other.scope_),
+        charged_(other.charged_) {
+    other.governor_ = nullptr;
+    other.charged_ = 0;
+  }
+  GovernorAllocator& operator=(GovernorAllocator&& other) noexcept {
+    if (this != &other) {
+      ReleaseAll();
+      governor_ = other.governor_;
+      scope_ = other.scope_;
+      charged_ = other.charged_;
+      other.governor_ = nullptr;
+      other.charged_ = 0;
+    }
+    return *this;
+  }
+
+  ~GovernorAllocator() { ReleaseAll(); }
+
+  /// Asks the governor for `bytes` of scratch at deterministic progress
+  /// `index`. Returns kNone on success (bytes now count against the budget
+  /// until this allocator dies or Rebind/ReleaseAll runs), or the refusal
+  /// cause — kMemBudget, kFaultInjected, or whatever already tripped.
+  StopCause Charge(std::uint64_t index, std::uint64_t bytes) {
+    if (governor_ == nullptr || bytes == 0) return StopCause::kNone;
+    StopCause cause = governor_->ChargeMemory(scope_, index, bytes);
+    if (cause == StopCause::kNone) charged_ += bytes;
+    return cause;
+  }
+
+  /// Charges only the delta when a tracked structure grows from
+  /// `old_bytes` to `new_bytes`; no-op (and kNone) when it shrank.
+  StopCause ChargeGrowth(std::uint64_t index, std::uint64_t old_bytes,
+                         std::uint64_t new_bytes) {
+    if (new_bytes <= old_bytes) return StopCause::kNone;
+    return Charge(index, new_bytes - old_bytes);
+  }
+
+  /// Returns every charged byte to the governor now (scope exit without
+  /// destruction — e.g. a per-run scratch reset between candidates).
+  void ReleaseAll() {
+    if (governor_ != nullptr && charged_ > 0) {
+      governor_->ReleaseMemory(charged_);
+    }
+    charged_ = 0;
+  }
+
+  /// Releases current charges and points the allocator at a (possibly
+  /// different) governor for the next run. Per-worker scratch objects are
+  /// reused across requests; Rebind keeps their arenas honest.
+  void Rebind(const ResourceGovernor* governor, GovernorScope scope) {
+    ReleaseAll();
+    governor_ = governor;
+    scope_ = scope;
+  }
+
+  const ResourceGovernor* governor() const { return governor_; }
+  std::uint64_t charged() const { return charged_; }
+
+ private:
+  const ResourceGovernor* governor_ = nullptr;
+  GovernorScope scope_ = GovernorScope::kGeneral;
+  std::uint64_t charged_ = 0;
+};
+
+}  // namespace granmine
+
+#endif  // GRANMINE_COMMON_GOVERNOR_ALLOC_H_

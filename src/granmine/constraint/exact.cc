@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "granmine/common/check.h"
+#include "granmine/common/governor_alloc.h"
 #include "granmine/common/math.h"
 
 namespace granmine {
@@ -187,6 +188,18 @@ bool Search(SearchContext& ctx, const std::vector<VariableId>& order,
   std::vector<TimePoint> candidates;
   if (!CollectCandidates(ctx, window, &candidates)) {
     ctx.node_budget_exhausted = true;  // candidate cap: give up honestly
+    return false;
+  }
+  // The candidate pool lives for the whole subtree below this node; a
+  // per-node scoped arena releases it on unwind, so the governed bytes track
+  // the live recursion stack. The charge index is the node counter — the
+  // same deterministic index the ticket uses.
+  GovernorAllocator arena(ctx.ticket.governor(), GovernorScope::kExactSearch);
+  if (StopCause cause =
+          arena.Charge(ctx.result->nodes_explored,
+                       candidates.size() * sizeof(TimePoint));
+      cause != StopCause::kNone) {
+    ctx.stopped = cause;
     return false;
   }
   for (TimePoint t : candidates) {

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "granmine/common/check.h"
+#include "granmine/common/governor_alloc.h"
 
 namespace granmine {
 
@@ -71,6 +72,22 @@ Result<std::optional<std::vector<bool>>> SolveSubsetSum(
     const SubsetSumInstance& instance, const ExactOptions& options) {
   GM_ASSIGN_OR_RETURN(SubsetSumStructure reduction,
                       BuildSubsetSumStructure(system, month, instance));
+  // The reduction structure (3k+1 variables, 5k+1 constraint edges) is
+  // governed scratch: charge it against the memory budget before the search
+  // starts. Index 0 — the build precedes every explored node.
+  GovernorAllocator arena(options.governor, GovernorScope::kExactSearch);
+  std::uint64_t reduction_bytes =
+      static_cast<std::uint64_t>(reduction.structure.variable_count()) *
+      sizeof(TimePoint);
+  for (const EventStructure::Edge& edge : reduction.structure.edges()) {
+    reduction_bytes +=
+        sizeof(EventStructure::Edge) + edge.tcgs.size() * sizeof(Tcg);
+  }
+  if (StopCause cause = arena.Charge(/*index=*/0, reduction_bytes);
+      cause != StopCause::kNone) {
+    // An unbudgeted solve is *unknown*, exactly like an interrupted one.
+    return StopCauseToStatus(cause, "SUBSET SUM reduction");
+  }
   ExactConsistencyChecker checker(&system->tables(), &system->coverage(),
                                   options);
   GM_ASSIGN_OR_RETURN(ExactResult result, checker.Check(reduction.structure));

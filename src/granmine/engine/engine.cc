@@ -8,6 +8,14 @@
 
 namespace granmine {
 
+namespace {
+
+/// Reorder-buffer cap forced onto a stream session opened in degraded mode
+/// when the caller left the buffer unbounded.
+constexpr std::size_t kDegradedStreamBufferCap = 4096;
+
+}  // namespace
+
 Engine::Engine(std::unique_ptr<GranularitySystem> system,
                EngineOptions options)
     : system_(std::move(system)),
@@ -17,6 +25,9 @@ Engine::Engine(std::unique_ptr<GranularitySystem> system,
       trace_(&obs::TraceCollector::Global()) {
   if (num_threads_ > 1) {
     executor_ = std::make_unique<Executor>(num_threads_);
+  }
+  if (options.admission.enabled) {
+    admission_ = std::make_unique<AdmissionController>(options.admission);
   }
 }
 
@@ -42,7 +53,10 @@ Result<std::unique_ptr<Engine>> Engine::CreateGregorian(
 std::unique_ptr<ResourceGovernor> Engine::MakeGovernor(
     std::optional<GovernorLimits> limits) const {
   const GovernorLimits resolved = limits.value_or(options_.limits);
-  if (resolved.deadline_ms <= 0 && resolved.max_steps == 0) return nullptr;
+  if (resolved.deadline_ms <= 0 && resolved.max_steps == 0 &&
+      resolved.memory_budget_bytes == 0) {
+    return nullptr;
+  }
   return std::make_unique<ResourceGovernor>(resolved);
 }
 
@@ -54,6 +68,31 @@ Result<MineResponse> Engine::Mine(const MineRequest& request) {
   MinerOptions options = request.options;
   options.num_threads = num_threads_;
   options.executor = executor_.get();
+  // Admission runs BEFORE the per-request governor is created, so time spent
+  // queued never eats into the request's own deadline (the governor's clock
+  // starts at construction). The caller-owned governor — if any — is still
+  // consulted while queued, so an external cancellation dequeues promptly.
+  const GovernorLimits resolved_limits = request.limits.value_or(
+      request.governor != nullptr ? GovernorLimits{} : options_.limits);
+  AdmissionController::Ticket ticket;
+  if (admission_ != nullptr) {
+    Result<AdmissionController::Ticket> admitted = admission_->Admit(
+        RequestClass::kMine, request.governor, resolved_limits.deadline_ms);
+    if (!admitted.ok()) {
+      if (options_.admission.degrade_when_saturated &&
+          admitted.status().code() != StatusCode::kCancelled) {
+        // The degradation ladder: demote to screening-only service instead
+        // of shedding. No slot is held — the screening pass is cheap and
+        // never enters the governed step-5 scan.
+        options.degrade_to_screening = true;
+        admission_->NoteDegraded();
+      } else {
+        return admitted.status();
+      }
+    } else {
+      ticket = std::move(admitted).value();
+    }
+  }
   std::unique_ptr<ResourceGovernor> owned_governor;
   const ResourceGovernor* governor = request.governor;
   if (governor == nullptr) {
@@ -84,6 +123,29 @@ Result<MatchResponse> Engine::Match(const MatchRequest& request) {
   if (options.governor == nullptr && request.governor != nullptr) {
     options.governor = request.governor;
   }
+  // As in Mine: admit before creating the owned governor so queueing does
+  // not consume the request's deadline.
+  const GovernorLimits resolved_limits = request.limits.value_or(
+      options.governor != nullptr ? GovernorLimits{} : options_.limits);
+  AdmissionController::Ticket ticket;
+  if (admission_ != nullptr) {
+    Result<AdmissionController::Ticket> admitted = admission_->Admit(
+        RequestClass::kMatch, options.governor, resolved_limits.deadline_ms);
+    if (!admitted.ok()) {
+      if (options_.admission.degrade_when_saturated &&
+          admitted.status().code() != StatusCode::kCancelled) {
+        // Degraded Match is the three-valued escape hatch: we refuse to
+        // guess, so the verdict is kUnknown — never a wrong yes/no.
+        admission_->NoteDegraded();
+        MatchResponse degraded;
+        degraded.outcome = MatchOutcome::kUnknown;
+        degraded.stats.stopped = StopCause::kDegraded;
+        return degraded;
+      }
+      return admitted.status();
+    }
+    ticket = std::move(admitted).value();
+  }
   if (options.governor == nullptr) {
     owned_governor = MakeGovernor(request.limits);
     options.governor = owned_governor.get();
@@ -104,6 +166,28 @@ Result<OnlineMiner> Engine::OpenStream(const StreamRequest& request) {
   GM_RETURN_NOT_OK(Freeze());
   OnlineMinerOptions options = request.options;
   options.num_threads = request.num_threads_override.value_or(num_threads_);
+  if (admission_ != nullptr) {
+    // Probe admission: the stream-class slot gates session *opens* only (a
+    // session is long-lived, so holding a slot for its lifetime would wedge
+    // the class). The ticket is dropped at return; steady-state overload is
+    // handled inside the session by the bounded reorder buffer.
+    Result<AdmissionController::Ticket> admitted =
+        admission_->Admit(RequestClass::kStream, nullptr, 0);
+    if (!admitted.ok()) {
+      if (options_.admission.degrade_when_saturated &&
+          admitted.status().code() != StatusCode::kCancelled) {
+        // Degraded stream session: force a bounded reorder buffer so the
+        // session sheds (counted, deterministic) instead of growing without
+        // bound under pressure.
+        admission_->NoteDegraded();
+        if (options.max_buffered_events == 0) {
+          options.max_buffered_events = kDegradedStreamBufferCap;
+        }
+      } else {
+        return admitted.status();
+      }
+    }
+  }
   return OnlineMiner::Create(system_.get(), *request.problem, options);
 }
 

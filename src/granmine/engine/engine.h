@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -10,6 +11,7 @@
 #include "granmine/common/executor.h"
 #include "granmine/common/governor.h"
 #include "granmine/common/result.h"
+#include "granmine/engine/admission.h"
 #include "granmine/granularity/system.h"
 #include "granmine/mining/discovery.h"
 #include "granmine/mining/miner.h"
@@ -37,6 +39,10 @@ struct EngineOptions {
   /// (they stay off otherwise; see docs/observability.md).
   bool enable_metrics = false;
   bool enable_tracing = false;
+  /// Overload admission in front of the serving entry points
+  /// (docs/robustness.md, "admission and degradation"). Disabled by default:
+  /// every request is served unconditionally, exactly as before.
+  AdmissionOptions admission;
 };
 
 /// One batch discovery request. `problem` and `sequence` must stay alive for
@@ -123,7 +129,14 @@ class Engine {
       EngineOptions options = EngineOptions{});
 
   /// Ends the build phase (idempotent; implied by the first serve call).
-  Status Freeze() { return system_->Freeze(); }
+  /// Safe to reach from concurrent first serve calls: GranularitySystem's
+  /// own Freeze is a build-phase API with no internal locking, so the
+  /// engine funnels every freeze through one call_once.
+  Status Freeze() {
+    std::call_once(freeze_once_,
+                   [this] { freeze_status_ = system_->Freeze(); });
+    return freeze_status_;
+  }
 
   bool frozen() const { return system_->frozen(); }
 
@@ -149,6 +162,13 @@ class Engine {
   std::unique_ptr<ResourceGovernor> MakeGovernor(
       std::optional<GovernorLimits> limits = std::nullopt) const;
 
+  /// The admission controller gating the serving entry points; null when
+  /// `EngineOptions::admission.enabled` is false (no admission state exists).
+  /// Exposed for telemetry (shed/degraded counters, sticky first cause) and
+  /// for installing a test fault injector.
+  AdmissionController* admission() { return admission_.get(); }
+  const AdmissionController* admission() const { return admission_.get(); }
+
   /// Resolved engine-wide worker count (>= 1).
   int num_threads() const { return num_threads_; }
 
@@ -170,9 +190,12 @@ class Engine {
   Engine(std::unique_ptr<GranularitySystem> system, EngineOptions options);
 
   std::unique_ptr<GranularitySystem> system_;
+  std::once_flag freeze_once_;
+  Status freeze_status_ = Status::OK();
   EngineOptions options_;
   int num_threads_ = 1;
   std::unique_ptr<Executor> executor_;
+  std::unique_ptr<AdmissionController> admission_;
   obs::MetricsRegistry* metrics_;
   obs::TraceCollector* trace_;
 };

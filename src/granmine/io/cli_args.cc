@@ -1,7 +1,9 @@
 #include "granmine/io/cli_args.h"
 
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 namespace granmine {
 
@@ -35,6 +37,8 @@ Result<CliArgs> ParseCliArgs(int argc, const char* const* argv) {
       args.tag = true;
     } else if (flag == "--explain") {
       args.explain = true;
+    } else if (flag == "--degrade") {
+      args.degrade = true;
     } else if (flag == "--pin" && i + 1 < argc) {
       args.pins.emplace_back(argv[++i]);
     } else if (flag.rfind("--", 0) == 0 && flag.find('=') != std::string::npos) {
@@ -95,9 +99,26 @@ Result<double> ParseConfidence(const std::string& flag,
 }
 
 Result<EngineFlags> ParseEngineFlags(const CliArgs& args) {
+  return ParseEngineFlags(args, std::thread::hardware_concurrency());
+}
+
+Result<EngineFlags> ParseEngineFlags(const CliArgs& args,
+                                     unsigned hardware_threads) {
   EngineFlags flags;
   if (auto it = args.flags.find("threads"); it != args.flags.end()) {
     GM_ASSIGN_OR_RETURN(int threads, ParseThreadCount(it->second));
+    // Clamp (don't reject) oversubscription: the value is inside the flag's
+    // [1, 1024] contract, it just buys nothing past the core count. The
+    // clamp lives here — not in ParseThreadCount — so the parser's contract
+    // stays machine-independent and unit-testable.
+    if (hardware_threads > 0 &&
+        threads > static_cast<int>(hardware_threads)) {
+      std::fprintf(stderr,
+                   "warning: --threads %d exceeds the machine's %u hardware "
+                   "threads; clamping to %u\n",
+                   threads, hardware_threads, hardware_threads);
+      threads = static_cast<int>(hardware_threads);
+    }
     flags.threads = threads;
   }
   if (auto it = args.flags.find("deadline-ms"); it != args.flags.end()) {
@@ -105,6 +126,17 @@ Result<EngineFlags> ParseEngineFlags(const CliArgs& args) {
                         ParsePositiveInt("deadline-ms", it->second));
     flags.deadline_ms = deadline_ms;
   }
+  if (auto it = args.flags.find("mem-budget-mb"); it != args.flags.end()) {
+    GM_ASSIGN_OR_RETURN(std::int64_t mem_budget_mb,
+                        ParsePositiveInt("mem-budget-mb", it->second));
+    flags.mem_budget_mb = mem_budget_mb;
+  }
+  if (auto it = args.flags.find("max-queue"); it != args.flags.end()) {
+    GM_ASSIGN_OR_RETURN(std::int64_t max_queue,
+                        ParseNonNegativeInt("max-queue", it->second));
+    flags.max_queue = max_queue;
+  }
+  flags.degrade = args.degrade;
   if (auto it = args.flags.find("metrics-out"); it != args.flags.end()) {
     if (it->second.empty()) {
       return Status::Invalid("--metrics-out expects a file path");

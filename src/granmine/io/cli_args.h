@@ -23,6 +23,8 @@ struct CliArgs {
   bool exact = false;
   bool tag = false;
   bool explain = false;
+  /// `--degrade`: opt into degraded (screening-only) serving under overload.
+  bool degrade = false;
 };
 
 Result<CliArgs> ParseCliArgs(int argc, const char* const* argv);
@@ -47,14 +49,25 @@ Result<double> ParseConfidence(const std::string& flag,
                                const std::string& text);
 
 /// The engine-wide flags shared by every subcommand — `--threads`,
-/// `--deadline-ms`, `--metrics-out`, `--trace-out` — validated once by
-/// `ParseEngineFlags` instead of per-subcommand copies, so the usage and
-/// error messages are identical everywhere they appear.
+/// `--deadline-ms`, `--mem-budget-mb`, `--max-queue`, `--degrade`,
+/// `--metrics-out`, `--trace-out` — validated once by `ParseEngineFlags`
+/// instead of per-subcommand copies, so the usage and error messages are
+/// identical everywhere they appear.
 struct EngineFlags {
-  /// Unset = the engine default (serial).
+  /// Unset = the engine default (serial). Values above the machine's
+  /// hardware concurrency are clamped to it with a stderr warning — valid
+  /// (the flag's [1, 1024] contract holds) but never useful, since every
+  /// pool worker beyond a core just context-switches.
   std::optional<int> threads;
   /// Unset = no wall-clock limit.
   std::optional<std::int64_t> deadline_ms;
+  /// Unset = no memory budget (GovernorLimits::memory_budget_bytes stays 0).
+  std::optional<std::int64_t> mem_budget_mb;
+  /// Unset = admission disabled; set = AdmissionOptions::max_queue.
+  std::optional<std::int64_t> max_queue;
+  /// `--degrade`: serve saturated/budget-stopped requests screening-only
+  /// instead of shedding them (AdmissionOptions::degrade_when_saturated).
+  bool degrade = false;
   /// Output paths; empty = the corresponding obs layer stays disabled.
   std::string metrics_out;
   std::string trace_out;
@@ -62,8 +75,14 @@ struct EngineFlags {
 
 /// Extracts and validates the shared engine flags from a parsed command
 /// line. Flags that are absent stay unset; the first invalid value is the
-/// returned Status.
+/// returned Status. The one-argument form clamps `--threads` against
+/// `std::thread::hardware_concurrency()`; the two-argument form takes the
+/// machine's thread count explicitly so the clamp is unit-testable
+/// (`hardware_threads` = 0 disables the clamp, mirroring the unknown-machine
+/// contract of hardware_concurrency).
 Result<EngineFlags> ParseEngineFlags(const CliArgs& args);
+Result<EngineFlags> ParseEngineFlags(const CliArgs& args,
+                                     unsigned hardware_threads);
 
 /// Validated `granmine_cli stream` window geometry.
 struct StreamWindowArgs {

@@ -56,6 +56,18 @@ Result<std::int64_t> ParseInt(std::string_view token) {
   return value;
 }
 
+// 1-based column of `token` inside `raw`. Valid because every view the
+// parsers hand around (Trim/substr results) points into the original line's
+// buffer; falls back to column 1 for a token from elsewhere.
+std::size_t ColumnOf(std::string_view raw, std::string_view token) {
+  if (token.data() != nullptr && raw.data() != nullptr &&
+      token.data() >= raw.data() &&
+      token.data() <= raw.data() + raw.size()) {
+    return static_cast<std::size_t>(token.data() - raw.data()) + 1;
+  }
+  return 1;
+}
+
 }  // namespace
 
 namespace {
@@ -107,6 +119,15 @@ Result<EventStructure> ParseEventStructureImpl(
       return Status::Invalid("line " + std::to_string(line_number) + ": " +
                              what);
     };
+    // Same, with the offending token's column — ParseInt and name-lookup
+    // failures used to surface bare ("expected an integer, found 'x'"),
+    // which is unfindable in a structure file of any size.
+    auto fail_at = [&](std::string_view token, const std::string& what) {
+      return Status::Invalid("line " + std::to_string(line_number) +
+                             ", column " +
+                             std::to_string(ColumnOf(raw, token)) + ": " +
+                             what);
+    };
     // Custom granularity declarations: "granularity NAME = EXPR".
     constexpr std::string_view kKeyword = "granularity ";
     if (line.rfind(kKeyword, 0) == 0) {
@@ -140,21 +161,29 @@ Result<EventStructure> ParseEventStructureImpl(
     while (true) {
       rest = Trim(rest);
       if (rest.empty()) break;
-      if (rest.front() != '[') return fail("expected '['");
+      if (rest.front() != '[') return fail_at(rest, "expected '['");
       std::size_t comma = rest.find(',');
       std::size_t close = rest.find(']');
       if (comma == std::string_view::npos || close == std::string_view::npos ||
           comma > close) {
-        return fail("malformed interval");
+        return fail_at(rest, "malformed interval");
       }
-      GM_ASSIGN_OR_RETURN(std::int64_t lo,
-                          ParseInt(Trim(rest.substr(1, comma - 1))));
+      std::string_view lo_token = Trim(rest.substr(1, comma - 1));
+      Result<std::int64_t> lo_parsed = ParseInt(lo_token);
+      if (!lo_parsed.ok()) {
+        return fail_at(lo_token, lo_parsed.status().message());
+      }
+      std::int64_t lo = *lo_parsed;
       std::string_view hi_token = Trim(rest.substr(comma + 1, close - comma - 1));
       std::int64_t hi;
       if (hi_token == "inf") {
         hi = kInfinity;
       } else {
-        GM_ASSIGN_OR_RETURN(hi, ParseInt(hi_token));
+        Result<std::int64_t> hi_parsed = ParseInt(hi_token);
+        if (!hi_parsed.ok()) {
+          return fail_at(hi_token, hi_parsed.status().message());
+        }
+        hi = *hi_parsed;
       }
       rest = rest.substr(close + 1);
       std::size_t next = rest.find('[');
@@ -175,7 +204,8 @@ Result<EventStructure> ParseEventStructureImpl(
       if (gran_name.empty()) return fail("missing granularity name");
       const Granularity* granularity = system.Find(gran_name);
       if (granularity == nullptr) {
-        return fail("unknown granularity '" + std::string(gran_name) + "'");
+        return fail_at(gran_name, "unknown granularity '" +
+                                      std::string(gran_name) + "'");
       }
       Status added =
           structure.AddConstraint(from, to, Tcg::Of(lo, hi, granularity));
@@ -371,11 +401,20 @@ Result<EventSequence> ParseEventSequence(std::string_view text,
         (std::isdigit(static_cast<unsigned char>(stamp.front())) ||
          stamp.front() == '-') &&
         stamp.find('-', 1) == std::string_view::npos) {
-      GM_ASSIGN_OR_RETURN(t, ParseInt(stamp));
+      Result<std::int64_t> parsed = ParseInt(stamp);
+      if (!parsed.ok()) {
+        return Status::Invalid("line " + std::to_string(line_number) +
+                               ", column " +
+                               std::to_string(ColumnOf(raw, stamp)) + ": " +
+                               parsed.status().message());
+      }
+      t = *parsed;
     } else {
       Result<TimePoint> parsed = ParseTimePoint(stamp, units_per_day);
       if (!parsed.ok()) {
-        return Status::Invalid("line " + std::to_string(line_number) + ": " +
+        return Status::Invalid("line " + std::to_string(line_number) +
+                               ", column " +
+                               std::to_string(ColumnOf(raw, stamp)) + ": " +
                                parsed.status().message());
       }
       t = *parsed;

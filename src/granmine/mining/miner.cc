@@ -264,6 +264,32 @@ Result<MiningReport> Miner::Mine(const DiscoveryProblem& problem,
     clamped = true;
   }
 
+  if (options_.degrade_to_screening) {
+    // Degraded serving: steps 1-4 already refuted everything screening could
+    // refute exactly; the survivors were never exactly checked, so each one
+    // is honestly *unknown* — never guessed. The sample enumerates the first
+    // candidates in the same lexicographic order the scan would have used,
+    // so a degraded report is byte-identical across thread counts for free.
+    GM_COUNTER_ADD("granmine_mine_degraded_total", "", 1);
+    report.completeness.unknown = scan_total;
+    const std::size_t n = allowed.size();
+    std::vector<std::size_t> odometer = OdometerAt(allowed, root, 0);
+    std::vector<EventTypeId> phi(n);
+    for (std::uint64_t i = 0; i < scan_total && i < kUnknownSampleCap; ++i) {
+      for (std::size_t v = 0; v < n; ++v) phi[v] = allowed[v][odometer[v]];
+      report.unknown_sample.push_back(
+          UnknownCandidate{phi, StopCause::kDegraded});
+      AdvanceOdometer(allowed, root, &odometer);
+    }
+    if (clamped) {
+      report.completeness.not_evaluated +=
+          report.candidates_after_screening - scan_total;
+    }
+    report.completeness.stop = StopCause::kDegraded;
+    report.completeness.complete = false;
+    return report;
+  }
+
   // Step 5: one skeleton TAG for all candidates; anchored scans per root.
   // The skeleton, the reduced sequence, the windows and the system caches
   // are all read-only from here on, so the candidate space can fan out

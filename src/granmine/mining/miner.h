@@ -43,6 +43,16 @@ struct MinerOptions {
   };
   ExhaustionPolicy on_exhaustion = ExhaustionPolicy::kAbort;
 
+  /// Degraded (screening-only) serving: run steps 1-4 — propagation,
+  /// reduction, window viability, screening — but skip the step-5 exact
+  /// scan entirely. Every candidate that survives screening is reported as
+  /// *unknown* with StopCause::kDegraded (the screening verdicts that DID
+  /// refute candidates remain exact, so the report still never says
+  /// something wrong; it just says less). The Engine flips this on under
+  /// admission pressure or after a memory stop; the report goes through the
+  /// normal PARTIAL machinery regardless of `on_exhaustion`.
+  bool degrade_to_screening = false;
+
   /// Abort with ResourceExhausted when the candidate space (after
   /// screening) still exceeds this. Under ExhaustionPolicy::kPartial the
   /// scan instead covers the first max_candidates candidates and reports

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "granmine/common/executor.h"
+#include "granmine/common/governor_alloc.h"
 #include "granmine/obs/obs.h"
 
 namespace granmine {
@@ -77,8 +78,23 @@ ScanMergeResult ScanCandidates(
                         ScanOutcome* out) {
     out->ran = true;
     GovernorTicket ticket(governor, GovernorScope::kMine);
-    std::vector<std::size_t> odometer = OdometerAt(allowed, root, begin);
     const std::size_t n = allowed.size();
+    // The range's own scratch (odometer + φ) is governed memory too. A
+    // refusal forfeits the whole range as not_evaluated — range boundaries
+    // depend on the worker count, so this charge point is a *global*-style
+    // stop (invariant-checked, never part of a byte-identity sweep; the
+    // deterministic alloc-injection points live in the matcher and the
+    // exact search, whose indices are per-work-unit).
+    GovernorAllocator arena(governor, GovernorScope::kMine);
+    if (StopCause cause = arena.Charge(
+            begin, n * (sizeof(EventTypeId) + sizeof(std::size_t)));
+        cause != StopCause::kNone) {
+      if (out->first_stop == StopCause::kNone) out->first_stop = cause;
+      if (partial) out->not_evaluated += end - begin;
+      stop_scan.store(true, std::memory_order_relaxed);
+      return;
+    }
+    std::vector<std::size_t> odometer = OdometerAt(allowed, root, begin);
     std::vector<EventTypeId> phi(n);
     auto note_unknown = [&](StopCause reason) {
       ++out->unknown;

@@ -27,6 +27,19 @@ Status StreamIngestor::Ingest(Event event) {
         std::to_string(tracker_.watermark()) +
         " (out-of-order tolerance exceeded)");
   }
+  if (options_.max_buffered_events > 0 &&
+      buffered_events() >= options_.max_buffered_events) {
+    // Shedding happens BEFORE the watermark observes the arrival: a shed
+    // event is an arrival that never happened, so the committed group
+    // sequence stays a deterministic function of the admitted arrivals.
+    ++shed_events_;
+    GM_COUNTER_ADD("granmine_stream_events_shed_total", "", 1);
+    return Status::ResourceExhausted(
+        "reorder buffer full (" +
+        std::to_string(options_.max_buffered_events) +
+        " events buffered): arrival shed; retry after the consumer drains "
+        "ready groups");
+  }
   tracker_.Observe(event.time);
   auto pos = std::upper_bound(events_.begin() + static_cast<std::ptrdiff_t>(
                                                     head_),

@@ -19,6 +19,14 @@ struct IngestorOptions {
   /// How far behind the watermark committed state is retained. kInfinity =
   /// unbounded (no eviction).
   std::int64_t retention = kInfinity;
+  /// Hard cap on buffered (admitted but not yet discarded) events. 0 =
+  /// unbounded — the pre-overload-PR behavior. When the buffer is full every
+  /// further arrival is *shed*: counted, rejected with a retryable
+  /// ResourceExhausted Status, and never admitted, so the buffer never
+  /// grows past the cap and the committed group sequence stays a
+  /// deterministic function of the arrival sequence (a shed arrival is
+  /// exactly an arrival that never happened).
+  std::size_t max_buffered_events = 0;
 };
 
 /// Reorder buffer between a live, boundedly-out-of-order event stream and
@@ -36,9 +44,12 @@ struct IngestorOptions {
 /// and is rejected with a deterministic InvalidArgument; accepting it would
 /// retroactively change committed groups.
 ///
-/// The ingestor never blocks and never drops on-time events; eviction of
-/// *committed* state beyond the retention horizon is the consumer's job
-/// (watch `horizon()`).
+/// The ingestor never blocks; with `max_buffered_events` unset it also never
+/// drops on-time events. With the cap set, an arrival that would overflow
+/// the buffer is shed — counted, and rejected with a retryable
+/// ResourceExhausted — before it is admitted, so committed groups are still
+/// a pure function of the admitted arrivals. Eviction of *committed* state
+/// beyond the retention horizon is the consumer's job (watch `horizon()`).
 class StreamIngestor {
  public:
   explicit StreamIngestor(IngestorOptions options)
@@ -74,6 +85,8 @@ class StreamIngestor {
 
   /// Arrivals rejected as late so far.
   std::uint64_t late_events() const { return late_events_; }
+  /// Arrivals shed because the buffer was at max_buffered_events.
+  std::uint64_t shed_events() const { return shed_events_; }
   /// Events currently buffered (ready + not ready).
   std::size_t buffered_events() const { return events_.size() - head_; }
 
@@ -88,6 +101,7 @@ class StreamIngestor {
   std::vector<Event> events_;
   std::size_t head_ = 0;
   std::uint64_t late_events_ = 0;
+  std::uint64_t shed_events_ = 0;
 };
 
 }  // namespace granmine

@@ -42,7 +42,8 @@ OnlineMiner::OnlineMiner(GranularitySystem* system, DiscoveryProblem problem,
       candidates_before_(CandidateCount(allowed_, root_)),
       scan_total_(std::min(candidates_before_, options_.max_candidates)),
       clamped_(candidates_before_ > options_.max_candidates),
-      ingestor_(IngestorOptions{options_.tolerance, options_.retention}),
+      ingestor_(IngestorOptions{options_.tolerance, options_.retention,
+                                options_.max_buffered_events}),
       scratches_(static_cast<std::size_t>(
           Executor::Resolve(options_.num_threads))) {
   if (consistent_) reducer_.emplace(propagation_.get(), allowed_);

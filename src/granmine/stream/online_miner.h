@@ -39,6 +39,12 @@ struct OnlineMinerOptions {
   std::uint64_t max_candidates = 100'000;
   /// Matcher budget per anchored run.
   std::uint64_t max_configurations_per_run = 50'000'000;
+  /// Reorder-buffer cap (see IngestorOptions::max_buffered_events): 0 =
+  /// unbounded; otherwise arrivals beyond the cap are shed with a counted,
+  /// retryable ResourceExhausted instead of growing the buffer. Shed
+  /// arrivals never enter the retained prefix, so the equivalence contract
+  /// holds over the *admitted* arrivals verbatim.
+  std::size_t max_buffered_events = 0;
 
   /// The batch MinerOptions every snapshot is byte-identical to: steps 1/2
   /// and window deadlines on (they are per-event/per-root monotone), steps
@@ -119,6 +125,7 @@ class OnlineMiner {
   TimePoint horizon() const { return ingestor_.horizon(); }
   std::size_t buffered_events() const { return ingestor_.buffered_events(); }
   std::uint64_t late_events() const { return ingestor_.late_events(); }
+  std::uint64_t shed_events() const { return ingestor_.shed_events(); }
   /// Reference occurrences with resident (live or frozen) runs.
   std::size_t resident_roots() const {
     return core_.matcher.has_value() ? core_.matcher->root_count() : 0;

@@ -57,8 +57,12 @@ MatchOutcome TagMatcher::Run(std::span<const Event> events,
 
   // One ticket per run: the stride countdown starts fresh, so for a fixed
   // input the governor is consulted at the same configuration counts every
-  // time — the determinism the fault-injection sweeps rely on.
+  // time — the determinism the fault-injection sweeps rely on. The arena
+  // follows the same per-run lifetime: every configuration byte charged
+  // during this run is released when Run returns, so the memory budget
+  // tracks the live frontier, not a lifetime total.
   GovernorTicket ticket(options.governor, GovernorScope::kMatch);
+  GovernorAllocator arena(options.governor, GovernorScope::kMatch);
 
   MatchScratch local_scratch;
   MatchScratch& sc = scratch != nullptr ? *scratch : local_scratch;
@@ -99,7 +103,7 @@ MatchOutcome TagMatcher::Run(std::span<const Event> events,
     switch (kernel_.AdvanceGroup(
         events.subspan(group_start, group_end - group_start), symbols,
         options.anchored, &s.run, &s.kernel, &st, options.max_configurations,
-        &ticket)) {
+        &ticket, &arena)) {
       case TagKernel::GroupOutcome::kAccepted:
         return MatchOutcome::kAccepted;
       case TagKernel::GroupOutcome::kStopped:

@@ -120,10 +120,15 @@ void TagKernel::RetireDeadConfigs(TimePoint time, TagRunState* run,
 TagKernel::GroupOutcome TagKernel::AdvanceGroup(
     std::span<const Event> group, const SymbolMap& symbols, bool anchored,
     TagRunState* run, TagKernelScratch* scratch, MatchStats* stats,
-    std::uint64_t max_configurations, GovernorTicket* ticket) const {
+    std::uint64_t max_configurations, GovernorTicket* ticket,
+    GovernorAllocator* arena) const {
   GM_CHECK(!group.empty());
   MatchStats& st = *stats;
   const std::size_t clock_count = tag_->clocks().size();
+  // The governed footprint of one configuration: the node itself plus its
+  // per-clock reset vector (the `used` counts are transient BFS state).
+  const std::uint64_t config_bytes =
+      sizeof(TagConfig) + clock_count * sizeof(std::int64_t);
   st.events_scanned += group.size();
   ++st.groups_advanced;
 
@@ -161,6 +166,14 @@ TagKernel::GroupOutcome TagKernel::AdvanceGroup(
       run->frontier.insert(seed);
     }
     st.configurations += run->frontier.size();
+    if (arena != nullptr) {
+      if (StopCause cause = arena->Charge(
+              st.configurations, run->frontier.size() * config_bytes);
+          cause != StopCause::kNone) {
+        st.stopped = cause;
+        return GroupOutcome::kStopped;
+      }
+    }
     run->seeded = true;
   }
 
@@ -232,6 +245,14 @@ TagKernel::GroupOutcome TagKernel::AdvanceGroup(
           }
           if (ticket != nullptr) {
             if (StopCause cause = ticket->Charge(st.configurations);
+                cause != StopCause::kNone) {
+              st.stopped = cause;
+              return GroupOutcome::kStopped;
+            }
+          }
+          if (arena != nullptr) {
+            if (StopCause cause =
+                    arena->Charge(st.configurations, config_bytes);
                 cause != StopCause::kNone) {
               st.stopped = cause;
               return GroupOutcome::kStopped;

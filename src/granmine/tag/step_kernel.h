@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "granmine/common/governor.h"
+#include "granmine/common/governor_alloc.h"
 #include "granmine/sequence/event.h"
 #include "granmine/tag/matcher_types.h"
 #include "granmine/tag/tag.h"
@@ -115,12 +116,17 @@ class TagKernel {
   /// budget counter compared against `max_configurations`); `ticket`, when
   /// non-null, is charged once per created configuration with the run's
   /// configuration count as the deterministic index (GovernorScope::kMatch).
+  /// `arena`, when non-null, is charged the bytes of each created
+  /// configuration against the governor's memory budget at the same index;
+  /// a refusal stops the run with the refusal cause (kMemBudget or an
+  /// injected alloc failure), never a wrong verdict.
   GroupOutcome AdvanceGroup(std::span<const Event> group,
                             const SymbolMap& symbols, bool anchored,
                             TagRunState* run, TagKernelScratch* scratch,
                             MatchStats* stats,
                             std::uint64_t max_configurations,
-                            GovernorTicket* ticket) const;
+                            GovernorTicket* ticket,
+                            GovernorAllocator* arena = nullptr) const;
 
   /// Retires every configuration of `run` whose labeled outgoing guards are
   /// all expired forever at the ticks containing `time` — the watermark GC

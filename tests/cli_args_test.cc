@@ -133,12 +133,62 @@ TEST(ParseEngineFlagsTest, ParsesAllFourFlags) {
   auto args = Parse({"stream", "--threads", "8", "--deadline-ms=250",
                      "--metrics-out", "m.prom", "--trace-out", "t.json"});
   ASSERT_TRUE(args.ok());
-  auto flags = ParseEngineFlags(*args);
+  // Pin the machine width so the clamp cannot fire on a narrow CI box.
+  auto flags = ParseEngineFlags(*args, /*hardware_threads=*/8);
   ASSERT_TRUE(flags.ok());
   EXPECT_EQ(flags->threads, 8);
   EXPECT_EQ(flags->deadline_ms, 250);
   EXPECT_EQ(flags->metrics_out, "m.prom");
   EXPECT_EQ(flags->trace_out, "t.json");
+}
+
+TEST(ParseEngineFlagsTest, ClampsThreadsToHardwareConcurrency) {
+  auto args = Parse({"mine", "--threads", "64"});
+  ASSERT_TRUE(args.ok());
+  auto flags = ParseEngineFlags(*args, /*hardware_threads=*/4);
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->threads, 4);
+
+  // At or below the machine width the value passes through untouched.
+  auto exact = ParseEngineFlags(*args, /*hardware_threads=*/64);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->threads, 64);
+
+  // Unknown machine width (hardware_concurrency() == 0): no clamp.
+  auto unknown = ParseEngineFlags(*args, /*hardware_threads=*/0);
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_EQ(unknown->threads, 64);
+
+  // The clamp keeps the parser's [1, 1024] contract intact: out-of-range
+  // values are still rejected, not clamped.
+  auto over = Parse({"mine", "--threads", "2048"});
+  ASSERT_TRUE(over.ok());
+  EXPECT_FALSE(ParseEngineFlags(*over, /*hardware_threads=*/4).ok());
+}
+
+TEST(ParseEngineFlagsTest, ParsesOverloadFlags) {
+  auto args = Parse({"mine", "--mem-budget-mb", "64", "--max-queue=8",
+                     "--degrade"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_TRUE(args->degrade);
+  auto flags = ParseEngineFlags(*args, /*hardware_threads=*/4);
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->mem_budget_mb, 64);
+  EXPECT_EQ(flags->max_queue, 8);
+  EXPECT_TRUE(flags->degrade);
+
+  // Absent flags stay unset/false — admission must stay off by default.
+  auto plain = Parse({"mine"});
+  ASSERT_TRUE(plain.ok());
+  auto plain_flags = ParseEngineFlags(*plain, /*hardware_threads=*/4);
+  ASSERT_TRUE(plain_flags.ok());
+  EXPECT_FALSE(plain_flags->mem_budget_mb.has_value());
+  EXPECT_FALSE(plain_flags->max_queue.has_value());
+  EXPECT_FALSE(plain_flags->degrade);
+
+  auto bad = Parse({"mine", "--mem-budget-mb", "0"});
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(ParseEngineFlags(*bad, /*hardware_threads=*/4).ok());
 }
 
 TEST(ParseEngineFlagsTest, InvalidValuesNameTheFlag) {

@@ -4,10 +4,12 @@
 // are byte-identical to hand-wired Miner/TagMatcher/OnlineMiner calls on an
 // unfrozen twin system.
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -213,6 +215,63 @@ TEST(EngineTest, MineRequestValidation) {
   EXPECT_FALSE((*engine)->Match(match).ok());
   StreamRequest stream;  // no problem
   EXPECT_FALSE((*engine)->OpenStream(stream).ok());
+}
+
+// Request validation and serving must hold up when Mine and OpenStream hit
+// one engine from different threads: the first serve call freezes the
+// system exactly once, valid requests on both paths succeed, and invalid
+// ones keep failing loudly instead of racing into a half-built session.
+TEST(EngineTest, ConcurrentMineAndOpenStreamValidate) {
+  auto engine = Engine::CreateGregorian();
+  ASSERT_TRUE(engine.ok());
+  Workload workload = MakeWorkload(*(*engine)->system(), 808);
+  auto structure = BuildFigure1a(*(*engine)->system());
+  ASSERT_TRUE(structure.ok());
+
+  DiscoveryProblem problem;
+  problem.structure = &*structure;
+  problem.min_confidence = 0.3;
+  problem.reference_type = *workload.registry.Find("IBM-rise");
+  DiscoveryProblem stream_problem = problem;
+  stream_problem.allowed.assign(
+      static_cast<std::size_t>(structure->variable_count()), {});
+  stream_problem.allowed[1] = {*workload.registry.Find("IBM-earnings-report")};
+  stream_problem.allowed[2] = {*workload.registry.Find("HP-rise")};
+  stream_problem.allowed[3] = {*workload.registry.Find("IBM-fall")};
+
+  std::atomic<int> mine_ok{0};
+  std::atomic<int> invalid_rejected{0};
+  std::thread miner_thread([&] {
+    MineRequest request;
+    request.problem = &problem;
+    request.sequence = &workload.sequence;
+    for (int i = 0; i < 3; ++i) {
+      auto response = (*engine)->Mine(request);
+      if (response.ok()) mine_ok.fetch_add(1);
+      // Interleave invalid requests: validation must stay per-request.
+      MineRequest invalid;
+      if (!(*engine)->Mine(invalid).ok()) invalid_rejected.fetch_add(1);
+    }
+  });
+
+  StreamRequest stream_request;
+  stream_request.problem = &stream_problem;
+  for (int i = 0; i < 3; ++i) {
+    auto session = (*engine)->OpenStream(stream_request);
+    ASSERT_TRUE(session.ok()) << session.status();
+    for (const Event& event : workload.sequence.events()) {
+      ASSERT_TRUE(session->Ingest(event).ok());
+    }
+    session->Seal();
+    auto snapshot = session->Snapshot();
+    ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+    StreamRequest invalid;  // no problem
+    EXPECT_FALSE((*engine)->OpenStream(invalid).ok());
+  }
+  miner_thread.join();
+  EXPECT_EQ(mine_ok.load(), 3);
+  EXPECT_EQ(invalid_rejected.load(), 3);
+  EXPECT_TRUE((*engine)->frozen());
 }
 
 TEST(EngineTest, ParallelMineOnEnginePoolMatchesSerial) {

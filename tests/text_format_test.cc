@@ -57,6 +57,53 @@ TEST_F(TextFormatTest, StructureParserRejectsGarbage) {
   EXPECT_TRUE(ParseEventStructure("  # only comments\n\n", *system_).ok());
 }
 
+TEST_F(TextFormatTest, StructureErrorsCarryLineAndColumn) {
+  // Bad interval bound on line 2: "a -> b : [x,1] day". The 'x' sits at
+  // column 11 of the trimmed-at-source line below (1-based, counting from
+  // the raw line start including leading spaces).
+  auto bad_lo = ParseEventStructure(
+      "a -> c : [0,1] day\n"
+      "a -> b : [x,1] day\n",
+      *system_);
+  ASSERT_FALSE(bad_lo.ok());
+  EXPECT_NE(bad_lo.status().message().find("line 2"), std::string::npos)
+      << bad_lo.status();
+  EXPECT_NE(bad_lo.status().message().find("column 11"), std::string::npos)
+      << bad_lo.status();
+  EXPECT_NE(bad_lo.status().message().find("expected an integer"),
+            std::string::npos)
+      << bad_lo.status();
+
+  // Bad upper bound, with leading whitespace shifting the column.
+  auto bad_hi = ParseEventStructure("  a -> b : [0,?] day\n", *system_);
+  ASSERT_FALSE(bad_hi.ok());
+  EXPECT_NE(bad_hi.status().message().find("line 1, column 15"),
+            std::string::npos)
+      << bad_hi.status();
+
+  // Unknown granularity names point at the name, not the line start.
+  auto bad_gran = ParseEventStructure("a -> b : [0,1] years!\n", *system_);
+  ASSERT_FALSE(bad_gran.ok());
+  EXPECT_NE(bad_gran.status().message().find("line 1, column 16"),
+            std::string::npos)
+      << bad_gran.status();
+  EXPECT_NE(bad_gran.status().message().find("unknown granularity"),
+            std::string::npos)
+      << bad_gran.status();
+}
+
+TEST_F(TextFormatTest, SequenceErrorsCarryLineAndColumn) {
+  EventTypeRegistry registry;
+  auto bad = ParseEventSequence(
+      "3600 tick\n"
+      "1970-99-01 foo\n",
+      &registry);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2, column 1"),
+            std::string::npos)
+      << bad.status();
+}
+
 TEST_F(TextFormatTest, GranularityDefinitions) {
   auto system = GranularitySystem::Gregorian();
   // Every constructor once.
