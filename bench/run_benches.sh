@@ -14,11 +14,12 @@ set -euo pipefail
 usage() {
   cat <<'EOF'
 usage: bench/run_benches.sh [options] [bench_name...]
-  --build-dir DIR   build tree containing bench/ binaries (default: build)
-  --json FILE       merge per-bench JSON reports into FILE
-  --filter REGEX    forwarded as --benchmark_filter=REGEX
-  --min-time SECS   forwarded as --benchmark_min_time=SECS
-  bench_name...     run only these binaries (default: every bench_* present)
+  --build-dir DIR     build tree containing bench/ binaries (default: build)
+  --json FILE         merge per-bench JSON reports into FILE
+  --filter REGEX      forwarded as --benchmark_filter=REGEX
+  --min-time SECS     forwarded as --benchmark_min_time=SECS
+  --repetitions N     forwarded as --benchmark_repetitions=N
+  bench_name...       run only these binaries (default: every bench_* present)
 EOF
 }
 
@@ -26,6 +27,7 @@ build_dir=build
 json_out=""
 filter=""
 min_time=""
+repetitions=""
 benches=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -33,6 +35,7 @@ while [[ $# -gt 0 ]]; do
     --json) json_out=$2; shift 2 ;;
     --filter) filter=$2; shift 2 ;;
     --min-time) min_time=$2; shift 2 ;;
+    --repetitions) repetitions=$2; shift 2 ;;
     -h|--help) usage; exit 0 ;;
     --*) echo "unknown option: $1" >&2; usage >&2; exit 64 ;;
     *) benches+=("$1"); shift ;;
@@ -70,6 +73,7 @@ for name in "${benches[@]}"; do
   args=()
   [[ -n "$filter" ]] && args+=("--benchmark_filter=$filter")
   [[ -n "$min_time" ]] && args+=("--benchmark_min_time=$min_time")
+  [[ -n "$repetitions" ]] && args+=("--benchmark_repetitions=$repetitions")
   if [[ -n "$json_out" ]]; then
     args+=("--benchmark_out=$tmp_dir/$name.json" "--benchmark_out_format=json")
   fi
@@ -78,10 +82,25 @@ for name in "${benches[@]}"; do
 done
 
 if [[ -n "$json_out" ]]; then
+  # A binary whose filter matched nothing leaves an empty (or missing) report;
+  # merging it would produce invalid JSON, so those binaries are dropped from
+  # the merge with a warning instead of corrupting the whole file.
+  merged=()
+  for name in "${benches[@]}"; do
+    if [[ -s "$tmp_dir/$name.json" ]]; then
+      merged+=("$name")
+    else
+      echo "warning: $name produced no JSON report; leaving it out of $json_out" >&2
+    fi
+  done
+  if [[ ${#merged[@]} -eq 0 ]]; then
+    echo "no JSON reports to merge" >&2
+    exit 65
+  fi
   {
     printf '{'
     first=1
-    for name in "${benches[@]}"; do
+    for name in "${merged[@]}"; do
       [[ $first -eq 1 ]] || printf ','
       first=0
       printf '\n"%s":\n' "$name"

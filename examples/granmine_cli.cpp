@@ -9,7 +9,10 @@
 //                       --window SECS --slide SECS [--theta 0.5]
 //                       [--events FILE|-] [--types T1,T2,...]
 //                       [--pin VAR=TYPE]... [--tolerance SECS] [--threads N]
+//                       [--checkpoint-every N --checkpoint-path FILE]
 //                       [--metrics-out FILE] [--trace-out FILE]
+//   granmine_cli save    --out FILE [--structure S.txt] [--events E.txt]
+//   granmine_cli restore --snapshot FILE [--structure S.txt]
 //   granmine_cli check  --structure S.txt [--exact]
 //   granmine_cli dot    --structure S.txt [--tag]
 //   granmine_cli demo
@@ -26,6 +29,22 @@
 // seconds of watermark progress plus a final one at end of input. Because
 // a stream never reveals its full type universe up front, every non-root
 // variable needs a --pin or the shared --types list.
+//
+// `--checkpoint-every N --checkpoint-path FILE` makes `stream` write an
+// atomic session checkpoint (docs/persistence.md) after every N accepted
+// events. If FILE already exists at startup the session resumes from it
+// instead of starting cold — so a crashed run restarted with the same
+// command line picks up where the last checkpoint left off, provided the
+// input continues from where the previous run stopped (the natural pipe /
+// stdin shape; events re-fed from before the restored watermark are
+// rejected as late arrivals, they are never double-counted within the
+// tolerance horizon).
+//
+// `save` writes a versioned binary snapshot of the frozen granularity
+// family (plus, optionally, a parsed event file) so later runs can warm
+// start; `restore` proves the warm start: it rebuilds the same family,
+// installs the sealed caches from the snapshot without recomputing them,
+// and prints what it found.
 //
 // Every subcommand runs against one `Engine` (granmine/engine/engine.h)
 // owning the Gregorian granularity family: the shared engine flags
@@ -61,6 +80,7 @@
 #include "granmine/io/text_format.h"
 #include "granmine/mining/explain.h"
 #include "granmine/mining/miner.h"
+#include "granmine/persist/stream_codec.h"
 #include "granmine/stream/online_miner.h"
 #include "granmine/tag/builder.h"
 
@@ -80,7 +100,10 @@ int Usage() {
       "  granmine_cli stream --structure FILE --reference TYPE "
       "--window SECS --slide SECS [--theta C] [--events FILE|-] "
       "[--types T1,T2,...] [--pin VAR=TYPE]... [--tolerance SECS] "
-      "[--threads N] [--metrics-out FILE] [--trace-out FILE]\n"
+      "[--threads N] [--checkpoint-every N --checkpoint-path FILE] "
+      "[--metrics-out FILE] [--trace-out FILE]\n"
+      "  granmine_cli save    --out FILE [--structure FILE] [--events FILE]\n"
+      "  granmine_cli restore --snapshot FILE [--structure FILE]\n"
       "  granmine_cli check  --structure FILE [--exact]\n"
       "  granmine_cli dot    --structure FILE [--tag]\n"
       "  granmine_cli demo\n");
@@ -396,10 +419,32 @@ int RunStream(const CliArgs& args, Engine* engine) {
     return exit_code;
   }
 
-  auto miner = engine->OpenStream(request);
+  StreamCheckpointArgs checkpoint;
+  if (!Validated(ParseStreamCheckpoint(args), &checkpoint, &exit_code)) {
+    return exit_code;
+  }
+  // Crash-safe resume: an existing checkpoint file means a previous run got
+  // at least that far — restore it rather than starting cold. The restore
+  // validates the checkpoint against this command line's problem geometry
+  // (reference type, pins, window, tolerance) and refuses a mismatch.
+  bool resume = false;
+  if (checkpoint.every > 0) {
+    if (std::FILE* probe = std::fopen(checkpoint.path.c_str(), "rb");
+        probe != nullptr) {
+      std::fclose(probe);
+      resume = true;
+    }
+  }
+  auto miner = resume ? engine->RestoreStream(request, checkpoint.path)
+                      : engine->OpenStream(request);
   if (!miner.ok()) {
     std::fprintf(stderr, "stream: %s\n", miner.status().ToString().c_str());
     return 65;
+  }
+  if (resume) {
+    std::fprintf(stderr, "resumed from checkpoint '%s' (watermark %s)\n",
+                 checkpoint.path.c_str(),
+                 FormatTimePoint(miner->watermark()).c_str());
   }
 
   const std::string events_path =
@@ -419,6 +464,8 @@ int RunStream(const CliArgs& args, Engine* engine) {
   std::size_t line_number = 0;
   std::uint64_t dropped_late = 0;
   std::uint64_t snapshots_taken = 0;
+  std::uint64_t checkpoints_written = 0;
+  std::int64_t accepted_since_checkpoint = 0;
   TimePoint next_snapshot = kInfinity;  // armed by the first event
   while (std::getline(in, line)) {
     ++line_number;
@@ -439,6 +486,19 @@ int RunStream(const CliArgs& args, Engine* engine) {
         continue;
       }
       if (next_snapshot == kInfinity) next_snapshot = event.time + window.slide;
+      if (checkpoint.every > 0 && ++accepted_since_checkpoint >=
+                                      checkpoint.every) {
+        // Atomic temp-file-plus-rename: a crash mid-write leaves the previous
+        // checkpoint intact, never a torn file.
+        if (Status saved = persist::SaveStreamCheckpoint(*miner,
+                                                         checkpoint.path);
+            !saved.ok()) {
+          std::fprintf(stderr, "checkpoint: %s\n", saved.ToString().c_str());
+          return 74;
+        }
+        accepted_since_checkpoint = 0;
+        ++checkpoints_written;
+      }
     }
     while (miner->watermark() >= next_snapshot) {
       auto report = miner->Snapshot();
@@ -452,6 +512,18 @@ int RunStream(const CliArgs& args, Engine* engine) {
       ++snapshots_taken;
       next_snapshot += window.slide;
     }
+  }
+
+  // Flush a final checkpoint on clean end of input (before Seal, so the
+  // saved session is still resumable): a graceful shutdown loses nothing;
+  // only a crash can lose the events accepted since the last checkpoint.
+  if (checkpoint.every > 0 && accepted_since_checkpoint > 0) {
+    if (Status saved = persist::SaveStreamCheckpoint(*miner, checkpoint.path);
+        !saved.ok()) {
+      std::fprintf(stderr, "checkpoint: %s\n", saved.ToString().c_str());
+      return 74;
+    }
+    ++checkpoints_written;
   }
 
   miner->Seal();
@@ -471,14 +543,15 @@ int RunStream(const CliArgs& args, Engine* engine) {
   // stderr for the same reason as `mine`: stdout is diffed across --threads.
   std::fprintf(stderr,
                "stats: stop-cause %s, elapsed %.2f ms, snapshots %llu, "
-               "late drops %llu\n",
+               "late drops %llu, checkpoints %llu\n",
                std::string(StopCauseToString(report->completeness.stop))
                    .c_str(),
                std::chrono::duration<double, std::milli>(
                    std::chrono::steady_clock::now() - wall_start)
                    .count(),
                static_cast<unsigned long long>(snapshots_taken + 1),
-               static_cast<unsigned long long>(dropped_late));
+               static_cast<unsigned long long>(dropped_late),
+               static_cast<unsigned long long>(checkpoints_written));
   return 0;
 }
 
@@ -565,6 +638,96 @@ int RunDot(const CliArgs& args, Engine* engine) {
   } else {
     std::fputs(EventStructureToDot(*structure).c_str(), stdout);
   }
+  return 0;
+}
+
+int RunSave(const CliArgs& args, Engine* engine) {
+  int exit_code = 0;
+  std::string out;
+  if (!Validated(ParseOutputPath("out", args.flags.at("out")), &out,
+                 &exit_code)) {
+    return exit_code;
+  }
+  if (args.flags.count("structure")) {
+    auto text = ReadFileToString(args.flags.at("structure"));
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 66;
+    }
+    // Parsed for its granularity definitions only: they extend the family
+    // the snapshot freezes, so a later `restore` of the same structure file
+    // reconstructs an identical family.
+    auto structure = ParseEventStructure(*text, engine->system());
+    if (!structure.ok()) {
+      std::fprintf(stderr, "structure: %s\n",
+                   structure.status().ToString().c_str());
+      return 65;
+    }
+  }
+  EventTypeRegistry registry;
+  std::optional<EventSequence> sequence;
+  if (args.flags.count("events")) {
+    auto text = ReadFileToString(args.flags.at("events"));
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 66;
+    }
+    auto parsed = ParseEventSequence(*text, &registry);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "events: %s\n", parsed.status().ToString().c_str());
+      return 65;
+    }
+    sequence = std::move(*parsed);
+  }
+  SnapshotSaveOptions options;
+  if (sequence.has_value()) options.sequence = &*sequence;
+  if (Status status = engine->SaveSnapshot(out, options); !status.ok()) {
+    std::fprintf(stderr, "save: %s\n", status.ToString().c_str());
+    return 74;
+  }
+  std::printf("snapshot written to %s: frozen family of %zu granularities",
+              out.c_str(), engine->system()->family().size());
+  if (sequence.has_value()) {
+    std::printf(", %zu events", sequence->size());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int RunRestore(const CliArgs& args, const EngineOptions& engine_options) {
+  // The warm-start contract (docs/persistence.md): rebuild the *same* family
+  // definitions, then install the sealed caches from the snapshot instead of
+  // recomputing them. FromSnapshot refuses a snapshot whose image disagrees
+  // with the family built here.
+  std::unique_ptr<GranularitySystem> system = GranularitySystem::Gregorian();
+  if (args.flags.count("structure")) {
+    auto text = ReadFileToString(args.flags.at("structure"));
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 66;
+    }
+    auto structure = ParseEventStructure(*text, system.get());
+    if (!structure.ok()) {
+      std::fprintf(stderr, "structure: %s\n",
+                   structure.status().ToString().c_str());
+      return 65;
+    }
+  }
+  EventSequence sequence;
+  auto engine = Engine::FromSnapshot(std::move(system),
+                                     args.flags.at("snapshot"), engine_options,
+                                     &sequence);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "restore: %s\n", engine.status().ToString().c_str());
+    return engine.status().code() == StatusCode::kNotFound ? 66 : 65;
+  }
+  std::printf("warm start OK: family of %zu granularities restored "
+              "pre-frozen (no table recomputation)",
+              (*engine)->system()->family().size());
+  if (sequence.size() > 0) {
+    std::printf(", %zu stored events", sequence.size());
+  }
+  std::printf("\n");
   return 0;
 }
 
@@ -664,6 +827,10 @@ int main(int argc, char** argv) {
   } else if (args->command == "stream" && need("structure") &&
              need("reference") && need("window") && need("slide")) {
     code = RunStream(*args, engine->get());
+  } else if (args->command == "save" && need("out")) {
+    code = RunSave(*args, engine->get());
+  } else if (args->command == "restore" && need("snapshot")) {
+    code = RunRestore(*args, engine_options);
   } else if (args->command == "check" && need("structure")) {
     code = RunCheck(*args, engine->get());
   } else if (args->command == "dot" && need("structure")) {

@@ -8,6 +8,10 @@
 
 namespace granmine {
 
+namespace persist {
+class StreamSessionCodec;
+}
+
 /// Tracks the out-of-order frontier of a live event stream.
 ///
 /// With bounded disorder `tolerance`, every event is promised to arrive
@@ -64,6 +68,10 @@ class WatermarkTracker {
   bool sealed() const { return sealed_; }
 
  private:
+  /// Checkpoint/restore (persist/stream_codec.cc): serializes max_seen_,
+  /// any_, sealed_; tolerance_/retention_ are reconstructed from options.
+  friend class persist::StreamSessionCodec;
+
   const std::int64_t tolerance_;
   const std::int64_t retention_;
   TimePoint max_seen_ = -kInfinity;

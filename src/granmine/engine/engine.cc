@@ -5,6 +5,11 @@
 #include <utility>
 
 #include "granmine/common/check.h"
+#include "granmine/obs/obs.h"
+#include "granmine/persist/bytes.h"
+#include "granmine/persist/codecs.h"
+#include "granmine/persist/snapshot.h"
+#include "granmine/persist/stream_codec.h"
 
 namespace granmine {
 
@@ -159,7 +164,7 @@ Result<MatchResponse> Engine::Match(const MatchRequest& request) {
   return response;
 }
 
-Result<OnlineMiner> Engine::OpenStream(const StreamRequest& request) {
+Result<OnlineMinerOptions> Engine::AdmitStream(const StreamRequest& request) {
   if (request.problem == nullptr) {
     return Status::Invalid("StreamRequest needs a problem");
   }
@@ -188,7 +193,83 @@ Result<OnlineMiner> Engine::OpenStream(const StreamRequest& request) {
       }
     }
   }
+  return options;
+}
+
+Result<OnlineMiner> Engine::OpenStream(const StreamRequest& request) {
+  GM_ASSIGN_OR_RETURN(OnlineMinerOptions options, AdmitStream(request));
   return OnlineMiner::Create(system_.get(), *request.problem, options);
+}
+
+Result<OnlineMiner> Engine::RestoreStream(const StreamRequest& request,
+                                          const std::string& path) {
+  GM_ASSIGN_OR_RETURN(OnlineMinerOptions options, AdmitStream(request));
+  return persist::RestoreStreamCheckpoint(system_.get(), *request.problem,
+                                          options, path);
+}
+
+Status Engine::SaveSnapshot(const std::string& path,
+                            SnapshotSaveOptions options) {
+  GM_TRACE_SPAN("persist_save_snapshot");
+  GM_RETURN_NOT_OK(Freeze());
+  GM_ASSIGN_OR_RETURN(FrozenSystemImage image, system_->ExportFrozenImage());
+  GM_ASSIGN_OR_RETURN(std::unique_ptr<persist::AtomicFileSink> sink,
+                      persist::AtomicFileSink::Open(path));
+  persist::SnapshotWriter writer(sink.get(),
+                                 persist::SnapshotIoOptions{options.governor});
+  GM_RETURN_NOT_OK(writer.WriteHeader());
+  GM_RETURN_NOT_OK(writer.WriteSection(persist::SectionType::kFrozenSystemImage,
+                                       persist::EncodeFrozenSystemImage(image)));
+  if (options.sequence != nullptr) {
+    GM_RETURN_NOT_OK(
+        writer.WriteSection(persist::SectionType::kEventSequence,
+                            persist::EncodeEventSequence(*options.sequence)));
+  }
+  GM_RETURN_NOT_OK(writer.Finish());
+  GM_RETURN_NOT_OK(sink->Commit());
+  GM_COUNTER_ADD("granmine_persist_snapshots_saved_total", "", 1);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Engine>> Engine::FromSnapshot(
+    std::unique_ptr<GranularitySystem> system, const std::string& path,
+    EngineOptions options, EventSequence* sequence_out) {
+  GM_TRACE_SPAN("persist_warm_start");
+  if (system == nullptr) {
+    return Status::Invalid("Engine::FromSnapshot requires a granularity "
+                           "system");
+  }
+  GM_ASSIGN_OR_RETURN(std::unique_ptr<persist::FileSource> source,
+                      persist::FileSource::Open(path));
+  GM_ASSIGN_OR_RETURN(std::vector<persist::Section> sections,
+                      persist::ReadAllSections(source.get()));
+  const persist::Section* image_section = nullptr;
+  const persist::Section* sequence_section = nullptr;
+  for (const persist::Section& section : sections) {
+    if (section.type == persist::SectionType::kFrozenSystemImage &&
+        image_section == nullptr) {
+      image_section = &section;
+    }
+    if (section.type == persist::SectionType::kEventSequence &&
+        sequence_section == nullptr) {
+      sequence_section = &section;
+    }
+  }
+  if (image_section == nullptr) {
+    return Status::Invalid("snapshot '" + path +
+                           "' carries no frozen-system image");
+  }
+  GM_ASSIGN_OR_RETURN(FrozenSystemImage image,
+                      persist::DecodeFrozenSystemImage(*image_section));
+  GM_RETURN_NOT_OK(system->FreezeFromImage(image));
+  if (sequence_out != nullptr && sequence_section != nullptr) {
+    GM_ASSIGN_OR_RETURN(*sequence_out,
+                        persist::DecodeEventSequence(*sequence_section));
+  }
+  GM_COUNTER_ADD("granmine_persist_warm_starts_total", "", 1);
+  // The system arrives pre-frozen, so the engine's lazy Freeze (a call_once
+  // into GranularitySystem::Freeze, which is idempotent) is a no-op.
+  return Create(std::move(system), options);
 }
 
 namespace {

@@ -85,6 +85,16 @@ struct MatchResponse {
   std::uint64_t governor_steps = 0;
 };
 
+/// What `Engine::SaveSnapshot` writes beyond the frozen system image.
+struct SnapshotSaveOptions {
+  /// When set, the sequence is stored as a kEventSequence section so a
+  /// restored engine can resume batch work without re-parsing input.
+  const EventSequence* sequence = nullptr;
+  /// Charges the checkpoint I/O (steps per payload block + buffer memory)
+  /// and makes the write cancellable; may be null (ungoverned).
+  const ResourceGovernor* governor = nullptr;
+};
+
 /// One streaming session request. `problem` (and its structure) must outlive
 /// the returned OnlineMiner.
 struct StreamRequest {
@@ -156,6 +166,31 @@ class Engine {
   /// stream session owns per-session executor state).
   Result<OnlineMiner> OpenStream(const StreamRequest& request);
 
+  /// Writes a versioned binary snapshot (docs/persistence.md) of the frozen
+  /// family — and optionally an event sequence — to `path` through an
+  /// atomic temp-file-plus-rename, so a crash or cancellation mid-write
+  /// never leaves a partial file. Freezes on first use.
+  Status SaveSnapshot(const std::string& path,
+                      SnapshotSaveOptions options = {});
+
+  /// Warm start: builds an engine over `system` (same family definitions,
+  /// not yet frozen) whose freeze installs the sealed caches from the
+  /// snapshot at `path` instead of recomputing them. Refuses (Invalid) when
+  /// the snapshot does not match the family. `sequence_out`, when non-null,
+  /// receives the snapshot's event sequence if one was stored.
+  static Result<std::unique_ptr<Engine>> FromSnapshot(
+      std::unique_ptr<GranularitySystem> system, const std::string& path,
+      EngineOptions options = EngineOptions{},
+      EventSequence* sequence_out = nullptr);
+
+  /// Resumes a stream session from the checkpoint at `path`: admission and
+  /// option resolution as in OpenStream, then the session's dynamic state
+  /// is installed from the checkpoint (persist::RestoreStreamCheckpoint).
+  /// The restored session's snapshots are byte-identical to an
+  /// uninterrupted run over the same arrivals. Freezes on first use.
+  Result<OnlineMiner> RestoreStream(const StreamRequest& request,
+                                    const std::string& path);
+
   /// The governor factory: a fresh per-request governor for `limits`
   /// (default: the engine's), or nullptr when the resolved limits are
   /// all-zero — an ungoverned request needs no shared context at all.
@@ -188,6 +223,10 @@ class Engine {
 
  private:
   Engine(std::unique_ptr<GranularitySystem> system, EngineOptions options);
+
+  /// Shared by OpenStream/RestoreStream: resolves session options against
+  /// engine defaults and runs the stream-class admission probe.
+  Result<OnlineMinerOptions> AdmitStream(const StreamRequest& request);
 
   std::unique_ptr<GranularitySystem> system_;
   std::once_flag freeze_once_;

@@ -116,6 +116,35 @@ void SupportCoverageCache::Seal(
   sealed_ = true;
 }
 
+std::vector<bool> SupportCoverageCache::ExportSealedMatrix() const {
+  GM_CHECK(sealed_) << "ExportSealedMatrix on an unsealed coverage cache";
+  return sealed_matrix_;
+}
+
+Status SupportCoverageCache::SealFromMatrix(
+    const std::vector<const Granularity*>& family, std::vector<bool> matrix) {
+  if (sealed_) {
+    return Status::Internal("support coverage cache is already sealed");
+  }
+  const std::size_t n = family.size();
+  if (matrix.size() != n * n) {
+    return Status::Invalid("coverage-matrix image has " +
+                           std::to_string(matrix.size()) +
+                           " cells for a family of " + std::to_string(n));
+  }
+  for (std::size_t id = 0; id < n; ++id) {
+    if (family[id] == nullptr ||
+        family[id]->id() != static_cast<GranularityId>(id)) {
+      return Status::Invalid("family member " + std::to_string(id) +
+                             " is not id-indexed; cannot seal coverage");
+    }
+  }
+  sealed_family_ = family;
+  sealed_matrix_ = std::move(matrix);
+  sealed_ = true;
+  return Status::OK();
+}
+
 bool SupportCoverageCache::Covers(const Granularity& target,
                                   const Granularity& source) {
   if (sealed_) {

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "granmine/common/status.h"
 #include "granmine/granularity/granularity.h"
 
 namespace granmine {
@@ -59,6 +60,18 @@ class SupportCoverageCache {
   void Seal(const std::vector<const Granularity*>& family);
 
   bool sealed() const { return sealed_; }
+
+  /// The sealed id×id matrix as plain data, row-major target×source.
+  /// Requires sealed().
+  std::vector<bool> ExportSealedMatrix() const;
+
+  /// Seals directly from a previously exported matrix, skipping the pairwise
+  /// SupportCovers scans — the persist warm-start path. `family` as for
+  /// `Seal`; `matrix` must be family-size squared. Fails (leaving the cache
+  /// unsealed) on any shape mismatch; values are trusted, provenance is the
+  /// caller's job (`GranularitySystem::FreezeFromImage`).
+  Status SealFromMatrix(const std::vector<const Granularity*>& family,
+                        std::vector<bool> matrix);
 
  private:
   using Key = std::pair<const Granularity*, const Granularity*>;

@@ -45,6 +45,56 @@ void GranularityTables::Seal(const std::vector<const Granularity*>& family) {
   sealed_ = true;
 }
 
+std::vector<GranularityTables::SealedRow> GranularityTables::ExportSealedRows()
+    const {
+  GM_CHECK(sealed_) << "ExportSealedRows on unsealed tables";
+  std::vector<SealedRow> rows;
+  rows.reserve(sealed_entries_.size());
+  for (const SealedEntry& slot : sealed_entries_) {
+    rows.push_back(SealedRow{slot.minsize, slot.maxsize, slot.mingap});
+  }
+  return rows;
+}
+
+Status GranularityTables::SealFromRows(
+    const std::vector<const Granularity*>& family,
+    std::vector<SealedRow> rows) {
+  if (sealed_) {
+    return Status::Internal("granularity tables are already sealed");
+  }
+  if (rows.size() != family.size()) {
+    return Status::Invalid("sealed-table image has " +
+                           std::to_string(rows.size()) + " rows for a family "
+                           "of " + std::to_string(family.size()));
+  }
+  const std::size_t width = static_cast<std::size_t>(kSealedKCap) + 1;
+  for (std::size_t id = 0; id < family.size(); ++id) {
+    const Granularity* g = family[id];
+    if (g == nullptr || g->id() != static_cast<GranularityId>(id)) {
+      return Status::Invalid("family member " + std::to_string(id) +
+                             " is not id-indexed; cannot seal from rows");
+    }
+    const SealedRow& row = rows[id];
+    if (row.minsize.size() != width || row.maxsize.size() != width ||
+        row.mingap.size() != width) {
+      return Status::Invalid("sealed-table row for '" + g->name() +
+                             "' does not span k in [1, " +
+                             std::to_string(kSealedKCap) + "]");
+    }
+  }
+  sealed_entries_.clear();
+  sealed_entries_.resize(family.size());
+  for (std::size_t id = 0; id < family.size(); ++id) {
+    SealedEntry& slot = sealed_entries_[id];
+    slot.minsize = std::move(rows[id].minsize);
+    slot.maxsize = std::move(rows[id].maxsize);
+    slot.mingap = std::move(rows[id].mingap);
+    slot.gran = family[id];
+  }
+  sealed_ = true;
+  return Status::OK();
+}
+
 std::optional<std::optional<std::int64_t>> GranularityTables::SealedValue(
     Table table, const Granularity& g, std::int64_t k) const {
   if (!sealed_ || k < 1 || k > kSealedKCap) return std::nullopt;

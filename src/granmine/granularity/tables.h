@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "granmine/common/status.h"
 #include "granmine/granularity/granularity.h"
 
 namespace granmine {
@@ -67,6 +68,34 @@ class GranularityTables {
 
   bool sealed() const { return sealed_; }
 
+  /// One granularity's sealed tables as plain data: `minsize[k]` etc. for k
+  /// in [1, kSealedKCap] (index 0 unused, all three sized kSealedKCap + 1),
+  /// `kSealedNoValue` marking "query answered nullopt". The unit of the
+  /// persist warm-start image (docs/persistence.md).
+  struct SealedRow {
+    std::vector<std::int64_t> minsize;
+    std::vector<std::int64_t> maxsize;
+    std::vector<std::int64_t> mingap;
+  };
+
+  /// Sentinel inside sealed rows/entries for "no value within the caps".
+  static constexpr std::int64_t kSealedNoValue =
+      std::numeric_limits<std::int64_t>::min();
+
+  /// The sealed tables as plain data, one row per id in id order.
+  /// Requires sealed().
+  std::vector<SealedRow> ExportSealedRows() const;
+
+  /// Seals directly from previously exported rows, skipping the per-k scans
+  /// — the persist warm-start path. `family` as for `Seal`; `rows` must
+  /// carry one entry per family member with all three tables sized
+  /// kSealedKCap + 1. Fails (leaving the tables unsealed, memo path intact)
+  /// on any shape mismatch. The values themselves are trusted; callers
+  /// establish provenance first (`GranularitySystem::FreezeFromImage`
+  /// recomputes small k as a spot-check).
+  Status SealFromRows(const std::vector<const Granularity*>& family,
+                      std::vector<SealedRow> rows);
+
   /// minsize(g, k); k >= 0 (0 yields 0).
   std::optional<std::int64_t> MinSize(const Granularity& g, std::int64_t k);
   /// maxsize(g, k); k >= 0 (0 yields 0).
@@ -112,9 +141,6 @@ class GranularityTables {
     std::vector<std::int64_t> maxsize;
     std::vector<std::int64_t> mingap;
   };
-
-  static constexpr std::int64_t kSealedNoValue =
-      std::numeric_limits<std::int64_t>::min();
 
   Entry& EntryFor(const Granularity& g);
   /// Memoized lookup/compute of one table value for k >= 1 (analytic paths

@@ -98,6 +98,46 @@ Result<double> ParseConfidence(const std::string& flag,
   return value;
 }
 
+Result<std::string> ParseOutputPath(const std::string& flag,
+                                    const std::string& text) {
+  if (text.empty()) {
+    return Status::Invalid("--" + flag + " expects a file path");
+  }
+  bool existed = false;
+  if (std::FILE* probe = std::fopen(text.c_str(), "rb"); probe != nullptr) {
+    existed = true;
+    std::fclose(probe);
+  }
+  // Append keeps an existing file's contents intact (a resumable checkpoint
+  // must survive its own validation).
+  std::FILE* probe = std::fopen(text.c_str(), "ab");
+  if (probe == nullptr) {
+    return Status::Invalid("--" + flag + ": cannot open '" + text +
+                           "' for writing");
+  }
+  std::fclose(probe);
+  if (!existed) std::remove(text.c_str());
+  return text;
+}
+
+Result<StreamCheckpointArgs> ParseStreamCheckpoint(const CliArgs& args) {
+  StreamCheckpointArgs checkpoint;
+  const auto every = args.flags.find("checkpoint-every");
+  const auto path = args.flags.find("checkpoint-path");
+  if (every == args.flags.end() && path == args.flags.end()) {
+    return checkpoint;
+  }
+  if (every == args.flags.end() || path == args.flags.end()) {
+    return Status::Invalid(
+        "--checkpoint-every and --checkpoint-path must be given together");
+  }
+  GM_ASSIGN_OR_RETURN(checkpoint.every,
+                      ParsePositiveInt("checkpoint-every", every->second));
+  GM_ASSIGN_OR_RETURN(checkpoint.path,
+                      ParseOutputPath("checkpoint-path", path->second));
+  return checkpoint;
+}
+
 Result<EngineFlags> ParseEngineFlags(const CliArgs& args) {
   return ParseEngineFlags(args, std::thread::hardware_concurrency());
 }
@@ -138,16 +178,12 @@ Result<EngineFlags> ParseEngineFlags(const CliArgs& args,
   }
   flags.degrade = args.degrade;
   if (auto it = args.flags.find("metrics-out"); it != args.flags.end()) {
-    if (it->second.empty()) {
-      return Status::Invalid("--metrics-out expects a file path");
-    }
-    flags.metrics_out = it->second;
+    GM_ASSIGN_OR_RETURN(flags.metrics_out,
+                        ParseOutputPath("metrics-out", it->second));
   }
   if (auto it = args.flags.find("trace-out"); it != args.flags.end()) {
-    if (it->second.empty()) {
-      return Status::Invalid("--trace-out expects a file path");
-    }
-    flags.trace_out = it->second;
+    GM_ASSIGN_OR_RETURN(flags.trace_out,
+                        ParseOutputPath("trace-out", it->second));
   }
   return flags;
 }

@@ -48,6 +48,25 @@ Result<std::int64_t> ParseNonNegativeInt(const std::string& flag,
 Result<double> ParseConfidence(const std::string& flag,
                                const std::string& text);
 
+/// An output-file flag value (`--metrics-out`, `--trace-out`,
+/// `--checkpoint-path`, `save --out`): must be non-empty and writable.
+/// Writability is probed by opening the path for append (a probe that had
+/// to create the file removes it again), so a bad directory or a permission
+/// problem surfaces at argument-parse time naming the flag and the
+/// offending path — not as a lost report at the end of a long run.
+Result<std::string> ParseOutputPath(const std::string& flag,
+                                    const std::string& text);
+
+/// Validated `granmine_cli stream` checkpoint cadence: `--checkpoint-every`
+/// (ingested events between checkpoints) and `--checkpoint-path` travel
+/// together; giving one without the other is an error.
+struct StreamCheckpointArgs {
+  std::int64_t every = 0;  ///< 0 = checkpointing disabled
+  std::string path;
+};
+
+Result<StreamCheckpointArgs> ParseStreamCheckpoint(const CliArgs& args);
+
 /// The engine-wide flags shared by every subcommand — `--threads`,
 /// `--deadline-ms`, `--mem-budget-mb`, `--max-queue`, `--degrade`,
 /// `--metrics-out`, `--trace-out` — validated once by `ParseEngineFlags`

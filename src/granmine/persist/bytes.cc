@@ -1,0 +1,93 @@
+#include "granmine/persist/bytes.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace granmine::persist {
+
+Result<std::unique_ptr<FileSource>> FileSource::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open snapshot '" + path + "' for reading");
+  }
+  return std::unique_ptr<FileSource>(new FileSource(file, path));
+}
+
+FileSource::~FileSource() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileSource::Read(std::span<std::uint8_t> out, std::size_t* read) {
+  if (out.empty()) {
+    *read = 0;
+    return Status::OK();
+  }
+  *read = std::fread(out.data(), 1, out.size(), file_);
+  offset_ += *read;
+  if (*read < out.size() && std::ferror(file_) != 0) {
+    return Status::Internal("read error in '" + path_ + "' at byte offset " +
+                            std::to_string(offset_));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<AtomicFileSink>> AtomicFileSink::Open(
+    const std::string& path) {
+  std::string temp_path = path + ".tmp";
+  std::FILE* file = std::fopen(temp_path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Internal("cannot create snapshot temp file '" + temp_path +
+                            "'");
+  }
+  return std::unique_ptr<AtomicFileSink>(
+      new AtomicFileSink(file, path, std::move(temp_path)));
+}
+
+AtomicFileSink::~AtomicFileSink() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  // An uncommitted sink abandons its temp file so a cancelled or failed
+  // checkpoint leaves the previous snapshot at `path_` untouched and no
+  // partial bytes behind.
+  if (!committed_) std::remove(temp_path_.c_str());
+}
+
+Status AtomicFileSink::Append(std::span<const std::uint8_t> data) {
+  if (file_ == nullptr) {
+    return Status::Internal("snapshot sink for '" + path_ + "' is closed");
+  }
+  if (data.empty()) return Status::OK();
+  if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+    return Status::Internal("write error on snapshot temp file '" +
+                            temp_path_ + "' at byte offset " +
+                            std::to_string(bytes_written_));
+  }
+  bytes_written_ += data.size();
+  return Status::OK();
+}
+
+Status AtomicFileSink::Commit() {
+  if (file_ == nullptr) {
+    return Status::Internal("snapshot sink for '" + path_ +
+                            "' already committed or closed");
+  }
+  const bool flushed = std::fflush(file_) == 0;
+  const bool closed = std::fclose(file_) == 0;
+  file_ = nullptr;
+  if (!flushed || !closed) {
+    std::remove(temp_path_.c_str());
+    return Status::Internal("cannot flush snapshot temp file '" + temp_path_ +
+                            "'");
+  }
+  if (std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+    std::remove(temp_path_.c_str());
+    return Status::Internal("cannot rename '" + temp_path_ + "' over '" +
+                            path_ + "'");
+  }
+  committed_ = true;
+  return Status::OK();
+}
+
+}  // namespace granmine::persist

@@ -1,0 +1,30 @@
+#ifndef GRANMINE_PERSIST_CODECS_H_
+#define GRANMINE_PERSIST_CODECS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "granmine/common/result.h"
+#include "granmine/granularity/system.h"
+#include "granmine/persist/snapshot.h"
+#include "granmine/sequence/sequence.h"
+
+namespace granmine::persist {
+
+/// Section codecs for the kFrozenSystemImage and kEventSequence payloads
+/// (docs/persistence.md). Encoders produce a payload for
+/// SnapshotWriter::WriteSection; decoders consume a CRC-verified Section and
+/// report corruption with absolute byte offsets via the Decoder contract.
+/// Decoding validates structure only — matching a frozen image against a
+/// live family is `GranularitySystem::FreezeFromImage`'s job.
+
+std::vector<std::uint8_t> EncodeEventSequence(const EventSequence& sequence);
+Result<EventSequence> DecodeEventSequence(const Section& section);
+
+std::vector<std::uint8_t> EncodeFrozenSystemImage(
+    const FrozenSystemImage& image);
+Result<FrozenSystemImage> DecodeFrozenSystemImage(const Section& section);
+
+}  // namespace granmine::persist
+
+#endif  // GRANMINE_PERSIST_CODECS_H_

@@ -1,0 +1,35 @@
+#include "granmine/persist/crc32c.h"
+
+#include <array>
+
+namespace granmine::persist {
+
+namespace {
+
+// Reflected CRC-32C table, generated once at static-init time from the
+// reversed Castagnoli polynomial.
+std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) != 0 ? 0x82F63B78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t ExtendCrc32c(std::uint32_t crc,
+                           std::span<const std::uint8_t> data) {
+  static const std::array<std::uint32_t, 256> kTable = MakeTable();
+  crc = ~crc;
+  for (std::uint8_t byte : data) {
+    crc = kTable[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace granmine::persist

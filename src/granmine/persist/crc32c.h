@@ -1,0 +1,30 @@
+#ifndef GRANMINE_PERSIST_CRC32C_H_
+#define GRANMINE_PERSIST_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace granmine::persist {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+/// checksum the snapshot format frames every section with. Software
+/// slice-by-one implementation: section payloads are small relative to the
+/// scans they cache, so portability beats SSE4.2 here. Detects all
+/// single-bit and all burst errors up to 32 bits, which the snapshot fuzz
+/// suite leans on.
+///
+/// `Extend(crc, data)` continues a running checksum (start from
+/// `kCrc32cInit`, i.e. 0); `Crc32c(data)` is the one-shot form.
+inline constexpr std::uint32_t kCrc32cInit = 0;
+
+std::uint32_t ExtendCrc32c(std::uint32_t crc,
+                           std::span<const std::uint8_t> data);
+
+inline std::uint32_t Crc32c(std::span<const std::uint8_t> data) {
+  return ExtendCrc32c(kCrc32cInit, data);
+}
+
+}  // namespace granmine::persist
+
+#endif  // GRANMINE_PERSIST_CRC32C_H_

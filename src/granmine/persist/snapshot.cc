@@ -1,0 +1,328 @@
+#include "granmine/persist/snapshot.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "granmine/obs/obs.h"
+#include "granmine/persist/crc32c.h"
+
+namespace granmine::persist {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 8 + 4 + 4;
+constexpr std::size_t kFrameBytes = 4 + 4 + 8 + 4;
+/// Truncated-input reads grow the payload buffer in bounded slices so a
+/// bit-flipped length field can never trigger one huge allocation before the
+/// missing bytes are noticed.
+constexpr std::size_t kReadChunk = std::size_t{1} << 20;
+
+void AppendLeU32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void AppendLeU64(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t LoadLeU32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+std::uint64_t LoadLeU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+/// Charges `bytes` of checkpoint I/O against the governor as steps (one per
+/// kGovernedBytesPerStep, accumulated so small sections still add up).
+/// Returns the refusal cause, kNone to continue.
+StopCause ChargeIo(GovernorTicket* ticket, std::uint64_t* charged,
+                   std::uint64_t bytes) {
+  *charged += bytes;
+  while (*charged >= kGovernedBytesPerStep) {
+    *charged -= kGovernedBytesPerStep;
+    if (StopCause cause = ticket->Charge(*charged); cause != StopCause::kNone) {
+      return cause;
+    }
+  }
+  return StopCause::kNone;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SnapshotWriter
+
+SnapshotWriter::SnapshotWriter(ByteSink* sink, SnapshotIoOptions options)
+    : sink_(sink),
+      options_(options),
+      ticket_(options.governor, GovernorScope::kGeneral) {}
+
+Status SnapshotWriter::WriteHeader() {
+  if (header_written_) {
+    return Status::Internal("snapshot header already written");
+  }
+  std::vector<std::uint8_t> header;
+  header.insert(header.end(), std::begin(kSnapshotMagic),
+                std::end(kSnapshotMagic));
+  AppendLeU32(&header, kSnapshotFormatVersion);
+  AppendLeU32(&header, 0);  // reserved
+  GM_RETURN_NOT_OK(sink_->Append(header));
+  header_written_ = true;
+  return Status::OK();
+}
+
+Status SnapshotWriter::WriteSection(SectionType type,
+                                    std::span<const std::uint8_t> payload) {
+  if (!header_written_ || finished_) {
+    return Status::Internal("snapshot section written outside header/finish");
+  }
+  GM_TRACE_SPAN("persist_write_section");
+  if (StopCause cause =
+          ChargeIo(&ticket_, &charged_bytes_, kFrameBytes + payload.size());
+      cause != StopCause::kNone) {
+    return StopCauseToStatus(cause, "snapshot write");
+  }
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kFrameBytes);
+  AppendLeU32(&frame, static_cast<std::uint32_t>(type));
+  AppendLeU32(&frame, 0);  // reserved
+  AppendLeU64(&frame, payload.size());
+  // The CRC covers the frame fields above AND the payload, so a flipped
+  // length or type is caught before the reader trusts either.
+  std::uint32_t crc = ExtendCrc32c(kCrc32cInit, frame);
+  crc = ExtendCrc32c(crc, payload);
+  AppendLeU32(&frame, crc);
+  GM_RETURN_NOT_OK(sink_->Append(frame));
+  GM_RETURN_NOT_OK(sink_->Append(payload));
+  ++sections_written_;
+  GM_COUNTER_ADD("granmine_persist_sections_written_total", "", 1);
+  GM_COUNTER_ADD("granmine_persist_bytes_written_total", "",
+                 kFrameBytes + payload.size());
+  return Status::OK();
+}
+
+Status SnapshotWriter::Finish() {
+  GM_RETURN_NOT_OK(WriteSection(SectionType::kEnd, {}));
+  --sections_written_;  // the trailer is framing, not content
+  finished_ = true;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotReader
+
+SnapshotReader::SnapshotReader(ByteSource* source, SnapshotIoOptions options)
+    : source_(source),
+      options_(options),
+      ticket_(options.governor, GovernorScope::kGeneral) {}
+
+Status SnapshotReader::ReadExact(std::span<std::uint8_t> out,
+                                 const char* what) {
+  std::size_t total = 0;
+  while (total < out.size()) {
+    std::size_t n = 0;
+    GM_RETURN_NOT_OK(source_->Read(out.subspan(total), &n));
+    if (n == 0) {
+      return Status::Invalid(
+          "snapshot truncated reading " + std::string(what) +
+          " at byte offset " + std::to_string(source_->offset()));
+    }
+    total += n;
+  }
+  return Status::OK();
+}
+
+Status SnapshotReader::ReadHeader() {
+  if (header_read_) return Status::Internal("snapshot header already read");
+  std::uint8_t header[kHeaderBytes];
+  GM_RETURN_NOT_OK(ReadExact(header, "header"));
+  if (std::memcmp(header, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Status::Invalid(
+        "not a granmine snapshot (bad magic at byte offset 0)");
+  }
+  format_version_ = LoadLeU32(header + 8);
+  if (format_version_ != kSnapshotFormatVersion) {
+    return Status::Unsupported(
+        "snapshot format version " + std::to_string(format_version_) +
+        " is not supported (this build reads version " +
+        std::to_string(kSnapshotFormatVersion) + ")");
+  }
+  header_read_ = true;
+  return Status::OK();
+}
+
+Result<Section> SnapshotReader::Next() {
+  if (!header_read_) return Status::Internal("snapshot header not read");
+  if (done_) return Status::Internal("snapshot already fully read");
+  GM_TRACE_SPAN("persist_read_section");
+  const std::uint64_t frame_offset = source_->offset();
+  std::uint8_t frame[kFrameBytes];
+  GM_RETURN_NOT_OK(ReadExact(frame, "section frame"));
+  const std::uint32_t type = LoadLeU32(frame);
+  const std::uint64_t length = LoadLeU64(frame + 8);
+  const std::uint32_t stored_crc = LoadLeU32(frame + 16);
+
+  Section section;
+  section.type = static_cast<SectionType>(type);
+  section.payload_offset = source_->offset();
+  if (StopCause cause = ChargeIo(&ticket_, &charged_bytes_, kFrameBytes);
+      cause != StopCause::kNone) {
+    return StopCauseToStatus(cause, "snapshot read");
+  }
+  if (options_.governor != nullptr && length > 0) {
+    // A corrupted length can demand gigabytes; charge it against the memory
+    // budget *before* the buffer grows so the refusal is a clean Status.
+    if (StopCause cause = options_.governor->ChargeMemory(
+            GovernorScope::kGeneral, charged_bytes_, length);
+        cause != StopCause::kNone) {
+      return StopCauseToStatus(cause, "snapshot section buffer");
+    }
+  }
+  // The length field is untrusted until the CRC passes, so I/O is charged
+  // chunk by chunk as bytes actually arrive — never upfront from `length`,
+  // which a bit flip can inflate to exabytes.
+  Status read_status = Status::OK();
+  std::uint64_t remaining = length;
+  while (remaining > 0) {
+    const std::size_t chunk =
+        static_cast<std::size_t>(std::min<std::uint64_t>(remaining, kReadChunk));
+    if (StopCause cause = ChargeIo(&ticket_, &charged_bytes_, chunk);
+        cause != StopCause::kNone) {
+      read_status = StopCauseToStatus(cause, "snapshot read");
+      break;
+    }
+    const std::size_t old = section.payload.size();
+    section.payload.resize(old + chunk);
+    read_status = ReadExact(
+        std::span<std::uint8_t>(section.payload).subspan(old), "section payload");
+    if (!read_status.ok()) break;
+    remaining -= chunk;
+  }
+  if (options_.governor != nullptr && length > 0) {
+    options_.governor->ReleaseMemory(length);
+  }
+  GM_RETURN_NOT_OK(read_status);
+
+  std::uint32_t crc = ExtendCrc32c(
+      kCrc32cInit, std::span<const std::uint8_t>(frame, kFrameBytes - 4));
+  crc = ExtendCrc32c(crc, section.payload);
+  if (crc != stored_crc) {
+    return Status::Invalid(
+        "snapshot section CRC mismatch (frame at byte offset " +
+        std::to_string(frame_offset) + ", payload length " +
+        std::to_string(length) + ")");
+  }
+  if (section.type == SectionType::kEnd) {
+    if (!section.payload.empty()) {
+      return Status::Invalid("snapshot trailer carries payload at byte offset " +
+                             std::to_string(section.payload_offset));
+    }
+    done_ = true;
+  }
+  GM_COUNTER_ADD("granmine_persist_sections_read_total", "", 1);
+  GM_COUNTER_ADD("granmine_persist_bytes_read_total", "",
+                 kFrameBytes + length);
+  return section;
+}
+
+Result<std::vector<Section>> ReadAllSections(ByteSource* source,
+                                             SnapshotIoOptions options) {
+  SnapshotReader reader(source, options);
+  GM_RETURN_NOT_OK(reader.ReadHeader());
+  std::vector<Section> sections;
+  while (!reader.done()) {
+    GM_ASSIGN_OR_RETURN(Section section, reader.Next());
+    if (section.type != SectionType::kEnd) {
+      sections.push_back(std::move(section));
+    }
+  }
+  return sections;
+}
+
+// ---------------------------------------------------------------------------
+// Encoder / Decoder
+
+void Encoder::PutU32(std::uint32_t v) { AppendLeU32(&buffer_, v); }
+void Encoder::PutU64(std::uint64_t v) { AppendLeU64(&buffer_, v); }
+
+void Encoder::PutString(std::string_view s) {
+  PutU32(static_cast<std::uint32_t>(s.size()));
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+Status Decoder::Corrupt(const std::string& detail) const {
+  return Status::Invalid("snapshot: " + detail + " at byte offset " +
+                         std::to_string(offset()));
+}
+
+Status Decoder::GetU8(const char* field, std::uint8_t* out) {
+  if (remaining() < 1) {
+    return Corrupt("truncated reading " + std::string(field));
+  }
+  *out = data_[pos_++];
+  return Status::OK();
+}
+
+Status Decoder::GetU32(const char* field, std::uint32_t* out) {
+  if (remaining() < 4) {
+    return Corrupt("truncated reading " + std::string(field));
+  }
+  *out = LoadLeU32(data_.data() + pos_);
+  pos_ += 4;
+  return Status::OK();
+}
+
+Status Decoder::GetU64(const char* field, std::uint64_t* out) {
+  if (remaining() < 8) {
+    return Corrupt("truncated reading " + std::string(field));
+  }
+  *out = LoadLeU64(data_.data() + pos_);
+  pos_ += 8;
+  return Status::OK();
+}
+
+Status Decoder::GetI64(const char* field, std::int64_t* out) {
+  std::uint64_t raw = 0;
+  GM_RETURN_NOT_OK(GetU64(field, &raw));
+  *out = static_cast<std::int64_t>(raw);
+  return Status::OK();
+}
+
+Status Decoder::GetI32(const char* field, std::int32_t* out) {
+  std::uint32_t raw = 0;
+  GM_RETURN_NOT_OK(GetU32(field, &raw));
+  *out = static_cast<std::int32_t>(raw);
+  return Status::OK();
+}
+
+Status Decoder::GetString(const char* field, std::string* out) {
+  std::uint32_t length = 0;
+  GM_RETURN_NOT_OK(GetU32(field, &length));
+  if (remaining() < length) {
+    return Corrupt("truncated reading " + std::string(field) + " (" +
+                   std::to_string(length) + " bytes declared, " +
+                   std::to_string(remaining()) + " available)");
+  }
+  out->assign(reinterpret_cast<const char*>(data_.data() + pos_), length);
+  pos_ += length;
+  return Status::OK();
+}
+
+Status Decoder::ExpectEnd(const char* what) const {
+  if (remaining() != 0) {
+    return Corrupt(std::to_string(remaining()) + " trailing byte(s) after " +
+                   std::string(what));
+  }
+  return Status::OK();
+}
+
+}  // namespace granmine::persist

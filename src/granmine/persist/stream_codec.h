@@ -1,0 +1,65 @@
+#ifndef GRANMINE_PERSIST_STREAM_CODEC_H_
+#define GRANMINE_PERSIST_STREAM_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "granmine/common/result.h"
+#include "granmine/persist/snapshot.h"
+#include "granmine/stream/online_miner.h"
+
+namespace granmine::persist {
+
+/// Serializes the *dynamic* state of an OnlineMiner session into the
+/// kStreamSession section and installs it back into a freshly created miner
+/// (docs/persistence.md). The split mirrors OnlineMiner::Create: everything
+/// Create derives deterministically from (system, problem, options) —
+/// propagation, the skeleton TAG, per-candidate symbol maps — is rebuilt on
+/// restore; the codec carries only what the stream itself accumulated:
+///
+///  - the watermark frontier, reorder buffer, and late/shed counters;
+///  - the committed-group accounting (§5 event/root/reduction counts);
+///  - every resident root's runs: verdicts, batch-identical MatchStats, and
+///    the live TAG configuration frontiers, written in a canonical sorted
+///    order so the same state always encodes to the same bytes.
+///
+/// A fingerprint of the static configuration (tolerance, retention, budgets,
+/// root, type universe, reference type) is checked on restore, so a
+/// checkpoint cannot be installed into a session it did not come from.
+///
+/// This class is the single friend key into OnlineMiner, StreamIngestor,
+/// WatermarkTracker, and IncrementalMatcher.
+class StreamSessionCodec {
+ public:
+  static std::vector<std::uint8_t> Encode(const OnlineMiner& miner);
+
+  /// Installs a decoded session into `miner`, which must be freshly created
+  /// by OnlineMiner::Create with the same system/problem/options the
+  /// checkpoint was taken under. Invalid with byte offsets on corrupt
+  /// payloads and on fingerprint mismatches; `miner` must be discarded
+  /// after a failed install.
+  static Status Decode(const Section& section, OnlineMiner* miner);
+};
+
+/// Writes a complete checkpoint (header + kStreamSession + trailer) to
+/// `path` through an AtomicFileSink: the bytes appear under `path` only on
+/// success, so a crash or governor cancellation mid-write leaves any
+/// previous checkpoint untouched.
+Status SaveStreamCheckpoint(const OnlineMiner& miner, const std::string& path,
+                            SnapshotIoOptions io = {});
+
+/// Re-creates the session from `path`: runs OnlineMiner::Create on the
+/// given (system, problem, options) — which must match the checkpointed
+/// session — then installs the dynamic state. The restored miner's
+/// subsequent snapshots are byte-identical to an uninterrupted run over the
+/// same arrivals, at every thread count.
+Result<OnlineMiner> RestoreStreamCheckpoint(GranularitySystem* system,
+                                            const DiscoveryProblem& problem,
+                                            OnlineMinerOptions options,
+                                            const std::string& path,
+                                            SnapshotIoOptions io = {});
+
+}  // namespace granmine::persist
+
+#endif  // GRANMINE_PERSIST_STREAM_CODEC_H_

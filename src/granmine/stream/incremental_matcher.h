@@ -13,6 +13,10 @@
 
 namespace granmine {
 
+namespace persist {
+class StreamSessionCodec;
+}
+
 /// Verdict of one resident (root, candidate) run.
 enum class RunVerdict : std::uint8_t {
   kPending,   ///< frontier live; more groups may decide it
@@ -107,6 +111,10 @@ class IncrementalMatcher {
   std::size_t pending_runs() const;
 
  private:
+  /// Checkpoint/restore (persist/stream_codec.cc): serializes roots_ (the
+  /// only dynamic state); kernel/symbols/active are rebuilt by Create.
+  friend class persist::StreamSessionCodec;
+
   void Finalize(RootRuns* root);
 
   TagKernel kernel_;

@@ -12,6 +12,10 @@
 
 namespace granmine {
 
+namespace persist {
+class StreamSessionCodec;
+}
+
 struct IngestorOptions {
   /// Maximum out-of-order displacement: an arrival is accepted iff its
   /// timestamp is >= max_seen - tolerance. 0 = in-order streams only.
@@ -91,6 +95,10 @@ class StreamIngestor {
   std::size_t buffered_events() const { return events_.size() - head_; }
 
  private:
+  /// Checkpoint/restore (persist/stream_codec.cc): serializes the live
+  /// buffer, counters, and tracker frontier; options_ come from the caller.
+  friend class persist::StreamSessionCodec;
+
   std::size_t ReadyEnd() const;
   void Compact();
 

@@ -22,6 +22,10 @@
 
 namespace granmine {
 
+namespace persist {
+class StreamSessionCodec;
+}
+
 struct OnlineMinerOptions {
   /// Out-of-order tolerance of the input stream (see StreamIngestor).
   std::int64_t tolerance = 0;
@@ -142,6 +146,12 @@ class OnlineMiner {
   std::uint64_t candidates() const { return scan_total_; }
 
  private:
+  /// Checkpoint/restore (persist/stream_codec.cc): serializes the dynamic
+  /// state (ingestor buffer, core counters/groups, resident runs) against a
+  /// fingerprint of the static configuration; everything else is re-derived
+  /// by Create on restore.
+  friend class persist::StreamSessionCodec;
+
   /// Accounting for one committed equal-timestamp group, retained so
   /// eviction can retract exactly what the group contributed.
   struct GroupRecord {

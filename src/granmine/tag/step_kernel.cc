@@ -186,8 +186,22 @@ TagKernel::GroupOutcome TagKernel::AdvanceGroup(
   queue.clear();
   const bool anchoring = anchored && seeding;
   auto& frontier = run->frontier;
-  for (const TagConfig& config : frontier) {
-    GroupNode node{config, std::vector<int>(group_types.size(), 0),
+  // Seed the closure in canonical (state, resets) order, not hash-set
+  // iteration order: the accept early-exit below makes the reported stats a
+  // function of exploration order, so the order must be derivable from the
+  // frontier's *contents* alone — a checkpoint-restored run (same configs,
+  // different hash-table insertion history) has to explore identically to
+  // the uninterrupted one.
+  std::vector<const TagConfig*> seeds;
+  seeds.reserve(frontier.size());
+  for (const TagConfig& config : frontier) seeds.push_back(&config);
+  std::sort(seeds.begin(), seeds.end(),
+            [](const TagConfig* a, const TagConfig* b) {
+              if (a->state != b->state) return a->state < b->state;
+              return a->resets < b->resets;
+            });
+  for (const TagConfig* config : seeds) {
+    GroupNode node{*config, std::vector<int>(group_types.size(), 0),
                    anchoring};
     if (visited.insert(node).second) queue.push_back(std::move(node));
   }

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -210,6 +211,105 @@ TEST(ParseEngineFlagsTest, InvalidValuesNameTheFlag) {
   auto path_flags = ParseEngineFlags(*empty_path);
   ASSERT_FALSE(path_flags.ok());
   EXPECT_NE(path_flags.status().message().find("--metrics-out"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Path-taking flags share one validator (ParseOutputPath): the error names
+// both the flag and the offending path, an unwritable destination is caught
+// at parse time (not after hours of streaming), and probing a path that
+// already exists must not clobber its contents.
+
+TEST(ParseOutputPathTest, RejectsEmptyAndUnwritablePathsNamingBoth) {
+  auto empty = ParseOutputPath("checkpoint-path", "");
+  ASSERT_FALSE(empty.ok());
+  EXPECT_NE(empty.status().message().find("--checkpoint-path"),
+            std::string::npos);
+
+  const std::string unwritable = "/nonexistent-dir/ckpt.bin";
+  auto bad = ParseOutputPath("trace-out", unwritable);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("--trace-out"), std::string::npos);
+  EXPECT_NE(bad.status().message().find(unwritable), std::string::npos);
+}
+
+TEST(ParseOutputPathTest, ProbeNeitherClobbersNorLeavesFiles) {
+  const std::string fresh = testing::TempDir() + "granmine_cli_probe_fresh";
+  std::remove(fresh.c_str());
+  auto ok = ParseOutputPath("metrics-out", fresh);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, fresh);
+  // The writability probe must not leave an empty file behind: a later
+  // "checkpoint exists => resume" test would see phantom state.
+  EXPECT_EQ(std::fopen(fresh.c_str(), "rb"), nullptr);
+
+  const std::string existing = testing::TempDir() + "granmine_cli_probe_keep";
+  std::FILE* f = std::fopen(existing.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("checkpoint bytes", f);
+  std::fclose(f);
+  ASSERT_TRUE(ParseOutputPath("checkpoint-path", existing).ok());
+  f = std::fopen(existing.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buffer[32] = {};
+  EXPECT_EQ(std::fread(buffer, 1, sizeof(buffer), f), 16u);
+  EXPECT_EQ(std::string(buffer, 16), "checkpoint bytes");
+  std::fclose(f);
+  std::remove(existing.c_str());
+}
+
+TEST(ParseStreamCheckpointTest, AbsentFlagsMeanDisabled) {
+  auto args = Parse({"stream"});
+  ASSERT_TRUE(args.ok());
+  auto checkpoint = ParseStreamCheckpoint(*args);
+  ASSERT_TRUE(checkpoint.ok());
+  EXPECT_EQ(checkpoint->every, 0);
+  EXPECT_TRUE(checkpoint->path.empty());
+}
+
+TEST(ParseStreamCheckpointTest, FlagsMustComeAsAPair) {
+  auto every_only = Parse({"stream", "--checkpoint-every", "100"});
+  ASSERT_TRUE(every_only.ok());
+  auto missing_path = ParseStreamCheckpoint(*every_only);
+  ASSERT_FALSE(missing_path.ok());
+  EXPECT_NE(missing_path.status().message().find("--checkpoint-path"),
+            std::string::npos);
+
+  auto path_only = Parse({"stream", "--checkpoint-path", "/tmp/c.bin"});
+  ASSERT_TRUE(path_only.ok());
+  auto missing_every = ParseStreamCheckpoint(*path_only);
+  ASSERT_FALSE(missing_every.ok());
+  EXPECT_NE(missing_every.status().message().find("--checkpoint-every"),
+            std::string::npos);
+}
+
+TEST(ParseStreamCheckpointTest, ValidatesCadenceAndPath) {
+  const std::string path = testing::TempDir() + "granmine_cli_ckpt.bin";
+  std::remove(path.c_str());
+  auto good = Parse({"stream", "--checkpoint-every", "64",
+                     "--checkpoint-path", path.c_str()});
+  ASSERT_TRUE(good.ok());
+  auto checkpoint = ParseStreamCheckpoint(*good);
+  ASSERT_TRUE(checkpoint.ok()) << checkpoint.status();
+  EXPECT_EQ(checkpoint->every, 64);
+  EXPECT_EQ(checkpoint->path, path);
+
+  for (const char* cadence : {"0", "-3", "junk"}) {
+    auto bad = Parse({"stream", "--checkpoint-every", cadence,
+                      "--checkpoint-path", path.c_str()});
+    ASSERT_TRUE(bad.ok());
+    auto refused = ParseStreamCheckpoint(*bad);
+    ASSERT_FALSE(refused.ok()) << "cadence '" << cadence << "'";
+    EXPECT_NE(refused.status().message().find("--checkpoint-every"),
+              std::string::npos);
+  }
+
+  auto bad_path = Parse({"stream", "--checkpoint-every", "64",
+                         "--checkpoint-path", "/nonexistent-dir/c.bin"});
+  ASSERT_TRUE(bad_path.ok());
+  auto refused = ParseStreamCheckpoint(*bad_path);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_NE(refused.status().message().find("/nonexistent-dir/c.bin"),
             std::string::npos);
 }
 

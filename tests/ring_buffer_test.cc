@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -98,6 +100,61 @@ TEST(RingBufferTest, PopFrontReleasesOwnedResources) {
   buffer.pop_front();
   EXPECT_TRUE(watch.expired());
   EXPECT_EQ(*buffer.front(), 7);
+}
+
+// The persistence layer encodes the retention window by walking operator[]
+// from 0 to size(): a checkpoint taken after any interleaving of pushes,
+// pops, and regrowths must see the elements in logical insertion order.
+// Differential against std::deque under a deterministic LCG-driven schedule
+// that forces several Grow calls with a wrapped head.
+TEST(RingBufferTest, LogicalOrderSurvivesInterleavedGrowthDifferential) {
+  RingBuffer<int> buffer;
+  std::deque<int> reference;
+  std::uint64_t state = 0x2545f4914f6cdd1dULL;
+  int next = 0;
+  for (int step = 0; step < 4000; ++step) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    // Biased towards push so the buffer repeatedly reaches capacity (and
+    // grows) while head_ is mid-array from the pops.
+    if ((state >> 60) < 11 || reference.empty()) {
+      buffer.push_back(next);
+      reference.push_back(next);
+      ++next;
+    } else {
+      ASSERT_EQ(buffer.front(), reference.front()) << "step " << step;
+      buffer.pop_front();
+      reference.pop_front();
+    }
+  }
+  ASSERT_EQ(buffer.size(), reference.size());
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    ASSERT_EQ(buffer[i], reference[i]) << "logical index " << i;
+  }
+}
+
+// Consecutive regrowths, each triggered with a freshly wrapped head: every
+// doubling must relinearize the live range without losing logical order.
+TEST(RingBufferTest, RepeatedGrowthWithWrappedHeadKeepsOrder) {
+  RingBuffer<int> buffer;
+  int next = 0;
+  int retired = 0;
+  for (int round = 0; round < 6; ++round) {
+    // Retire a third of the live elements so head_ is mid-array, then push
+    // until the buffer must have regrown past its previous capacity.
+    const std::size_t before = buffer.size();
+    for (std::size_t i = 0; i < before / 3; ++i) {
+      ASSERT_EQ(buffer.front(), retired);
+      buffer.pop_front();
+      ++retired;
+    }
+    const std::size_t target = before * 2 + 8;
+    while (buffer.size() < target) buffer.push_back(next++);
+    ASSERT_EQ(buffer.size(), target);
+    for (std::size_t i = 0; i < buffer.size(); ++i) {
+      ASSERT_EQ(buffer[i], retired + static_cast<int>(i))
+          << "round " << round << " logical index " << i;
+    }
+  }
 }
 
 TEST(RingBufferTest, CopyPreservesLogicalOrder) {
