@@ -1,11 +1,13 @@
-// E12 — observability overhead. Claim (docs/observability.md): the metrics
-// and trace layer costs ≤ 2% wall time on the mining and streaming hot paths
-// when enabled, and exactly nothing when GRANMINE_OBS=OFF (the macros expand
-// to empty token sequences — see the static_asserts in tests/obs_test.cc).
-// Series: (a) the per-update primitives (counter add, histogram observe,
-// trace span) with the runtime switch off and on, (b) a full batch mining
-// run, (c) a full stream ingest/snapshot run — each at obs level 0 (runtime
-// off), 1 (metrics on), 2 (metrics + trace on).
+// E12/E16 — observability overhead. Claim (docs/observability.md): the
+// metrics/trace/log layer costs ≤ 2% wall time on the mining and streaming
+// hot paths when enabled, and exactly nothing when GRANMINE_OBS=OFF (the
+// macros expand to empty token sequences — see the static_asserts in
+// tests/obs_test.cc). Series: (a) the per-update primitives (counter add,
+// histogram observe, trace span, log line, request-scope install) with the
+// runtime switch off and on, (b) a full batch mining run, (c) a full stream
+// ingest/snapshot run — each at obs level 0 (runtime off), 1 (metrics on),
+// 2 (metrics + trace on), 3 (metrics + trace + structured log at the
+// default info level, flight recorder attached — the E16 configuration).
 
 #include <benchmark/benchmark.h>
 
@@ -17,6 +19,9 @@
 #include "granmine/granularity/system.h"
 #include "granmine/mining/miner.h"
 #include "granmine/obs/obs.h"
+#include "granmine/obs/context.h"
+#include "granmine/obs/flight_recorder.h"
+#include "granmine/obs/log.h"
 #include "granmine/obs/metrics.h"
 #include "granmine/obs/trace.h"
 #include "granmine/stream/online_miner.h"
@@ -33,7 +38,16 @@ GranularitySystem* UnitSystem() {
   return system;
 }
 
-// Applies an obs level: 0 = everything off, 1 = metrics, 2 = metrics+trace.
+// The flight recorder the level-3 series attaches (engine-shaped setup: the
+// recorder taps every record while the log serves the sink).
+obs::FlightRecorder* BenchRecorder() {
+  static obs::FlightRecorder* recorder = new obs::FlightRecorder();
+  return recorder;
+}
+
+// Applies an obs level: 0 = everything off, 1 = metrics, 2 = metrics+trace,
+// 3 = metrics+trace+structured log (info level, recorder attached, no sink —
+// the file write is the caller's I/O, not the instrumentation's cost).
 // Resets state so each series starts from empty shards and an empty trace.
 void ApplyObsLevel(std::int64_t level) {
   obs::MetricsRegistry::Global().set_enabled(false);
@@ -41,6 +55,11 @@ void ApplyObsLevel(std::int64_t level) {
   obs::MetricsRegistry::Global().set_enabled(level >= 1);
   obs::TraceCollector::Global().Clear();
   obs::TraceCollector::Global().set_enabled(level >= 2);
+  obs::EventLog::Global().ResetForTest();
+  if (level >= 3) {
+    obs::EventLog::Global().set_enabled(true);
+    obs::EventLog::Global().AttachRecorder(BenchRecorder());
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -74,6 +93,37 @@ void BM_ObsTraceSpan(benchmark::State& state) {
   ApplyObsLevel(0);
 }
 BENCHMARK(BM_ObsTraceSpan)->Arg(0)->Arg(1);
+
+// The logging path: 0 = inactive (the one relaxed load gating GM_LOG),
+// 1 = enabled with no sink (render + mutex + counters; the site's token
+// bucket admits the first burst then suppresses — the realistic steady
+// state of a looping log site), 2 = enabled with a flight recorder attached
+// (adds the ring append on every record).
+void BM_ObsLogLine(benchmark::State& state) {
+  ApplyObsLevel(0);
+  obs::EventLog& log = obs::EventLog::Global();
+  if (state.range(0) >= 1) log.set_enabled(true);
+  if (state.range(0) >= 2) log.AttachRecorder(BenchRecorder());
+  std::uint64_t value = 0;
+  for (auto _ : state) {
+    GM_LOG(::granmine::obs::LogLevel::kInfo, "bench", "bench line",
+           {"value", std::to_string(value & 0xff)});
+    ++value;
+    benchmark::DoNotOptimize(value);
+  }
+  ApplyObsLevel(0);
+}
+BENCHMARK(BM_ObsLogLine)->Arg(0)->Arg(1)->Arg(2);
+
+// Context propagation: the RequestScope install/restore pair every engine
+// entry point and every scan-chunk worker pays (two thread-local stores).
+void BM_ObsRequestScope(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::RequestScope scope(42);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsRequestScope);
 
 // ---------------------------------------------------------------------------
 // (b) Batch mining — the bench_parallel_mining-shaped workload.
@@ -129,6 +179,7 @@ BENCHMARK(BM_Mine_ObsOverhead)
     ->Arg(0)
     ->Arg(1)
     ->Arg(2)
+    ->Arg(3)
     ->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
@@ -193,6 +244,7 @@ BENCHMARK(BM_Stream_ObsOverhead)
     ->Arg(0)
     ->Arg(1)
     ->Arg(2)
+    ->Arg(3)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

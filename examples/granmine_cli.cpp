@@ -13,6 +13,7 @@
 //                       [--metrics-out FILE] [--trace-out FILE]
 //   granmine_cli save    --out FILE [--structure S.txt] [--events E.txt]
 //   granmine_cli restore --snapshot FILE [--structure S.txt]
+//   granmine_cli statusz --snapshot FILE
 //   granmine_cli check  --structure S.txt [--exact]
 //   granmine_cli dot    --structure S.txt [--tag]
 //   granmine_cli demo
@@ -57,7 +58,18 @@
 // exposition on exit; --trace-out enables span tracing and writes Chrome
 // trace_event JSON (open in https://ui.perfetto.dev). Both also print a
 // one-line `stats:` block on stderr (stderr so the stdout byte-diff contract
-// across --threads, docs/concurrency.md, is untouched). See
+// across --threads, docs/concurrency.md, is untouched).
+//
+// --log-out FILE routes every once-per-run diagnostic (the stats block, the
+// --threads clamp warning, PARTIAL summaries, flight-recorder dumps) through
+// the structured event log as JSON lines instead of the legacy stderr
+// rendering; --log-level debug|info|warn|error sets the minimum severity
+// (and enables the logger on its own, keeping stderr rendering).
+//
+// `statusz --snapshot FILE` warm-starts an engine from a snapshot and prints
+// its point-in-time status as one JSON object; `stream --statusz-every N`
+// emits the same JSON (plus a "stream" block with the live watermark /
+// retention / checkpoint lag) to stderr after every N accepted events. See
 // docs/observability.md.
 
 #include <algorithm>
@@ -96,14 +108,17 @@ int Usage() {
       "--reference TYPE [--confidence C] [--pin VAR=TYPE]... "
       "[--naive] [--threads N] [--deadline-ms N] [--mem-budget-mb N] "
       "[--max-queue N] [--degrade] [--on-budget abort|partial] "
-      "[--metrics-out FILE] [--trace-out FILE]\n"
+      "[--metrics-out FILE] [--trace-out FILE] [--log-out FILE] "
+      "[--log-level LVL]\n"
       "  granmine_cli stream --structure FILE --reference TYPE "
       "--window SECS --slide SECS [--theta C] [--events FILE|-] "
       "[--types T1,T2,...] [--pin VAR=TYPE]... [--tolerance SECS] "
       "[--threads N] [--checkpoint-every N --checkpoint-path FILE] "
-      "[--metrics-out FILE] [--trace-out FILE]\n"
+      "[--statusz-every N] [--metrics-out FILE] [--trace-out FILE] "
+      "[--log-out FILE] [--log-level LVL]\n"
       "  granmine_cli save    --out FILE [--structure FILE] [--events FILE]\n"
       "  granmine_cli restore --snapshot FILE [--structure FILE]\n"
+      "  granmine_cli statusz --snapshot FILE\n"
       "  granmine_cli check  --structure FILE [--exact]\n"
       "  granmine_cli dot    --structure FILE [--tag]\n"
       "  granmine_cli demo\n");
@@ -116,6 +131,28 @@ Result<std::string> ReadFileToString(const std::string& path) {
   std::ostringstream os;
   os << in.rdbuf();
   return os.str();
+}
+
+std::string FormatDouble2(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", value);
+  return buffer;
+}
+
+// Whether once-per-run diagnostics go to the JSON sink (--log-out) instead
+// of the legacy stderr rendering. The structured record is always emitted —
+// it feeds the engine's flight recorder either way; only the human copy is
+// conditional.
+bool MachineLog() { return obs::EventLog::Global().sink_open(); }
+
+// One once-per-run CLI diagnostic: a structured record (no rate limiting —
+// these fire at most once per run), plus the legacy stderr line when no
+// JSON sink is open. `legacy` carries its own trailing newline.
+void CliDiag(obs::LogLevel level, const char* message,
+             std::initializer_list<obs::LogField> fields,
+             const std::string& legacy) {
+  obs::EventLog::Global().Log(nullptr, level, "cli", message, fields);
+  if (!MachineLog()) std::fputs(legacy.c_str(), stderr);
 }
 
 // Shared flag validation; on error prints the message and returns the
@@ -246,14 +283,20 @@ int RunMine(const CliArgs& args, const EngineFlags& engine_flags,
     return 70;
   }
   const MiningReport& report = response->report;
-  // Diagnostics go to stderr: stdout must stay byte-identical across
-  // --threads (docs/concurrency.md), and wall-clock never is.
-  std::fprintf(stderr,
-               "stats: stop-cause %s, elapsed %.2f ms, governor steps %llu\n",
-               std::string(StopCauseToString(report.completeness.stop))
-                   .c_str(),
-               response->elapsed_ms,
-               static_cast<unsigned long long>(response->governor_steps));
+  // Diagnostics go to stderr (or the --log-out sink): stdout must stay
+  // byte-identical across --threads (docs/concurrency.md), and wall-clock
+  // never is.
+  {
+    const std::string stop =
+        std::string(StopCauseToString(report.completeness.stop));
+    const std::string elapsed = FormatDouble2(response->elapsed_ms);
+    const std::string steps = std::to_string(response->governor_steps);
+    CliDiag(obs::LogLevel::kInfo, "mine stats",
+            {{"stop_cause", stop}, {"elapsed_ms", elapsed},
+             {"governor_steps", steps}},
+            "stats: stop-cause " + stop + ", elapsed " + elapsed +
+                " ms, governor steps " + steps + "\n");
+  }
   std::printf("events %zu (%zu after reduction), reference occurrences %zu "
               "(%zu survive), candidates %llu -> %llu, TAG runs %llu\n",
               report.events_before, report.events_after_reduction,
@@ -268,6 +311,16 @@ int RunMine(const CliArgs& args, const EngineFlags& engine_flags,
   }
   const MiningCompleteness& completeness = report.completeness;
   if (!completeness.complete) {
+    // The structured copy of the PARTIAL summary rides alongside — never
+    // instead of — the stdout header: partial results must be visible in the
+    // report itself regardless of log routing (docs/robustness.md).
+    obs::EventLog::Global().Log(
+        nullptr, obs::LogLevel::kWarn, "cli", "partial result",
+        {{"stop_cause", std::string(StopCauseToString(completeness.stop))},
+         {"confirmed", std::to_string(completeness.confirmed)},
+         {"refuted", std::to_string(completeness.refuted)},
+         {"unknown", std::to_string(completeness.unknown)},
+         {"not_evaluated", std::to_string(completeness.not_evaluated)}});
     std::printf(
         "PARTIAL result (stopped by %s after %.2f ms, %llu step(s) "
         "charged): %llu confirmed, %llu refuted, %llu unknown, "
@@ -339,6 +392,30 @@ void PrintStreamSnapshot(const MiningReport& report, const std::string& label,
     }
     std::printf("\n");
   }
+}
+
+// Fills the "stream" block of a statusz snapshot from the live session:
+// the miner's retention telemetry plus the CLI-owned checkpoint cadence
+// counters (the miner does not know about checkpoints; the CLI drives them).
+StatuszStream StreamStatus(const OnlineMiner& miner,
+                           const StreamRequest& request,
+                           std::uint64_t checkpoints_written,
+                           std::int64_t accepted_since_checkpoint,
+                           bool checkpointing) {
+  StatuszStream status;
+  status.watermark = miner.watermark();
+  status.horizon = miner.horizon();
+  status.retention = request.options.retention;
+  status.tolerance = request.options.tolerance;
+  status.buffered_events = miner.buffered_events();
+  status.late_events = miner.late_events();
+  status.shed_events = miner.shed_events();
+  status.resident_roots = miner.resident_roots();
+  status.resident_configurations = miner.resident_configurations();
+  status.checkpoints_written = checkpoints_written;
+  status.events_since_checkpoint =
+      checkpointing ? accepted_since_checkpoint : -1;
+  return status;
 }
 
 int RunStream(const CliArgs& args, Engine* engine) {
@@ -423,6 +500,16 @@ int RunStream(const CliArgs& args, Engine* engine) {
   if (!Validated(ParseStreamCheckpoint(args), &checkpoint, &exit_code)) {
     return exit_code;
   }
+  // `--statusz-every N`: a point-in-time engine + session status JSON object
+  // on stderr after every N accepted events — stderr, like the stats block,
+  // so the stdout snapshot contract stays byte-diffable.
+  std::int64_t statusz_every = 0;
+  if (args.flags.count("statusz-every") &&
+      !Validated(
+          ParsePositiveInt("statusz-every", args.flags.at("statusz-every")),
+          &statusz_every, &exit_code)) {
+    return exit_code;
+  }
   // Crash-safe resume: an existing checkpoint file means a previous run got
   // at least that far — restore it rather than starting cold. The restore
   // validates the checkpoint against this command line's problem geometry
@@ -466,6 +553,7 @@ int RunStream(const CliArgs& args, Engine* engine) {
   std::uint64_t snapshots_taken = 0;
   std::uint64_t checkpoints_written = 0;
   std::int64_t accepted_since_checkpoint = 0;
+  std::int64_t accepted_since_statusz = 0;
   TimePoint next_snapshot = kInfinity;  // armed by the first event
   while (std::getline(in, line)) {
     ++line_number;
@@ -498,6 +586,15 @@ int RunStream(const CliArgs& args, Engine* engine) {
         }
         accepted_since_checkpoint = 0;
         ++checkpoints_written;
+      }
+      if (statusz_every > 0 && ++accepted_since_statusz >= statusz_every) {
+        accepted_since_statusz = 0;
+        const StatuszStream stream_status =
+            StreamStatus(*miner, request, checkpoints_written,
+                         accepted_since_checkpoint, checkpoint.every > 0);
+        std::fprintf(stderr, "%s\n",
+                     RenderStatuszJson(engine->Statusz(), &stream_status)
+                         .c_str());
       }
     }
     while (miner->watermark() >= next_snapshot) {
@@ -540,18 +637,26 @@ int RunStream(const CliArgs& args, Engine* engine) {
   std::printf("ingested %zu retained events, rejected %llu late arrival(s)\n",
               report->events_before,
               static_cast<unsigned long long>(dropped_late));
-  // stderr for the same reason as `mine`: stdout is diffed across --threads.
-  std::fprintf(stderr,
-               "stats: stop-cause %s, elapsed %.2f ms, snapshots %llu, "
-               "late drops %llu, checkpoints %llu\n",
-               std::string(StopCauseToString(report->completeness.stop))
-                   .c_str(),
-               std::chrono::duration<double, std::milli>(
-                   std::chrono::steady_clock::now() - wall_start)
-                   .count(),
-               static_cast<unsigned long long>(snapshots_taken + 1),
-               static_cast<unsigned long long>(dropped_late),
-               static_cast<unsigned long long>(checkpoints_written));
+  // stderr (or the --log-out sink) for the same reason as `mine`: stdout is
+  // diffed across --threads.
+  {
+    const std::string stop =
+        std::string(StopCauseToString(report->completeness.stop));
+    const std::string elapsed =
+        FormatDouble2(std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - wall_start)
+                          .count());
+    const std::string snapshots = std::to_string(snapshots_taken + 1);
+    const std::string late = std::to_string(dropped_late);
+    const std::string checkpoints = std::to_string(checkpoints_written);
+    CliDiag(obs::LogLevel::kInfo, "stream stats",
+            {{"stop_cause", stop}, {"elapsed_ms", elapsed},
+             {"snapshots", snapshots}, {"late_drops", late},
+             {"checkpoints", checkpoints}},
+            "stats: stop-cause " + stop + ", elapsed " + elapsed +
+                " ms, snapshots " + snapshots + ", late drops " + late +
+                ", checkpoints " + checkpoints + "\n");
+  }
   return 0;
 }
 
@@ -731,6 +836,22 @@ int RunRestore(const CliArgs& args, const EngineOptions& engine_options) {
   return 0;
 }
 
+int RunStatusz(const CliArgs& args, const EngineOptions& engine_options) {
+  // statusz renders a live engine's point-in-time status; standalone it
+  // warm-starts one from a family snapshot. (A stream checkpoint cannot be
+  // decoded without its problem geometry, so the live-session counterpart is
+  // `stream --statusz-every N`.)
+  auto engine = Engine::FromSnapshot(GranularitySystem::Gregorian(),
+                                     args.flags.at("snapshot"),
+                                     engine_options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "statusz: %s\n", engine.status().ToString().c_str());
+    return engine.status().code() == StatusCode::kNotFound ? 66 : 65;
+  }
+  std::printf("%s\n", RenderStatuszJson((*engine)->Statusz()).c_str());
+  return 0;
+}
+
 int RunDemo() {
   std::printf("writing demo files demo_structure.txt / demo_events.txt\n");
   {
@@ -801,6 +922,13 @@ int main(int argc, char** argv) {
       1024 * 1024;
   engine_options.enable_metrics = !engine_flags->metrics_out.empty();
   engine_options.enable_tracing = !engine_flags->trace_out.empty();
+  // --log-level alone enables the logger (stderr-rendered diagnostics keep
+  // their legacy form); --log-out additionally opens the JSON-lines sink.
+  engine_options.enable_logging =
+      engine_flags->log_level.has_value() || !engine_flags->log_out.empty();
+  engine_options.log_level =
+      engine_flags->log_level.value_or(obs::LogLevel::kInfo);
+  engine_options.log_path = engine_flags->log_out;
   // --max-queue or --degrade switch the admission controller on; a memory
   // or deadline stop then degrades to screening-only instead of failing the
   // run when --degrade is given (docs/robustness.md).
@@ -814,6 +942,14 @@ int main(int argc, char** argv) {
   if (!engine.ok()) {
     std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
     return 70;
+  }
+  // Deferred from the parser so it can route through the logger the engine
+  // just configured: recorded structurally always (the flight recorder sees
+  // it), rendered on stderr only when no JSON sink is open.
+  if (engine_flags->threads_clamp_warning.has_value()) {
+    CliDiag(obs::LogLevel::kWarn, "threads clamped",
+            {{"detail", *engine_flags->threads_clamp_warning}},
+            "warning: " + *engine_flags->threads_clamp_warning + "\n");
   }
   auto need = [&](const char* flag) {
     return args->flags.count(flag) > 0;
@@ -831,6 +967,8 @@ int main(int argc, char** argv) {
     code = RunSave(*args, engine->get());
   } else if (args->command == "restore" && need("snapshot")) {
     code = RunRestore(*args, engine_options);
+  } else if (args->command == "statusz" && need("snapshot")) {
+    code = RunStatusz(*args, engine_options);
   } else if (args->command == "check" && need("structure")) {
     code = RunCheck(*args, engine->get());
   } else if (args->command == "dot" && need("structure")) {

@@ -7,6 +7,13 @@
 namespace granmine {
 
 void NoteGovernorStop(StopCause cause) {
+  if (cause != StopCause::kNone) {
+    // Once per trip (the sticky-CAS winner calls here), so the structured
+    // log gets exactly one line per stopped request — tagged with the
+    // request id the tripping thread carries (obs/context.h).
+    GM_LOG(::granmine::obs::LogLevel::kWarn, "governor", "governor stop",
+           {"cause", std::string(StopCauseToString(cause))});
+  }
   switch (cause) {
     case StopCause::kNone:
       break;

@@ -272,6 +272,21 @@ class ResourceGovernor {
     return mem_peak_.load(std::memory_order_relaxed);
   }
 
+  /// The limits this governor was constructed with (statusz reports the
+  /// remaining budgets against them).
+  const GovernorLimits& limits() const { return limits_; }
+
+  /// Milliseconds of wall budget left; -1 when no deadline was set, 0 once
+  /// the deadline passed.
+  std::int64_t deadline_remaining_ms() const {
+    if (limits_.deadline_ms <= 0) return -1;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline_) return 0;
+    return std::chrono::duration_cast<std::chrono::milliseconds>(deadline_ -
+                                                                 now)
+        .count();
+  }
+
  private:
   void Trip(StopCause cause) const {
     int expected = static_cast<int>(StopCause::kNone);

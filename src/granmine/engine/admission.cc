@@ -109,6 +109,8 @@ Status AdmissionController::Shed(StopCause cause, const std::string& reason,
   shed_.fetch_add(1, std::memory_order_relaxed);
   RecordCause(cause);
   NoteShed(cause);
+  GM_LOG(::granmine::obs::LogLevel::kWarn, "admission", "request shed",
+         {"cause", std::string(StopCauseToString(cause))}, {"reason", reason});
   if (cause == StopCause::kCancelled) {
     return Status::Cancelled("admission: " + reason);
   }
@@ -144,6 +146,11 @@ double AdmissionController::ServiceP95Ms(RequestClass cls) const {
 std::size_t AdmissionController::queue_depth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return waiters_;
+}
+
+int AdmissionController::active_count(RequestClass cls) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_[static_cast<std::size_t>(cls)];
 }
 
 void AdmissionController::NoteDegraded() {

@@ -164,6 +164,8 @@ class AdmissionController {
   }
   /// Requests currently waiting for a slot.
   std::size_t queue_depth() const;
+  /// Requests of `cls` currently holding a slot (statusz).
+  int active_count(RequestClass cls) const;
 
   const AdmissionOptions& options() const { return options_; }
 

@@ -1,20 +1,27 @@
 #ifndef GRANMINE_ENGINE_ENGINE_H_
 #define GRANMINE_ENGINE_ENGINE_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "granmine/common/executor.h"
 #include "granmine/common/governor.h"
 #include "granmine/common/result.h"
 #include "granmine/engine/admission.h"
+#include "granmine/engine/statusz.h"
 #include "granmine/granularity/system.h"
 #include "granmine/mining/discovery.h"
 #include "granmine/mining/miner.h"
+#include "granmine/obs/flight_recorder.h"
+#include "granmine/obs/log.h"
 #include "granmine/obs/metrics.h"
 #include "granmine/obs/trace.h"
 #include "granmine/sequence/sequence.h"
@@ -39,6 +46,15 @@ struct EngineOptions {
   /// (they stay off otherwise; see docs/observability.md).
   bool enable_metrics = false;
   bool enable_tracing = false;
+  /// Structured event log (obs/log.h): turn the logger on at Create with
+  /// `log_level` as the minimum severity. Independently of this switch the
+  /// engine always attaches a flight recorder, which taps the record stream
+  /// before the level filter — a disabled logger just writes nothing.
+  bool enable_logging = false;
+  obs::LogLevel log_level = obs::LogLevel::kInfo;
+  /// JSON-lines sink path (CLI `--log-out`); empty = no sink. A non-empty
+  /// path implies `enable_logging`.
+  std::string log_path;
   /// Overload admission in front of the serving entry points
   /// (docs/robustness.md, "admission and degradation"). Disabled by default:
   /// every request is served unconditionally, exactly as before.
@@ -138,15 +154,14 @@ class Engine {
   static Result<std::unique_ptr<Engine>> CreateGregorian(
       EngineOptions options = EngineOptions{});
 
+  ~Engine();
+
   /// Ends the build phase (idempotent; implied by the first serve call).
   /// Safe to reach from concurrent first serve calls: GranularitySystem's
   /// own Freeze is a build-phase API with no internal locking, so the
-  /// engine funnels every freeze through one call_once.
-  Status Freeze() {
-    std::call_once(freeze_once_,
-                   [this] { freeze_status_ = system_->Freeze(); });
-    return freeze_status_;
-  }
+  /// engine funnels every freeze through one call_once. The winning call
+  /// records an `engine_freeze` span under its request's context.
+  Status Freeze();
 
   bool frozen() const { return system_->frozen(); }
 
@@ -221,12 +236,66 @@ class Engine {
   /// Chrome trace_event JSON of `trace()` to `path`.
   Status WriteTrace(const std::string& path) const;
 
+  /// Point-in-time serving snapshot (engine/statusz.h): admission occupancy,
+  /// every in-flight request with its id / elapsed time / remaining governor
+  /// budgets, the frozen-family summary, and the obs-layer totals. Safe from
+  /// any thread; render with RenderStatuszJson.
+  EngineStatusz Statusz() const;
+
+  /// Request ids minted so far (the next request gets this + 1).
+  std::uint64_t requests_minted() const {
+    return next_request_id_.load(std::memory_order_relaxed);
+  }
+
+  /// The engine's flight recorder — the last N structured-log events at all
+  /// severities (obs/flight_recorder.h). Always attached; exposed for tests
+  /// and post-mortem tooling.
+  obs::FlightRecorder* flight_recorder() const { return recorder_.get(); }
+
  private:
   Engine(std::unique_ptr<GranularitySystem> system, EngineOptions options);
 
+  /// One admitted request currently inside a serving entry point.
+  struct InflightRecord {
+    std::uint64_t id = 0;
+    RequestClass cls = RequestClass::kMine;
+    std::chrono::steady_clock::time_point start{};
+    const ResourceGovernor* governor = nullptr;
+  };
+
+  std::uint64_t MintRequestId() {
+    return next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  void BeginRequest(std::uint64_t id, RequestClass cls);
+  void SetRequestGovernor(std::uint64_t id, const ResourceGovernor* governor);
+  void EndRequest(std::uint64_t id);
+
+  /// RAII in-flight registration. Declare AFTER any owned governor so the
+  /// registry entry (which Statusz dereferences) is removed before the
+  /// governor dies.
+  struct InflightGuard {
+    InflightGuard(Engine* engine, std::uint64_t id, RequestClass cls)
+        : engine_(engine), id_(id) {
+      engine_->BeginRequest(id, cls);
+    }
+    ~InflightGuard() { engine_->EndRequest(id_); }
+    InflightGuard(const InflightGuard&) = delete;
+    InflightGuard& operator=(const InflightGuard&) = delete;
+    Engine* engine_;
+    std::uint64_t id_;
+  };
+
+  /// Dumps the flight recorder when a request ends badly: one raw JSON line
+  /// into the log sink when one is open, a human text block to stderr
+  /// otherwise. No-op while the logger is disabled.
+  void DumpFlightRecorder(std::string_view reason, std::string_view stop_cause,
+                          std::uint64_t request_id) const;
+
   /// Shared by OpenStream/RestoreStream: resolves session options against
-  /// engine defaults and runs the stream-class admission probe.
-  Result<OnlineMinerOptions> AdmitStream(const StreamRequest& request);
+  /// engine defaults (stamping `request_id` into them) and runs the
+  /// stream-class admission probe.
+  Result<OnlineMinerOptions> AdmitStream(const StreamRequest& request,
+                                         std::uint64_t request_id);
 
   std::unique_ptr<GranularitySystem> system_;
   std::once_flag freeze_once_;
@@ -237,6 +306,10 @@ class Engine {
   std::unique_ptr<AdmissionController> admission_;
   obs::MetricsRegistry* metrics_;
   obs::TraceCollector* trace_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+  std::atomic<std::uint64_t> next_request_id_{0};
+  mutable std::mutex inflight_mu_;
+  std::vector<InflightRecord> inflight_;  // guarded by inflight_mu_
 };
 
 }  // namespace granmine

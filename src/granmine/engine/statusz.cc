@@ -1,0 +1,167 @@
+#include "granmine/engine/statusz.h"
+
+#include <cstdio>
+
+#include "granmine/obs/log.h"
+
+namespace granmine {
+
+namespace {
+
+/// Fixed single-decimal rendering so exports are deterministic for a fixed
+/// snapshot (std::to_string(double) would print 6 decimals of noise).
+std::string FormatMs(double ms) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.1f", ms < 0 ? 0.0 : ms);
+  return buffer;
+}
+
+void AppendString(std::string& out, const char* key, std::string_view value) {
+  out += '"';
+  out += key;
+  out += "\":\"";
+  obs::AppendJsonEscaped(out, value);
+  out += '"';
+}
+
+template <typename Int>
+void AppendInt(std::string& out, const char* key, Int value) {
+  out += '"';
+  out += key;
+  out += "\":";
+  out += std::to_string(value);
+}
+
+void AppendBool(std::string& out, const char* key, bool value) {
+  out += '"';
+  out += key;
+  out += "\":";
+  out += value ? "true" : "false";
+}
+
+void AppendMs(std::string& out, const char* key, double ms) {
+  out += '"';
+  out += key;
+  out += "\":";
+  out += FormatMs(ms);
+}
+
+}  // namespace
+
+std::string RenderStatuszJson(const EngineStatusz& statusz,
+                              const StatuszStream* stream) {
+  std::string out = "{";
+  AppendInt(out, "requests_total", statusz.requests_total);
+  out += ',';
+  AppendBool(out, "frozen", statusz.frozen);
+  out += ',';
+  AppendInt(out, "granularities", statusz.granularities);
+  out += ',';
+  AppendInt(out, "threads", statusz.num_threads);
+
+  out += ",\"admission\":{";
+  AppendBool(out, "enabled", statusz.admission.enabled);
+  out += ',';
+  AppendInt(out, "queue_depth", statusz.admission.queue_depth);
+  out += ',';
+  AppendInt(out, "max_queue", statusz.admission.max_queue);
+  out += ',';
+  AppendInt(out, "admitted", statusz.admission.admitted);
+  out += ',';
+  AppendInt(out, "shed", statusz.admission.shed);
+  out += ',';
+  AppendInt(out, "degraded", statusz.admission.degraded);
+  out += ',';
+  AppendString(out, "first_shed_cause", statusz.admission.first_shed_cause);
+  out += ",\"classes\":[";
+  for (std::size_t i = 0; i < statusz.admission.classes.size(); ++i) {
+    const StatuszAdmissionClass& cls = statusz.admission.classes[i];
+    if (i > 0) out += ',';
+    out += '{';
+    AppendString(out, "class", cls.cls);
+    out += ',';
+    AppendInt(out, "active", cls.active);
+    out += ',';
+    AppendInt(out, "slots", cls.slots);
+    out += ',';
+    AppendMs(out, "p95_ms", cls.p95_ms);
+    out += '}';
+  }
+  out += "]}";
+
+  out += ",\"in_flight\":[";
+  for (std::size_t i = 0; i < statusz.in_flight.size(); ++i) {
+    const StatuszRequest& request = statusz.in_flight[i];
+    if (i > 0) out += ',';
+    out += '{';
+    AppendInt(out, "id", request.id);
+    out += ',';
+    AppendString(out, "class", request.cls);
+    out += ',';
+    AppendMs(out, "elapsed_ms", request.elapsed_ms);
+    out += ',';
+    AppendBool(out, "governed", request.governed);
+    if (request.governed) {
+      out += ',';
+      AppendInt(out, "deadline_remaining_ms", request.deadline_remaining_ms);
+      out += ',';
+      AppendInt(out, "steps_charged", request.steps_charged);
+      out += ',';
+      AppendInt(out, "steps_budget", request.steps_budget);
+      out += ',';
+      AppendInt(out, "memory_bytes", request.memory_bytes);
+      out += ',';
+      AppendInt(out, "memory_budget_bytes", request.memory_budget_bytes);
+    }
+    out += '}';
+  }
+  out += ']';
+
+  out += ",\"obs\":{";
+  AppendInt(out, "metric_series", statusz.metric_series);
+  out += ',';
+  AppendInt(out, "trace_spans", statusz.trace_spans);
+  out += ',';
+  AppendInt(out, "trace_dropped", statusz.trace_dropped);
+  out += ',';
+  AppendInt(out, "log_emitted", statusz.log_emitted);
+  out += ',';
+  AppendInt(out, "log_suppressed", statusz.log_suppressed);
+  out += ',';
+  AppendInt(out, "recorder_events", statusz.recorder_events);
+  out += ',';
+  AppendInt(out, "recorder_total", statusz.recorder_total);
+  out += '}';
+
+  if (stream != nullptr) {
+    out += ",\"stream\":{";
+    AppendInt(out, "watermark", stream->watermark);
+    out += ',';
+    AppendInt(out, "horizon", stream->horizon);
+    out += ',';
+    AppendInt(out, "retention", stream->retention);
+    out += ',';
+    AppendInt(out, "tolerance", stream->tolerance);
+    out += ',';
+    AppendInt(out, "buffered_events", stream->buffered_events);
+    out += ',';
+    AppendInt(out, "late_events", stream->late_events);
+    out += ',';
+    AppendInt(out, "shed_events", stream->shed_events);
+    out += ',';
+    AppendInt(out, "resident_roots", stream->resident_roots);
+    out += ',';
+    AppendInt(out, "resident_configurations", stream->resident_configurations);
+    out += ',';
+    AppendInt(out, "checkpoints_written", stream->checkpoints_written);
+    out += ',';
+    AppendInt(out, "events_since_checkpoint",
+              stream->events_since_checkpoint);
+    out += '}';
+  }
+
+  out += '}';
+  return out;
+}
+
+}  // namespace granmine

@@ -153,10 +153,13 @@ Result<EngineFlags> ParseEngineFlags(const CliArgs& args,
     // stays machine-independent and unit-testable.
     if (hardware_threads > 0 &&
         threads > static_cast<int>(hardware_threads)) {
-      std::fprintf(stderr,
-                   "warning: --threads %d exceeds the machine's %u hardware "
-                   "threads; clamping to %u\n",
-                   threads, hardware_threads, hardware_threads);
+      // Recorded, not printed: the binary decides whether the warning goes
+      // to stderr or through the structured logger (or both).
+      flags.threads_clamp_warning =
+          "--threads " + std::to_string(threads) +
+          " exceeds the machine's " + std::to_string(hardware_threads) +
+          " hardware threads; clamping to " +
+          std::to_string(hardware_threads);
       threads = static_cast<int>(hardware_threads);
     }
     flags.threads = threads;
@@ -184,6 +187,18 @@ Result<EngineFlags> ParseEngineFlags(const CliArgs& args,
   if (auto it = args.flags.find("trace-out"); it != args.flags.end()) {
     GM_ASSIGN_OR_RETURN(flags.trace_out,
                         ParseOutputPath("trace-out", it->second));
+  }
+  if (auto it = args.flags.find("log-out"); it != args.flags.end()) {
+    GM_ASSIGN_OR_RETURN(flags.log_out, ParseOutputPath("log-out", it->second));
+  }
+  if (auto it = args.flags.find("log-level"); it != args.flags.end()) {
+    obs::LogLevel level;
+    if (!obs::ParseLogLevel(it->second, &level)) {
+      return Status::Invalid(
+          "--log-level expects debug, info, warn or error, got '" +
+          it->second + "'");
+    }
+    flags.log_level = level;
   }
   return flags;
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "granmine/common/result.h"
+#include "granmine/obs/log.h"
 
 namespace granmine {
 
@@ -74,10 +75,14 @@ Result<StreamCheckpointArgs> ParseStreamCheckpoint(const CliArgs& args);
 /// identical everywhere they appear.
 struct EngineFlags {
   /// Unset = the engine default (serial). Values above the machine's
-  /// hardware concurrency are clamped to it with a stderr warning — valid
-  /// (the flag's [1, 1024] contract holds) but never useful, since every
-  /// pool worker beyond a core just context-switches.
+  /// hardware concurrency are clamped to it — valid (the flag's [1, 1024]
+  /// contract holds) but never useful, since every pool worker beyond a
+  /// core just context-switches. The clamp is reported via
+  /// `threads_clamp_warning`, not printed here, so the binary can route it
+  /// through the structured logger (docs/observability.md).
   std::optional<int> threads;
+  /// Set when `--threads` was clamped: a ready-to-print warning sentence.
+  std::optional<std::string> threads_clamp_warning;
   /// Unset = no wall-clock limit.
   std::optional<std::int64_t> deadline_ms;
   /// Unset = no memory budget (GovernorLimits::memory_budget_bytes stays 0).
@@ -90,6 +95,12 @@ struct EngineFlags {
   /// Output paths; empty = the corresponding obs layer stays disabled.
   std::string metrics_out;
   std::string trace_out;
+  /// `--log-out`: JSON-lines sink for the structured event log; empty = the
+  /// CLI's once-per-run diagnostics keep their legacy stderr rendering.
+  std::string log_out;
+  /// `--log-level`: minimum severity (debug/info/warn/error). Set (alone or
+  /// with `--log-out`) it enables the logger; unset defaults to info.
+  std::optional<obs::LogLevel> log_level;
 };
 
 /// Extracts and validates the shared engine flags from a parsed command

@@ -12,6 +12,7 @@
 #include "granmine/mining/scan_driver.h"
 #include "granmine/mining/screening.h"
 #include "granmine/mining/windows.h"
+#include "granmine/obs/context.h"
 #include "granmine/obs/obs.h"
 #include "granmine/tag/builder.h"
 
@@ -113,6 +114,10 @@ Result<MiningReport> Miner::Mine(const DiscoveryProblem& problem,
     }
   }
 
+  // Re-install the admitting request's id: Mine may run on the caller's
+  // thread (Engine) or be re-entered from tests without an Engine, and the
+  // "mine" span plus every downstream log line keys off the thread-local.
+  obs::RequestScope gm_obs_request(options_.request_id);
   GM_TRACE_SPAN("mine");
   GM_COUNTER_ADD("granmine_mine_runs_total", "", 1);
   MiningReport report;
@@ -359,6 +364,7 @@ Result<MiningReport> Miner::Mine(const DiscoveryProblem& problem,
   scan_options.executor = options_.executor;
   scan_options.partial = partial;
   scan_options.governor = governor;
+  scan_options.request_id = options_.request_id;
   ScanMergeResult merged =
       ScanCandidates(allowed, root, scan_total, scan_options, scan_candidate);
   GM_RETURN_NOT_OK(merged.status);

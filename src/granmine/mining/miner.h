@@ -74,6 +74,10 @@ struct MinerOptions {
   /// `num_threads`; when null the scan constructs a transient pool. The
   /// report is identical either way.
   Executor* executor = nullptr;
+  /// Request id (obs/context.h) stamped by the Engine at admission; workers
+  /// re-install it as their RequestScope so spans and log lines emitted from
+  /// pool threads attribute to the originating request. 0 = unattributed.
+  std::uint64_t request_id = 0;
 
   static MinerOptions Naive() {
     MinerOptions options;

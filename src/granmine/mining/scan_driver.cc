@@ -6,6 +6,7 @@
 
 #include "granmine/common/executor.h"
 #include "granmine/common/governor_alloc.h"
+#include "granmine/obs/context.h"
 #include "granmine/obs/obs.h"
 
 namespace granmine {
@@ -172,6 +173,11 @@ ScanMergeResult ScanCandidates(
     outcomes = executor->ParallelMap<ScanOutcome>(
         chunk_count,
         [&](std::size_t chunk, int worker) {
+          // Pool threads outlive any one request: re-install the admitting
+          // request's id so the chunk span (and any governor log line fired
+          // from inside the scan) attributes to it, not to whatever request
+          // this worker served last.
+          obs::RequestScope gm_obs_request(options.request_id);
           GM_TRACE_SPAN("scan_chunk");
           ScanOutcome out;
           if (stop_scan.load(std::memory_order_relaxed)) return out;

@@ -88,6 +88,9 @@ struct ScanDriverOptions {
   /// with the global candidate index, so injection targets a candidate, not
   /// a thread.
   const ResourceGovernor* governor = nullptr;
+  /// Request id carried into worker chunks (each chunk installs an
+  /// obs::RequestScope before its scan_chunk span). 0 = unattributed.
+  std::uint64_t request_id = 0;
 };
 
 /// The deterministically merged result of a candidate scan.

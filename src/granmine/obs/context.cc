@@ -1,0 +1,18 @@
+#include "granmine/obs/context.h"
+
+namespace granmine::obs {
+
+namespace {
+thread_local std::uint64_t tls_request_id = kNoRequestId;
+}  // namespace
+
+RequestScope::RequestScope(std::uint64_t request_id)
+    : saved_(tls_request_id) {
+  tls_request_id = request_id;
+}
+
+RequestScope::~RequestScope() { tls_request_id = saved_; }
+
+std::uint64_t RequestScope::current() { return tls_request_id; }
+
+}  // namespace granmine::obs

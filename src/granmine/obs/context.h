@@ -1,0 +1,51 @@
+#ifndef GRANMINE_OBS_CONTEXT_H_
+#define GRANMINE_OBS_CONTEXT_H_
+
+// Request-scoped diagnostic context (docs/observability.md, "request
+// context"). The Engine mints one deterministic request id per serving call
+// (an engine-scoped counter, never wall clock) and installs it on the
+// calling thread with a RequestScope; every trace span, structured log line,
+// and flight-recorder entry recorded under the scope carries the id, so a
+// Perfetto tree or a post-mortem log can be filtered down to one request.
+//
+// The id travels two ways: implicitly, via the thread-local scope, for the
+// thread that entered the engine; and explicitly, via the `request_id`
+// fields on MinerOptions / ScanDriverOptions / OnlineMinerOptions, for the
+// executor workers a scan fans out to — each worker re-installs the scope
+// before evaluating its chunk, so spans emitted on pool threads are
+// attributed identically to the serial path.
+//
+// Like the metrics/trace classes, this compiles in every configuration: the
+// GRANMINE_OBS kill switch gates only the instrumentation macros. A scope
+// is two thread-local stores; it is cheap enough to install unconditionally.
+
+#include <cstdint>
+
+namespace granmine::obs {
+
+/// Id 0 means "no request context" everywhere (the default for code running
+/// outside an Engine entry point).
+inline constexpr std::uint64_t kNoRequestId = 0;
+
+/// RAII installation of a request id on the current thread. Nests: the
+/// destructor restores whatever was current at construction, so an inner
+/// engine call (e.g. a snapshot save issued while mining) re-attributes only
+/// its own scope.
+class RequestScope {
+ public:
+  explicit RequestScope(std::uint64_t request_id);
+  ~RequestScope();
+
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+  /// The id installed on the current thread, or kNoRequestId.
+  static std::uint64_t current();
+
+ private:
+  std::uint64_t saved_;
+};
+
+}  // namespace granmine::obs
+
+#endif  // GRANMINE_OBS_CONTEXT_H_

@@ -1,0 +1,82 @@
+#include "granmine/obs/flight_recorder.h"
+
+namespace granmine::obs {
+
+void FlightRecorder::Append(Entry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() == capacity_) ring_.pop_front();
+  ring_.push_back(std::move(entry));
+  ++total_;
+}
+
+std::vector<FlightRecorder::Entry> FlightRecorder::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) out.push_back(ring_[i]);
+  return out;
+}
+
+std::size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t FlightRecorder::total_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  total_ = 0;
+}
+
+std::string FlightRecorder::RenderDumpJson(std::string_view reason,
+                                           std::string_view stop_cause,
+                                           std::uint64_t request_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out =
+      "{\"severity\":\"error\",\"component\":\"flight_recorder\","
+      "\"request_id\":";
+  out += std::to_string(request_id);
+  out += ",\"reason\":\"";
+  AppendJsonEscaped(out, reason);
+  out += "\",\"stop_cause\":\"";
+  AppendJsonEscaped(out, stop_cause);
+  out += "\",\"dropped\":";
+  out += std::to_string(total_ - ring_.size());
+  out += ",\"events\":[";
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += ring_[i].json;  // already a rendered JSON object
+  }
+  out += "]}";
+  return out;
+}
+
+std::string FlightRecorder::RenderDumpText(std::string_view reason,
+                                           std::string_view stop_cause,
+                                           std::uint64_t request_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "flight recorder dump: reason ";
+  out += reason;
+  out += ", stop-cause ";
+  out += stop_cause;
+  out += ", request ";
+  out += std::to_string(request_id);
+  out += " (last ";
+  out += std::to_string(ring_.size());
+  out += " of ";
+  out += std::to_string(total_);
+  out += " event(s)):\n";
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out += "  ";
+    out += ring_[i].json;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace granmine::obs

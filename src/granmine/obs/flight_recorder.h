@@ -1,0 +1,85 @@
+#ifndef GRANMINE_OBS_FLIGHT_RECORDER_H_
+#define GRANMINE_OBS_FLIGHT_RECORDER_H_
+
+// A fixed-size ring of the most recent structured-log records, attached to
+// EventLog by the owning Engine (docs/observability.md, "flight recorder").
+// Unlike the log sink, the recorder sees every record at every severity —
+// no level filter, no rate limiting — so when a request ends badly (governor
+// trip, admission shed, degradation, refused restore) the Engine can dump
+// the last N events *with the request's context* and a post-mortem of a
+// PARTIAL report needs no re-run.
+//
+// The ring reuses common/ring_buffer; RingBuffer grows when full, so the
+// recorder enforces its fixed capacity by retiring the oldest entry before
+// each append — O(1) either way.
+//
+// Thread safety: Append/Entries/Clear are safe from any thread (EventLog
+// calls Append under its own mutex from arbitrary logging threads).
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "granmine/common/ring_buffer.h"
+#include "granmine/obs/log.h"
+
+namespace granmine::obs {
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 128;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity > 0 ? capacity : 1) {}
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// One recorded log event: the timestamp and severity (for dump headers)
+  /// plus the fully rendered JSON line.
+  struct Entry {
+    std::uint64_t ts_us = 0;
+    LogLevel level = LogLevel::kInfo;
+    std::string json;
+  };
+
+  void Append(Entry entry);
+
+  /// The retained entries, oldest first.
+  std::vector<Entry> Entries() const;
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  /// Entries ever appended (size() saturates at capacity; this does not).
+  std::uint64_t total_appended() const;
+
+  void Clear();
+
+  /// One JSON line holding the dump header (reason, stop cause, request id)
+  /// and the retained events as an embedded array:
+  ///   {"severity":"error","component":"flight_recorder","request_id":N,
+  ///    "reason":"governor-trip","stop_cause":"deadline",
+  ///    "dropped":K,"events":[{...},{...}]}
+  /// `dropped` counts entries the ring had already retired.
+  std::string RenderDumpJson(std::string_view reason,
+                             std::string_view stop_cause,
+                             std::uint64_t request_id) const;
+
+  /// Human rendering of the same dump for a stderr post-mortem: a header
+  /// naming the reason/stop cause/request id, then one line per event.
+  std::string RenderDumpText(std::string_view reason,
+                             std::string_view stop_cause,
+                             std::uint64_t request_id) const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  RingBuffer<Entry> ring_;         // guarded by mu_
+  std::uint64_t total_ = 0;        // guarded by mu_
+};
+
+}  // namespace granmine::obs
+
+#endif  // GRANMINE_OBS_FLIGHT_RECORDER_H_

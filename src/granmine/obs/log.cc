@@ -1,0 +1,266 @@
+#include "granmine/obs/log.h"
+
+#include <algorithm>
+
+#include "granmine/obs/context.h"
+#include "granmine/obs/flight_recorder.h"
+#include "granmine/obs/metrics.h"
+
+namespace granmine::obs {
+
+std::string_view LogLevelToString(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+bool ParseLogLevel(std::string_view text, LogLevel* out) {
+  if (text == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (text == "info") {
+    *out = LogLevel::kInfo;
+  } else if (text == "warn") {
+    *out = LogLevel::kWarn;
+  } else if (text == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void AppendJsonEscaped(std::string& out, std::string_view text) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      if (c == '\n') {
+        out += "\\n";
+      } else if (c == '\t') {
+        out += "\\t";
+      } else {
+        out += "\\u00";
+        out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+        out += kHex[static_cast<unsigned char>(c) & 0xF];
+      }
+    } else {
+      out += c;
+    }
+  }
+}
+
+std::string RenderLogLine(std::uint64_t ts_us, LogLevel level,
+                          const char* component, std::uint64_t request_id,
+                          std::string_view message,
+                          std::initializer_list<LogField> fields) {
+  std::string out = "{\"ts_us\":";
+  out += std::to_string(ts_us);
+  out += ",\"severity\":\"";
+  out += LogLevelToString(level);
+  out += "\",\"component\":\"";
+  AppendJsonEscaped(out, component);
+  out += "\",\"request_id\":";
+  out += std::to_string(request_id);
+  out += ",\"message\":\"";
+  AppendJsonEscaped(out, message);
+  out += '"';
+  if (fields.size() > 0) {
+    out += ",\"fields\":{";
+    bool first = true;
+    for (const LogField& field : fields) {
+      if (!first) out += ',';
+      first = false;
+      out += '"';
+      AppendJsonEscaped(out, field.key);
+      out += "\":\"";
+      AppendJsonEscaped(out, field.value);
+      out += '"';
+    }
+    out += '}';
+  }
+  out += '}';
+  return out;
+}
+
+EventLog& EventLog::Global() {
+  // Leaked for the same reason as MetricsRegistry::Global().
+  static EventLog* const log = new EventLog();
+  return *log;
+}
+
+void EventLog::set_enabled(bool on) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_.store(on, std::memory_order_relaxed);
+  UpdateActiveLocked();
+}
+
+void EventLog::set_rate_limit(double per_sec, double burst) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rate_per_sec_ = per_sec;
+  burst_ = burst;
+}
+
+Status EventLog::OpenJsonFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  file_.close();
+  file_.clear();
+  file_.open(path);
+  if (!file_) {
+    file_open_ = false;
+    return Status::Internal("cannot open log sink '" + path + "'");
+  }
+  file_open_ = true;
+  capture_ = nullptr;
+  enabled_.store(true, std::memory_order_relaxed);
+  UpdateActiveLocked();
+  return Status::OK();
+}
+
+void EventLog::CloseSink() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_open_) file_.close();
+  file_open_ = false;
+  capture_ = nullptr;
+}
+
+void EventLog::CaptureForTest(std::string* capture) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_open_) file_.close();
+  file_open_ = false;
+  capture_ = capture;
+  if (capture != nullptr) enabled_.store(true, std::memory_order_relaxed);
+  UpdateActiveLocked();
+}
+
+bool EventLog::sink_open() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return file_open_ || capture_ != nullptr;
+}
+
+void EventLog::AttachRecorder(FlightRecorder* recorder) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (std::find(recorders_.begin(), recorders_.end(), recorder) ==
+      recorders_.end()) {
+    recorders_.push_back(recorder);
+  }
+  UpdateActiveLocked();
+}
+
+void EventLog::DetachRecorder(FlightRecorder* recorder) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  recorders_.erase(
+      std::remove(recorders_.begin(), recorders_.end(), recorder),
+      recorders_.end());
+  UpdateActiveLocked();
+}
+
+void EventLog::UpdateActiveLocked() {
+  active_.store(enabled_.load(std::memory_order_relaxed) ||
+                    !recorders_.empty(),
+                std::memory_order_relaxed);
+}
+
+bool EventLog::AdmitLocked(LogSite* site, std::uint64_t now_us) {
+  if (site == nullptr) return true;
+  if (!site->primed) {
+    site->tokens = burst_;
+    site->last_refill_us = now_us;
+    site->primed = true;
+  }
+  const double elapsed_sec =
+      static_cast<double>(now_us - site->last_refill_us) / 1e6;
+  site->last_refill_us = now_us;
+  site->tokens = std::min(burst_, site->tokens + elapsed_sec * rate_per_sec_);
+  if (site->tokens < 1.0) {
+    ++site->suppressed;
+    return false;
+  }
+  site->tokens -= 1.0;
+  return true;
+}
+
+void EventLog::Log(LogSite* site, LogLevel level, const char* component,
+                   std::string_view message,
+                   std::initializer_list<LogField> fields) {
+  if (!active()) return;
+  const std::uint64_t now_us = NowMicros();
+  const std::uint64_t request_id = RequestScope::current();
+  std::string line =
+      RenderLogLine(now_us, level, component, request_id, message, fields);
+  bool suppressed_line = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Flight recorders tap the stream BEFORE the level filter and the rate
+    // limiter: a post-mortem ring that only held what the sink accepted
+    // would miss exactly the debug chatter a dump exists to recover.
+    for (FlightRecorder* recorder : recorders_) {
+      recorder->Append(
+          FlightRecorder::Entry{now_us, level, line});
+    }
+    if (!enabled_.load(std::memory_order_relaxed) ||
+        static_cast<int>(level) < min_level_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    if (!AdmitLocked(site, now_us)) {
+      suppressed_line = true;
+    } else {
+      if (file_open_) {
+        file_ << line << '\n';
+        file_.flush();
+      } else if (capture_ != nullptr) {
+        *capture_ += line;
+        *capture_ += '\n';
+      }
+      emitted_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (suppressed_line) {
+    suppressed_.fetch_add(1, std::memory_order_relaxed);
+    // Suppression is observable, not silent (satellite of the trace-dropped
+    // counter): exported alongside the metrics the line would have joined.
+    static const MetricId suppressed_id =
+        MetricsRegistry::Global().RegisterCounter(
+            "granmine_log_suppressed_total", "");
+    MetricsRegistry::Global().Add(suppressed_id, 1);
+  }
+}
+
+void EventLog::WriteRawLine(const std::string& json_line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_open_) {
+    file_ << json_line << '\n';
+    file_.flush();
+  } else if (capture_ != nullptr) {
+    *capture_ += json_line;
+    *capture_ += '\n';
+  }
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EventLog::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_.store(false, std::memory_order_relaxed);
+  min_level_.store(static_cast<int>(LogLevel::kInfo),
+                   std::memory_order_relaxed);
+  rate_per_sec_ = kDefaultRatePerSec;
+  burst_ = kDefaultBurst;
+  if (file_open_) file_.close();
+  file_open_ = false;
+  capture_ = nullptr;
+  recorders_.clear();
+  emitted_.store(0, std::memory_order_relaxed);
+  suppressed_.store(0, std::memory_order_relaxed);
+  UpdateActiveLocked();
+}
+
+}  // namespace granmine::obs

@@ -1,0 +1,167 @@
+#ifndef GRANMINE_OBS_LOG_H_
+#define GRANMINE_OBS_LOG_H_
+
+// Structured event log: JSON-lines records with a severity, a component, the
+// current request id (obs/context.h), and free-form key/value fields
+// (docs/observability.md, "structured event log").
+//
+//   {"ts_us":1234,"severity":"warn","component":"governor","request_id":3,
+//    "message":"governor stop","fields":{"cause":"deadline"}}
+//
+// Discipline mirrors the metrics registry: the hot-path macro (GM_LOG in
+// obs.h) is gated on one relaxed atomic load and compiled out entirely under
+// GRANMINE_OBS=OFF; each call site owns a static LogSite whose token bucket
+// rate-limits that site alone, so a looping WARN cannot drown the sink —
+// suppressed lines are counted (per site and globally) and exported as the
+// `granmine_log_suppressed_total` counter, never dropped silently.
+//
+// Sinks: a JSON-lines file (CLI `--log-out`), a test capture string, or
+// none. With no sink open, admitted records go nowhere visible but still
+// feed every attached FlightRecorder — the recorder sees ALL severities
+// regardless of min_level or rate limiting, which is what makes its
+// post-mortem dumps useful.
+//
+// Like the metrics/trace classes, EventLog compiles in every configuration;
+// the GRANMINE_OBS kill switch gates only the GM_LOG macro, so the CLI can
+// route its once-per-run diagnostics through the logger directly even in an
+// obs-off build.
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "granmine/common/status.h"
+
+namespace granmine::obs {
+
+enum class LogLevel : int { kDebug = 0, kInfo, kWarn, kError };
+
+/// Canonical lowercase name ("debug", "info", "warn", "error").
+std::string_view LogLevelToString(LogLevel level);
+
+/// Parses a canonical name; false on anything else.
+bool ParseLogLevel(std::string_view text, LogLevel* out);
+
+/// One key/value field. Keys must be string literals (call-site owned);
+/// values are copied.
+struct LogField {
+  const char* key;
+  std::string value;
+};
+
+/// Per-call-site rate-limiter state. Declared static at each GM_LOG site;
+/// all members are guarded by the EventLog mutex.
+struct LogSite {
+  double tokens = 0;
+  std::uint64_t last_refill_us = 0;
+  std::uint64_t suppressed = 0;
+  bool primed = false;
+};
+
+class FlightRecorder;
+
+/// Process-wide structured logger. Thread-safe; hot path is one relaxed
+/// atomic load when inactive.
+class EventLog {
+ public:
+  /// Default token bucket per call site: a burst of 64 lines, refilled at 16
+  /// lines/second.
+  static constexpr double kDefaultBurst = 64.0;
+  static constexpr double kDefaultRatePerSec = 16.0;
+
+  /// Never destroyed, like MetricsRegistry::Global().
+  static EventLog& Global();
+
+  /// Whether Log() has anything to do: enabled, or a recorder is attached.
+  /// The single relaxed load gating GM_LOG.
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on);
+
+  LogLevel min_level() const {
+    return static_cast<LogLevel>(min_level_.load(std::memory_order_relaxed));
+  }
+  void set_min_level(LogLevel level) {
+    min_level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+
+  /// Reconfigures every site's token bucket (tests use a tiny burst).
+  void set_rate_limit(double per_sec, double burst);
+
+  /// Opens `path` as the JSON-lines sink and enables the log. Replaces any
+  /// previous sink.
+  Status OpenJsonFile(const std::string& path);
+  void CloseSink();
+  /// Appends JSON lines to `*capture` instead of a file (tests). Enables.
+  /// Pass nullptr to detach.
+  void CaptureForTest(std::string* capture);
+  bool sink_open() const;
+
+  /// Recorders receive every record (all severities, no rate limit) while
+  /// attached. Attach/detach are engine-lifecycle operations, not hot path.
+  void AttachRecorder(FlightRecorder* recorder);
+  void DetachRecorder(FlightRecorder* recorder);
+
+  /// Emits one record. `site` may be null (no rate limiting — one-shot CLI
+  /// diagnostics and flight-recorder dumps). `component` and field keys must
+  /// be string literals; `message` and field values are copied.
+  void Log(LogSite* site, LogLevel level, const char* component,
+           std::string_view message, std::initializer_list<LogField> fields);
+
+  /// Writes one pre-rendered JSON line straight to the sink, bypassing the
+  /// level filter and rate limiter (flight-recorder dumps).
+  void WriteRawLine(const std::string& json_line);
+
+  /// Lines written to the sink / suppressed by a site's token bucket.
+  std::uint64_t emitted() const {
+    return emitted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t suppressed() const {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
+
+  /// Tests: back to the default-constructed state (disabled, info level,
+  /// default rate limit, no sink, recorders detached, counters zeroed).
+  void ResetForTest();
+
+ private:
+  EventLog() = default;
+
+  void UpdateActiveLocked();
+  bool AdmitLocked(LogSite* site, std::uint64_t now_us);
+
+  std::atomic<bool> active_{false};
+  std::atomic<bool> enabled_{false};
+  std::atomic<int> min_level_{static_cast<int>(LogLevel::kInfo)};
+  std::atomic<std::uint64_t> emitted_{0};
+  std::atomic<std::uint64_t> suppressed_{0};
+
+  mutable std::mutex mutex_;
+  double rate_per_sec_ = kDefaultRatePerSec;    // guarded by mutex_
+  double burst_ = kDefaultBurst;                // guarded by mutex_
+  std::ofstream file_;                          // guarded by mutex_
+  bool file_open_ = false;                      // guarded by mutex_
+  std::string* capture_ = nullptr;              // guarded by mutex_
+  std::vector<FlightRecorder*> recorders_;      // guarded by mutex_
+};
+
+/// Renders one record as a JSON line (no trailing newline). Exposed so the
+/// flight recorder and tests share the exact sink format.
+std::string RenderLogLine(std::uint64_t ts_us, LogLevel level,
+                          const char* component, std::uint64_t request_id,
+                          std::string_view message,
+                          std::initializer_list<LogField> fields);
+
+/// JSON string escaping shared by the log/statusz renderers: `"` and `\`
+/// escaped, control characters emitted as \u00XX.
+void AppendJsonEscaped(std::string& out, std::string_view text);
+
+}  // namespace granmine::obs
+
+#endif  // GRANMINE_OBS_LOG_H_

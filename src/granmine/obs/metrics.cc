@@ -15,6 +15,23 @@ std::uint64_t NowMicros() {
           .count());
 }
 
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 MetricsRegistry& MetricsRegistry::Global() {
   // Leaked on purpose: thread-exit lease destructors may release shards after
   // static destructors would have torn a function-local instance down.
@@ -160,12 +177,51 @@ const char* TypeName(MetricKind kind) {
   return "untyped";
 }
 
+/// Repairs a pre-rendered label body whose quoted values carry raw
+/// backslashes or newlines (the text-exposition spec requires \\ / \n / \").
+/// Values escaped correctly at registration time — e.g. through
+/// EscapeLabelValue — pass through unchanged. A raw interior double-quote is
+/// indistinguishable from the value terminator in the stored rendering, so
+/// quotes must be escaped by the producer; this pass handles the two
+/// characters that are unambiguous after the fact.
+std::string SanitizeLabelBody(const std::string& labels) {
+  std::string out;
+  out.reserve(labels.size());
+  bool in_value = false;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const char c = labels[i];
+    if (!in_value) {
+      out += c;
+      if (c == '"') in_value = true;
+      continue;
+    }
+    if (c == '"') {
+      out += c;
+      in_value = false;
+    } else if (c == '\\') {
+      const char next = i + 1 < labels.size() ? labels[i + 1] : '\0';
+      if (next == '\\' || next == '"' || next == 'n') {
+        out += c;
+        out += next;
+        ++i;
+      } else {
+        out += "\\\\";
+      }
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 void AppendSeries(std::string& out, const std::string& name,
                   const std::string& labels, const std::string& value) {
   out += name;
   if (!labels.empty()) {
     out += '{';
-    out += labels;
+    out += SanitizeLabelBody(labels);
     out += '}';
   }
   out += ' ';

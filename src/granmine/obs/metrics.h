@@ -31,6 +31,12 @@ namespace granmine::obs {
 /// Microseconds since a process-stable epoch (steady clock; first use).
 std::uint64_t NowMicros();
 
+/// Escapes one label *value* per the Prometheus text-exposition spec:
+/// backslash -> \\, double-quote -> \", newline -> \n. Use when composing a
+/// label body from runtime data, e.g.
+///   "path=\"" + EscapeLabelValue(path) + "\"".
+std::string EscapeLabelValue(std::string_view value);
+
 enum class MetricKind { kCounter, kGauge, kHistogram };
 
 /// Histogram buckets are keyed by std::bit_width(value): bucket b holds the

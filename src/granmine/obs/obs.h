@@ -18,6 +18,7 @@
 
 #if GRANMINE_OBS_ENABLED
 
+#include "granmine/obs/log.h"
 #include "granmine/obs/metrics.h"
 #include "granmine/obs/trace.h"
 
@@ -66,6 +67,22 @@
 #define GM_TRACE_SPAN(name) \
   ::granmine::obs::TraceSpan GM_OBS_CONCAT(gm_obs_span_, __LINE__)((name))
 
+// One structured log record (obs/log.h): severity, component (string
+// literal), message, then zero or more {"key", value} LogField initializers.
+// The record carries the thread's current request id. Each call site owns a
+// static LogSite token bucket, so a looping site is rate-limited on its own.
+// Like the metric macros, gated on one relaxed atomic load — and on the
+// GRANMINE_OBS kill switch, so an obs-off build evaluates nothing here.
+#define GM_LOG(level, component, message, ...)                           \
+  do {                                                                   \
+    if (::granmine::obs::EventLog::Global().active()) {                  \
+      static ::granmine::obs::LogSite gm_obs_log_site;                   \
+      ::granmine::obs::EventLog::Global().Log(                           \
+          &gm_obs_log_site, (level), (component), (message),             \
+          {__VA_ARGS__});                                                \
+    }                                                                    \
+  } while (false)
+
 #else  // !GRANMINE_OBS_ENABLED
 
 #define GM_OBS_ONLY(...)
@@ -73,6 +90,7 @@
 #define GM_GAUGE_SET(name, labels, value)
 #define GM_HISTOGRAM_OBSERVE(name, labels, value)
 #define GM_TRACE_SPAN(name)
+#define GM_LOG(level, component, message, ...)
 
 #endif  // GRANMINE_OBS_ENABLED
 

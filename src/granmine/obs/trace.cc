@@ -16,8 +16,17 @@ TraceCollector& TraceCollector::Global() {
 
 std::uint64_t TraceSpan::NowMicrosForTrace() { return NowMicros(); }
 
+std::uint64_t TraceSpan::ExchangeCurrentSpan(std::uint64_t span_id) {
+  thread_local std::uint64_t tls_current_span = 0;
+  const std::uint64_t previous = tls_current_span;
+  tls_current_span = span_id;
+  return previous;
+}
+
 void TraceCollector::Record(const char* name, std::uint64_t ts_us,
-                            std::uint64_t dur_us) {
+                            std::uint64_t dur_us, std::uint64_t span_id,
+                            std::uint64_t parent_id,
+                            std::uint64_t request_id) {
   if (!enabled()) return;
   // Spans mark coarse stages (scan phases, committed groups, snapshots), so a
   // single mutex is uncontended enough; the per-span cost is dominated by the
@@ -27,9 +36,16 @@ void TraceCollector::Record(const char* name, std::uint64_t ts_us,
   if (cached_tid == 0) cached_tid = next_tid_++;
   if (events_.size() >= kMaxEvents) {
     ++dropped_;
+    // Overflow is observable, not silent: the drop count is exported as a
+    // counter alongside the spans that did fit (docs/observability.md).
+    static const MetricId dropped_id =
+        MetricsRegistry::Global().RegisterCounter(
+            "granmine_trace_dropped_total", "");
+    MetricsRegistry::Global().Add(dropped_id, 1);
     return;
   }
-  events_.push_back(Event{name, ts_us, dur_us, cached_tid});
+  events_.push_back(
+      Event{name, ts_us, dur_us, cached_tid, span_id, parent_id, request_id});
 }
 
 namespace {
@@ -53,11 +69,7 @@ void AppendJsonString(std::string& out, const char* text) {
 }  // namespace
 
 std::string TraceCollector::ExportJson() const {
-  std::vector<Event> events;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    events = events_;
-  }
+  std::vector<Event> events = Events();
   std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
     if (a.tid != b.tid) return a.tid < b.tid;
@@ -76,16 +88,28 @@ std::string TraceCollector::ExportJson() const {
     out += std::to_string(event.dur_us);
     out += ",\"pid\":1,\"tid\":";
     out += std::to_string(event.tid);
-    out += '}';
+    out += ",\"args\":{\"request_id\":";
+    out += std::to_string(event.request_id);
+    out += ",\"span\":";
+    out += std::to_string(event.span_id);
+    out += ",\"parent\":";
+    out += std::to_string(event.parent_id);
+    out += "}}";
   }
   out += "\n]}\n";
   return out;
+}
+
+std::vector<TraceCollector::Event> TraceCollector::Events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
 }
 
 void TraceCollector::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   events_.clear();
   dropped_ = 0;
+  next_span_id_.store(1, std::memory_order_relaxed);
 }
 
 std::size_t TraceCollector::size() const {

@@ -5,6 +5,15 @@
 // events), loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
 // Span names must be string literals (the collector stores the pointer).
 //
+// Every span carries three correlation ids in its "args" object:
+//   - "span":       a collector-unique id for this span;
+//   - "parent":     the id of the span enclosing it on the same logical
+//                   request (0 at the root), maintained per thread, so a
+//                   per-request tree (admission wait → freeze → screen →
+//                   scan chunks → merge) can be reassembled exactly;
+//   - "request_id": the Engine request the span served (obs/context.h;
+//                   0 outside a request scope).
+//
 // Recording is runtime-gated: a disabled collector costs one relaxed load per
 // span. Like the metrics registry, these classes compile in every
 // configuration; GRANMINE_OBS only controls the call-site macros (obs.h).
@@ -14,6 +23,8 @@
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "granmine/obs/context.h"
 
 namespace granmine::obs {
 
@@ -28,29 +39,45 @@ class TraceCollector {
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
   void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
 
+  /// One recorded complete event plus its correlation ids.
+  struct Event {
+    const char* name;
+    std::uint64_t ts_us;
+    std::uint64_t dur_us;
+    std::uint32_t tid;
+    std::uint64_t span_id;
+    std::uint64_t parent_id;
+    std::uint64_t request_id;
+  };
+
   /// Records one complete event. `name` must be a string literal (or
   /// otherwise outlive the collector).
-  void Record(const char* name, std::uint64_t ts_us, std::uint64_t dur_us);
+  void Record(const char* name, std::uint64_t ts_us, std::uint64_t dur_us,
+              std::uint64_t span_id = 0, std::uint64_t parent_id = 0,
+              std::uint64_t request_id = 0);
+
+  /// Issues a collector-unique span id (> 0). Relaxed; ids order nothing,
+  /// they only key parent/child edges.
+  std::uint64_t NextSpanId() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Chrome trace_event JSON: {"traceEvents":[...]} with events sorted by
   /// (ts, tid, name) so exports are deterministic for a fixed set of spans.
   std::string ExportJson() const;
+
+  /// A copy of the recorded events (tests and statusz).
+  std::vector<Event> Events() const;
 
   void Clear();
   std::size_t size() const;
   std::uint64_t dropped() const;
 
  private:
-  struct Event {
-    const char* name;
-    std::uint64_t ts_us;
-    std::uint64_t dur_us;
-    std::uint32_t tid;
-  };
-
   TraceCollector() = default;
 
   std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_span_id_{1};
   mutable std::mutex mutex_;
   std::vector<Event> events_;     // guarded by mutex_
   std::uint64_t dropped_ = 0;     // guarded by mutex_
@@ -59,17 +86,26 @@ class TraceCollector {
 
 /// RAII span: captures the start time on construction and records a complete
 /// event on destruction. Cheap no-op when the collector is disabled at
-/// construction time.
+/// construction time. Construction pushes the span onto the thread's parent
+/// chain; destruction pops it, so nested spans (and scan-driver workers that
+/// re-install a RequestScope) form the per-request tree described above.
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name)
       : name_(name), active_(TraceCollector::Global().enabled()) {
-    if (active_) start_us_ = NowMicrosForTrace();
+    if (active_) {
+      start_us_ = NowMicrosForTrace();
+      span_id_ = TraceCollector::Global().NextSpanId();
+      parent_id_ = ExchangeCurrentSpan(span_id_);
+      request_id_ = RequestScope::current();
+    }
   }
   ~TraceSpan() {
     if (active_) {
+      ExchangeCurrentSpan(parent_id_);
       const std::uint64_t now = NowMicrosForTrace();
-      TraceCollector::Global().Record(name_, start_us_, now - start_us_);
+      TraceCollector::Global().Record(name_, start_us_, now - start_us_,
+                                      span_id_, parent_id_, request_id_);
     }
   }
 
@@ -78,9 +114,14 @@ class TraceSpan {
 
  private:
   static std::uint64_t NowMicrosForTrace();
+  /// Swaps the thread's current-span id, returning the previous one.
+  static std::uint64_t ExchangeCurrentSpan(std::uint64_t span_id);
 
   const char* name_;
   std::uint64_t start_us_ = 0;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t parent_id_ = 0;
+  std::uint64_t request_id_ = 0;
   bool active_;
 };
 

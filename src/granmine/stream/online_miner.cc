@@ -6,6 +6,7 @@
 #include "granmine/common/check.h"
 #include "granmine/mining/scan_driver.h"
 #include "granmine/mining/windows.h"
+#include "granmine/obs/context.h"
 #include "granmine/obs/obs.h"
 
 namespace granmine {
@@ -131,6 +132,7 @@ Result<OnlineMiner> OnlineMiner::Create(GranularitySystem* system,
 }
 
 Status OnlineMiner::Ingest(Event event) {
+  obs::RequestScope gm_obs_request(options_.request_id);
   GM_TRACE_SPAN("stream_ingest");
   GM_RETURN_NOT_OK(ingestor_.Ingest(event));
   GM_COUNTER_ADD("granmine_stream_events_ingested_total", "", 1);
@@ -139,6 +141,7 @@ Status OnlineMiner::Ingest(Event event) {
 }
 
 void OnlineMiner::Seal() {
+  obs::RequestScope gm_obs_request(options_.request_id);
   ingestor_.Seal();
   DrainReady();
 }
@@ -220,6 +223,7 @@ void OnlineMiner::EvictCore(Core* core, TimePoint horizon) {
 }
 
 Result<MiningReport> OnlineMiner::Snapshot(const ResourceGovernor* governor) {
+  obs::RequestScope gm_obs_request(options_.request_id);
   GM_TRACE_SPAN("stream_snapshot");
   GM_COUNTER_ADD("granmine_stream_snapshots_total", "", 1);
   std::span<const Event> buffered = ingestor_.Buffered();
@@ -305,6 +309,7 @@ Result<MiningReport> OnlineMiner::Snapshot(const ResourceGovernor* governor) {
   scan_options.num_threads = options_.num_threads;
   scan_options.partial = true;
   scan_options.governor = governor;
+  scan_options.request_id = options_.request_id;
   ScanMergeResult merged =
       ScanCandidates(allowed_, root_, scan_total_, scan_options, evaluate);
   GM_RETURN_NOT_OK(merged.status);

@@ -49,6 +49,10 @@ struct OnlineMinerOptions {
   /// arrivals never enter the retained prefix, so the equivalence contract
   /// holds over the *admitted* arrivals verbatim.
   std::size_t max_buffered_events = 0;
+  /// Request id (obs/context.h) stamped by the Engine when the stream is
+  /// opened; every ingest/evict/snapshot span and log line of this session
+  /// attributes to it. Not part of the checkpoint fingerprint.
+  std::uint64_t request_id = 0;
 
   /// The batch MinerOptions every snapshot is byte-identical to: steps 1/2
   /// and window deadlines on (they are per-event/per-root monotone), steps
@@ -65,6 +69,7 @@ struct OnlineMinerOptions {
     batch.max_candidates = max_candidates;
     batch.max_configurations_per_run = max_configurations_per_run;
     batch.num_threads = num_threads;
+    batch.request_id = request_id;
     return batch;
   }
 };

@@ -149,11 +149,17 @@ TEST(ParseEngineFlagsTest, ClampsThreadsToHardwareConcurrency) {
   auto flags = ParseEngineFlags(*args, /*hardware_threads=*/4);
   ASSERT_TRUE(flags.ok());
   EXPECT_EQ(flags->threads, 4);
+  // The clamp is recorded, not printed: the binary routes the warning to
+  // stderr or the structured logger.
+  ASSERT_TRUE(flags->threads_clamp_warning.has_value());
+  EXPECT_NE(flags->threads_clamp_warning->find("clamping to 4"),
+            std::string::npos);
 
   // At or below the machine width the value passes through untouched.
   auto exact = ParseEngineFlags(*args, /*hardware_threads=*/64);
   ASSERT_TRUE(exact.ok());
   EXPECT_EQ(exact->threads, 64);
+  EXPECT_FALSE(exact->threads_clamp_warning.has_value());
 
   // Unknown machine width (hardware_concurrency() == 0): no clamp.
   auto unknown = ParseEngineFlags(*args, /*hardware_threads=*/0);
@@ -190,6 +196,32 @@ TEST(ParseEngineFlagsTest, ParsesOverloadFlags) {
   auto bad = Parse({"mine", "--mem-budget-mb", "0"});
   ASSERT_TRUE(bad.ok());
   EXPECT_FALSE(ParseEngineFlags(*bad, /*hardware_threads=*/4).ok());
+}
+
+TEST(ParseEngineFlagsTest, ParsesLogFlags) {
+  auto args = Parse({"mine", "--log-out", "/tmp/granmine_cli_args_test.log",
+                     "--log-level", "debug"});
+  ASSERT_TRUE(args.ok());
+  auto flags = ParseEngineFlags(*args, /*hardware_threads=*/4);
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->log_out, "/tmp/granmine_cli_args_test.log");
+  ASSERT_TRUE(flags->log_level.has_value());
+  EXPECT_EQ(*flags->log_level, obs::LogLevel::kDebug);
+
+  // Absent: the sink stays off and the level unset (the binary defaults it).
+  auto plain = Parse({"mine"});
+  ASSERT_TRUE(plain.ok());
+  auto plain_flags = ParseEngineFlags(*plain, /*hardware_threads=*/4);
+  ASSERT_TRUE(plain_flags.ok());
+  EXPECT_TRUE(plain_flags->log_out.empty());
+  EXPECT_FALSE(plain_flags->log_level.has_value());
+
+  auto bad = Parse({"mine", "--log-level", "verbose"});
+  ASSERT_TRUE(bad.ok());
+  auto bad_flags = ParseEngineFlags(*bad, /*hardware_threads=*/4);
+  ASSERT_FALSE(bad_flags.ok());
+  EXPECT_NE(bad_flags.status().message().find("--log-level"),
+            std::string::npos);
 }
 
 TEST(ParseEngineFlagsTest, InvalidValuesNameTheFlag) {

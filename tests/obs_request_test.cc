@@ -1,0 +1,493 @@
+// Request-scoped observability (docs/observability.md): the structured
+// event log's line format and per-site rate limiting, the flight recorder's
+// tap-before-filter contract and dump-on-trip wiring, trace-context
+// propagation (request ids + parent/child span ids), the statusz JSON
+// renderer, and — the contract everything above must not break — mining
+// reports that are byte-equivalent with logging on or off at 1 and 4
+// threads. Runs under TSAN/ASAN via the ctest "sanitizer" label; the
+// EventLog / FlightRecorder / RequestScope classes compile in every
+// configuration, so all of this also runs in a GRANMINE_OBS=OFF build
+// (only the GM_* macro call sites are compiled out there).
+
+#include "granmine/obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "granmine/common/governor.h"
+#include "granmine/engine/engine.h"
+#include "granmine/obs/context.h"
+#include "granmine/obs/flight_recorder.h"
+#include "granmine/obs/log.h"
+#include "granmine/obs/metrics.h"
+#include "granmine/obs/trace.h"
+#include "granmine/paper/figures.h"
+#include "granmine/sequence/generators.h"
+
+namespace granmine {
+namespace {
+
+using obs::EventLog;
+using obs::FlightRecorder;
+using obs::LogLevel;
+using obs::RequestScope;
+using obs::TraceCollector;
+using obs::TraceSpan;
+
+// Every test drives the process-global logger/collector; start clean and
+// leave everything disabled so later tests see no stray cost.
+class ObsRequestTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    EventLog::Global().ResetForTest();
+    TraceCollector::Global().set_enabled(false);
+    TraceCollector::Global().Clear();
+  }
+  void TearDown() override {
+    EventLog::Global().ResetForTest();
+    TraceCollector::Global().set_enabled(false);
+    TraceCollector::Global().Clear();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Structured event log
+
+TEST_F(ObsRequestTest, RenderLogLineGolden) {
+  const std::string line = obs::RenderLogLine(
+      1234, LogLevel::kWarn, "governor", 3, "governor stop",
+      {{"cause", "deadline"}, {"note", "a\"b\\c\nd"}});
+  EXPECT_EQ(line,
+            "{\"ts_us\":1234,\"severity\":\"warn\",\"component\":\"governor\","
+            "\"request_id\":3,\"message\":\"governor stop\","
+            "\"fields\":{\"cause\":\"deadline\",\"note\":\"a\\\"b\\\\c\\nd\"}}");
+}
+
+TEST_F(ObsRequestTest, RenderLogLineOmitsEmptyFieldsObject) {
+  EXPECT_EQ(obs::RenderLogLine(0, LogLevel::kInfo, "cli", 0, "hello", {}),
+            "{\"ts_us\":0,\"severity\":\"info\",\"component\":\"cli\","
+            "\"request_id\":0,\"message\":\"hello\"}");
+}
+
+TEST_F(ObsRequestTest, MinLevelFiltersTheSinkOnly) {
+  EventLog& log = EventLog::Global();
+  std::string capture;
+  log.CaptureForTest(&capture);
+  log.set_min_level(LogLevel::kWarn);
+  log.Log(nullptr, LogLevel::kInfo, "test", "below the bar", {});
+  log.Log(nullptr, LogLevel::kWarn, "test", "at the bar", {});
+  EXPECT_EQ(log.emitted(), 1u);
+  EXPECT_EQ(capture.find("below the bar"), std::string::npos);
+  EXPECT_NE(capture.find("at the bar"), std::string::npos);
+  log.CaptureForTest(nullptr);
+}
+
+TEST_F(ObsRequestTest, PerSiteTokenBucketSuppressesAndCounts) {
+  EventLog& log = EventLog::Global();
+  std::string capture;
+  log.CaptureForTest(&capture);
+  // A burst of 2 that never refills: the third and later lines from this
+  // site must be suppressed (counted, never silently dropped).
+  log.set_rate_limit(/*per_sec=*/0.0, /*burst=*/2.0);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.set_enabled(true);
+  const obs::MetricsSnapshot snapshot_before = registry.Snapshot();
+  const obs::MetricValue* before =
+      snapshot_before.Find("granmine_log_suppressed_total");
+  const std::uint64_t suppressed_before = before ? before->value : 0;
+  obs::LogSite site;
+  for (int i = 0; i < 5; ++i) {
+    log.Log(&site, LogLevel::kWarn, "test", "looping warn", {});
+  }
+  EXPECT_EQ(log.emitted(), 2u);
+  EXPECT_EQ(log.suppressed(), 3u);
+  EXPECT_EQ(site.suppressed, 3u);
+  // Suppression is observable in the metrics export, not just on the logger
+  // (same contract as granmine_trace_dropped_total for span overflow).
+  const obs::MetricsSnapshot snapshot_after = registry.Snapshot();
+  const obs::MetricValue* after =
+      snapshot_after.Find("granmine_log_suppressed_total");
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->value, suppressed_before + 3u);
+  // A different call site owns a fresh bucket.
+  obs::LogSite other;
+  log.Log(&other, LogLevel::kWarn, "test", "other site", {});
+  EXPECT_EQ(log.emitted(), 3u);
+  log.CaptureForTest(nullptr);
+}
+
+TEST_F(ObsRequestTest, LogLinesCarryTheCurrentRequestScope) {
+  EventLog& log = EventLog::Global();
+  std::string capture;
+  log.CaptureForTest(&capture);
+  {
+    RequestScope outer(7);
+    log.Log(nullptr, LogLevel::kInfo, "test", "outer", {});
+    {
+      RequestScope inner(8);  // nests: inner id wins, then restores
+      log.Log(nullptr, LogLevel::kInfo, "test", "inner", {});
+    }
+    log.Log(nullptr, LogLevel::kInfo, "test", "outer again", {});
+  }
+  log.Log(nullptr, LogLevel::kInfo, "test", "no scope", {});
+  EXPECT_NE(capture.find("\"request_id\":7,\"message\":\"outer\""),
+            std::string::npos);
+  EXPECT_NE(capture.find("\"request_id\":8,\"message\":\"inner\""),
+            std::string::npos);
+  EXPECT_NE(capture.find("\"request_id\":7,\"message\":\"outer again\""),
+            std::string::npos);
+  EXPECT_NE(capture.find("\"request_id\":0,\"message\":\"no scope\""),
+            std::string::npos);
+  log.CaptureForTest(nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+
+TEST_F(ObsRequestTest, RecorderSeesAllSeveritiesWithoutASink) {
+  EventLog& log = EventLog::Global();
+  FlightRecorder recorder(/*capacity=*/8);
+  log.AttachRecorder(&recorder);
+  // Not enabled: no sink, nothing emitted — but the recorder still taps the
+  // stream, below the min level and all.
+  log.set_min_level(LogLevel::kError);
+  log.Log(nullptr, LogLevel::kDebug, "test", "debug chatter", {});
+  log.Log(nullptr, LogLevel::kError, "test", "the failure", {});
+  EXPECT_EQ(log.emitted(), 0u);
+  ASSERT_EQ(recorder.size(), 2u);
+  const std::vector<FlightRecorder::Entry> entries = recorder.Entries();
+  EXPECT_NE(entries[0].json.find("debug chatter"), std::string::npos);
+  EXPECT_EQ(entries[1].level, LogLevel::kError);
+  log.DetachRecorder(&recorder);
+  log.Log(nullptr, LogLevel::kError, "test", "after detach", {});
+  EXPECT_EQ(recorder.size(), 2u);
+}
+
+TEST_F(ObsRequestTest, RecorderRingRetiresOldestAndDumpCountsDropped) {
+  FlightRecorder recorder(/*capacity=*/4);
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    recorder.Append(FlightRecorder::Entry{
+        i, LogLevel::kInfo, "{\"n\":" + std::to_string(i) + "}"});
+  }
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.total_appended(), 6u);
+  const std::vector<FlightRecorder::Entry> entries = recorder.Entries();
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_EQ(entries.front().json, "{\"n\":3}");  // oldest retained
+  EXPECT_EQ(entries.back().json, "{\"n\":6}");
+
+  const std::string dump =
+      recorder.RenderDumpJson("governor-trip", "deadline", 42);
+  EXPECT_NE(dump.find("\"component\":\"flight_recorder\""),
+            std::string::npos);
+  EXPECT_NE(dump.find("\"reason\":\"governor-trip\""), std::string::npos);
+  EXPECT_NE(dump.find("\"stop_cause\":\"deadline\""), std::string::npos);
+  EXPECT_NE(dump.find("\"request_id\":42"), std::string::npos);
+  EXPECT_NE(dump.find("\"dropped\":2"), std::string::npos);
+  EXPECT_NE(dump.find("{\"n\":3}"), std::string::npos);
+  EXPECT_EQ(dump.find("{\"n\":2}"), std::string::npos);
+}
+
+// The end-to-end trip: an injected fault stops a governed mine, and the
+// engine dumps its flight recorder into the log sink with the minted
+// request id and the stop cause — the post-mortem needs no re-run.
+TEST_F(ObsRequestTest, EngineDumpsFlightRecorderOnGovernorTrip) {
+  EventLog& log = EventLog::Global();
+  std::string capture;
+  log.CaptureForTest(&capture);
+
+  auto engine = Engine::CreateGregorian();
+  ASSERT_TRUE(engine.ok());
+  StockWorkloadOptions workload_options;
+  workload_options.trading_days = 25;
+  workload_options.seed = 31;
+  Workload workload =
+      MakeStockWorkload(*(*engine)->system(), workload_options);
+  auto structure = BuildFigure1a(*(*engine)->system());
+  ASSERT_TRUE(structure.ok());
+  DiscoveryProblem problem;
+  problem.structure = &*structure;
+  problem.min_confidence = 0.3;
+  problem.reference_type = *workload.registry.Find("IBM-rise");
+
+  GovernorLimits limits;
+  limits.check_stride = 1;  // every charge hits the slow path / the injector
+  ResourceGovernor governor(limits);
+  // cancel_globally raises the governor's sticky stop flag — the signal the
+  // engine's dump-on-trip hook watches (a local-only injected failure never
+  // reaches the governor, by design).
+  FaultInjector injector(GovernorScope::kMine, /*trip_index=*/0,
+                         /*cancel_globally=*/true);
+  governor.InstallFaultInjector(&injector);
+
+  MineRequest request;
+  request.problem = &problem;
+  request.sequence = &workload.sequence;
+  request.governor = &governor;
+  request.options.on_exhaustion = MinerOptions::ExhaustionPolicy::kPartial;
+  auto response = (*engine)->Mine(request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_FALSE(response->report.completeness.complete);
+  EXPECT_EQ(response->report.completeness.stop, StopCause::kFaultInjected);
+
+  EXPECT_NE(capture.find("\"component\":\"flight_recorder\""),
+            std::string::npos)
+      << capture;
+  EXPECT_NE(capture.find("\"reason\":\"governor-trip\""), std::string::npos);
+  EXPECT_NE(capture.find("\"stop_cause\":\"fault-injected\""),
+            std::string::npos);
+  // The engine's first request mints id 1, and the dump names it.
+  EXPECT_NE(capture.find("\"request_id\":1,\"reason\""), std::string::npos);
+  log.CaptureForTest(nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Trace-context propagation
+
+TEST_F(ObsRequestTest, SpansCarryRequestIdAndParentChain) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.set_enabled(true);
+  {
+    RequestScope scope(9);
+    TraceSpan outer("obs_req_outer");
+    { TraceSpan inner("obs_req_inner"); }
+  }
+  const std::vector<TraceCollector::Event> events = collector.Events();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceCollector::Event* outer = nullptr;
+  const TraceCollector::Event* inner = nullptr;
+  for (const TraceCollector::Event& event : events) {
+    if (std::string(event.name) == "obs_req_outer") outer = &event;
+    if (std::string(event.name) == "obs_req_inner") inner = &event;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->request_id, 9u);
+  EXPECT_EQ(inner->request_id, 9u);
+  EXPECT_EQ(outer->parent_id, 0u);           // root of the request tree
+  EXPECT_EQ(inner->parent_id, outer->span_id);
+  EXPECT_NE(inner->span_id, outer->span_id);
+}
+
+#if GRANMINE_OBS_ENABLED
+
+// Driving a real request through the facade: every span the engine and the
+// miner emit — including the ones recorded on executor pool threads — must
+// carry the request id the engine minted.
+TEST_F(ObsRequestTest, EngineMineSpansAllCarryTheMintedRequestId) {
+  TraceCollector& collector = TraceCollector::Global();
+  EngineOptions options;
+  options.num_threads = 4;
+  options.enable_tracing = true;
+  auto engine = Engine::CreateGregorian(options);
+  ASSERT_TRUE(engine.ok());
+  StockWorkloadOptions workload_options;
+  workload_options.trading_days = 25;
+  workload_options.seed = 77;
+  Workload workload =
+      MakeStockWorkload(*(*engine)->system(), workload_options);
+  auto structure = BuildFigure1a(*(*engine)->system());
+  ASSERT_TRUE(structure.ok());
+  DiscoveryProblem problem;
+  problem.structure = &*structure;
+  problem.min_confidence = 0.3;
+  problem.reference_type = *workload.registry.Find("IBM-rise");
+  MineRequest request;
+  request.problem = &problem;
+  request.sequence = &workload.sequence;
+  ASSERT_TRUE((*engine)->Mine(request).ok());
+
+  const std::vector<TraceCollector::Event> events = collector.Events();
+  ASSERT_FALSE(events.empty());
+  bool saw_engine_mine = false;
+  bool saw_scan = false;
+  for (const TraceCollector::Event& event : events) {
+    EXPECT_EQ(event.request_id, 1u) << event.name;
+    if (std::string(event.name) == "engine_mine") saw_engine_mine = true;
+    if (std::string(event.name) == "scan_chunk" ||
+        std::string(event.name) == "scan_driver") {
+      saw_scan = true;
+    }
+  }
+  EXPECT_TRUE(saw_engine_mine);
+  EXPECT_TRUE(saw_scan);  // pool workers re-install the scope
+}
+
+#endif  // GRANMINE_OBS_ENABLED
+
+// ---------------------------------------------------------------------------
+// Statusz
+
+TEST_F(ObsRequestTest, StatuszJsonGolden) {
+  EngineStatusz statusz;
+  statusz.requests_total = 7;
+  statusz.frozen = true;
+  statusz.granularities = 12;
+  statusz.num_threads = 4;
+  statusz.admission.enabled = true;
+  statusz.admission.queue_depth = 1;
+  statusz.admission.max_queue = 16;
+  statusz.admission.admitted = 6;
+  statusz.admission.shed = 2;
+  statusz.admission.degraded = 1;
+  statusz.admission.first_shed_cause = "saturated";
+  statusz.admission.classes.push_back({"mine", 1, 1, 12.5});
+  StatuszRequest governed;
+  governed.id = 5;
+  governed.cls = "mine";
+  governed.elapsed_ms = 3.0;
+  governed.governed = true;
+  governed.deadline_remaining_ms = 47;
+  governed.steps_charged = 128;
+  governed.steps_budget = 4096;
+  governed.memory_bytes = 2048;
+  governed.memory_budget_bytes = 0;
+  statusz.in_flight.push_back(governed);
+  StatuszRequest ungoverned;
+  ungoverned.id = 6;
+  ungoverned.cls = "stream";
+  ungoverned.elapsed_ms = 0.4;
+  statusz.in_flight.push_back(ungoverned);
+  statusz.metric_series = 3;
+  statusz.trace_spans = 9;
+  statusz.log_emitted = 4;
+  statusz.log_suppressed = 1;
+  statusz.recorder_events = 10;
+  statusz.recorder_total = 12;
+
+  StatuszStream stream;
+  stream.watermark = 1000;
+  stream.horizon = 400;
+  stream.retention = 600;
+  stream.tolerance = 5;
+  stream.buffered_events = 2;
+  stream.late_events = 1;
+  stream.resident_roots = 3;
+  stream.resident_configurations = 4;
+  stream.checkpoints_written = 2;
+  stream.events_since_checkpoint = 7;
+
+  EXPECT_EQ(
+      RenderStatuszJson(statusz, &stream),
+      "{\"requests_total\":7,\"frozen\":true,\"granularities\":12,"
+      "\"threads\":4,"
+      "\"admission\":{\"enabled\":true,\"queue_depth\":1,\"max_queue\":16,"
+      "\"admitted\":6,\"shed\":2,\"degraded\":1,"
+      "\"first_shed_cause\":\"saturated\","
+      "\"classes\":[{\"class\":\"mine\",\"active\":1,\"slots\":1,"
+      "\"p95_ms\":12.5}]},"
+      "\"in_flight\":[{\"id\":5,\"class\":\"mine\",\"elapsed_ms\":3.0,"
+      "\"governed\":true,\"deadline_remaining_ms\":47,\"steps_charged\":128,"
+      "\"steps_budget\":4096,\"memory_bytes\":2048,"
+      "\"memory_budget_bytes\":0},"
+      "{\"id\":6,\"class\":\"stream\",\"elapsed_ms\":0.4,"
+      "\"governed\":false}],"
+      "\"obs\":{\"metric_series\":3,\"trace_spans\":9,\"trace_dropped\":0,"
+      "\"log_emitted\":4,\"log_suppressed\":1,\"recorder_events\":10,"
+      "\"recorder_total\":12},"
+      "\"stream\":{\"watermark\":1000,\"horizon\":400,\"retention\":600,"
+      "\"tolerance\":5,\"buffered_events\":2,\"late_events\":1,"
+      "\"shed_events\":0,\"resident_roots\":3,"
+      "\"resident_configurations\":4,\"checkpoints_written\":2,"
+      "\"events_since_checkpoint\":7}}");
+}
+
+TEST_F(ObsRequestTest, EngineStatuszReflectsServedRequests) {
+  auto engine = Engine::CreateGregorian();
+  ASSERT_TRUE(engine.ok());
+  EngineStatusz cold = (*engine)->Statusz();
+  EXPECT_EQ(cold.requests_total, 0u);
+  EXPECT_FALSE(cold.frozen);
+  EXPECT_TRUE(cold.in_flight.empty());
+
+  StockWorkloadOptions workload_options;
+  workload_options.trading_days = 25;
+  workload_options.seed = 5;
+  Workload workload =
+      MakeStockWorkload(*(*engine)->system(), workload_options);
+  auto structure = BuildFigure1a(*(*engine)->system());
+  ASSERT_TRUE(structure.ok());
+  DiscoveryProblem problem;
+  problem.structure = &*structure;
+  problem.min_confidence = 0.3;
+  problem.reference_type = *workload.registry.Find("IBM-rise");
+  MineRequest request;
+  request.problem = &problem;
+  request.sequence = &workload.sequence;
+  ASSERT_TRUE((*engine)->Mine(request).ok());
+
+  EngineStatusz warm = (*engine)->Statusz();
+  EXPECT_EQ(warm.requests_total, 1u);
+  EXPECT_TRUE(warm.frozen);
+  EXPECT_GT(warm.granularities, 0u);
+  EXPECT_TRUE(warm.in_flight.empty());  // nothing mid-flight now
+}
+
+// ---------------------------------------------------------------------------
+// The determinism differential: logging must never change an answer
+
+// One mining run distilled to a comparable fingerprint (every field the
+// stdout report prints, minus wall-clock).
+std::string MineFingerprint(int threads, bool logging) {
+  EventLog::Global().ResetForTest();
+  std::string capture;
+  if (logging) {
+    EventLog::Global().CaptureForTest(&capture);
+    EventLog::Global().set_min_level(LogLevel::kDebug);
+  }
+  EngineOptions options;
+  options.num_threads = threads;
+  auto engine = Engine::CreateGregorian(options);
+  EXPECT_TRUE(engine.ok());
+  StockWorkloadOptions workload_options;
+  workload_options.trading_days = 40;
+  workload_options.plant_probability = 0.6;
+  workload_options.noise_events_per_day = 1.0;
+  workload_options.seed = 1313;
+  Workload workload =
+      MakeStockWorkload(*(*engine)->system(), workload_options);
+  auto structure = BuildFigure1a(*(*engine)->system());
+  EXPECT_TRUE(structure.ok());
+  DiscoveryProblem problem;
+  problem.structure = &*structure;
+  problem.min_confidence = 0.3;
+  problem.reference_type = *workload.registry.Find("IBM-rise");
+  MineRequest request;
+  request.problem = &problem;
+  request.sequence = &workload.sequence;
+  auto response = (*engine)->Mine(request);
+  EXPECT_TRUE(response.ok()) << response.status();
+  EventLog::Global().ResetForTest();
+
+  const MiningReport& report = response->report;
+  std::string fingerprint;
+  fingerprint += std::to_string(report.events_before) + "/";
+  fingerprint += std::to_string(report.events_after_reduction) + "/";
+  fingerprint += std::to_string(report.total_roots) + "/";
+  fingerprint += std::to_string(report.roots_after_reduction) + "/";
+  fingerprint += std::to_string(report.candidates_before) + "/";
+  fingerprint += std::to_string(report.candidates_after_screening) + "/";
+  fingerprint += std::to_string(report.tag_runs) + "\n";
+  for (const DiscoveredType& found : report.solutions) {
+    fingerprint += std::to_string(found.frequency) + ":";
+    for (EventTypeId type : found.assignment) {
+      fingerprint += " " + std::to_string(type);
+    }
+    fingerprint += "\n";
+  }
+  return fingerprint;
+}
+
+TEST_F(ObsRequestTest, ReportsAreIdenticalWithLoggingOnOrOffAt1And4Threads) {
+  const std::string baseline = MineFingerprint(1, /*logging=*/false);
+  ASSERT_NE(baseline.find('\n'), std::string::npos);
+  EXPECT_EQ(baseline, MineFingerprint(1, /*logging=*/true));
+  EXPECT_EQ(baseline, MineFingerprint(4, /*logging=*/false));
+  EXPECT_EQ(baseline, MineFingerprint(4, /*logging=*/true));
+}
+
+}  // namespace
+}  // namespace granmine

@@ -224,6 +224,30 @@ TEST_F(ObsTest, PrometheusTextExposition) {
   EXPECT_EQ(text, registry.Snapshot().ToPrometheusText());
 }
 
+TEST_F(ObsTest, PrometheusLabelValueEscaping) {
+  // The text-exposition spec requires \\ for backslash, \" for double-quote
+  // and \n for newline inside quoted label values.
+  EXPECT_EQ(obs::EscapeLabelValue("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  // A value escaped at registration time passes through unchanged.
+  registry.Add(registry.RegisterCounter(
+                   "obs_test_escape_total",
+                   "path=\"" + obs::EscapeLabelValue("a\\b\"c\nd") + "\""),
+               1);
+  // A pre-rendered body carrying raw backslash / newline is repaired; the
+  // exposition must never emit a raw newline inside a quoted value.
+  registry.Add(registry.RegisterCounter("obs_test_escape_raw_total",
+                                        "note=\"x\ny\\z\""),
+               1);
+  const std::string text = registry.Snapshot().ToPrometheusText();
+  EXPECT_NE(
+      text.find("obs_test_escape_total{path=\"a\\\\b\\\"c\\nd\"} 1\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("obs_test_escape_raw_total{note=\"x\\ny\\\\z\"} 1\n"),
+            std::string::npos);
+}
+
 TEST_F(ObsTest, TraceSpansExportChromeJson) {
   TraceCollector& collector = TraceCollector::Global();
   collector.set_enabled(true);
@@ -361,6 +385,10 @@ static_assert(sizeof(GM_OBS_TEST_STR(GM_TRACE_SPAN("n"))) == 1,
               "GM_TRACE_SPAN must compile to nothing when GRANMINE_OBS=OFF");
 static_assert(sizeof(GM_OBS_TEST_STR(GM_OBS_ONLY(int unused;))) == 1,
               "GM_OBS_ONLY must compile to nothing when GRANMINE_OBS=OFF");
+static_assert(sizeof(GM_OBS_TEST_STR(GM_LOG(
+                  ::granmine::obs::LogLevel::kWarn, "c", "m",
+                  {"k", "v"}))) == 1,
+              "GM_LOG must compile to nothing when GRANMINE_OBS=OFF");
 
 TEST(ObsKillSwitchTest, MacrosExpandToNothing) {
   // The static_asserts above are the real test; this records the config.
