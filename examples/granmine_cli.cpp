@@ -72,29 +72,22 @@
 // retention / checkpoint lag) to stderr after every N accepted events. See
 // docs/observability.md.
 
-#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
 
-#include "granmine/constraint/exact.h"
-#include "granmine/constraint/propagation.h"
 #include "granmine/engine/engine.h"
 #include "granmine/granularity/system.h"
 #include "granmine/io/cli_args.h"
-#include "granmine/io/dot.h"
 #include "granmine/io/text_format.h"
-#include "granmine/mining/explain.h"
-#include "granmine/mining/miner.h"
 #include "granmine/persist/stream_codec.h"
+#include "granmine/server/service.h"
 #include "granmine/stream/online_miner.h"
-#include "granmine/tag/builder.h"
 
 using namespace granmine;
 
@@ -168,44 +161,25 @@ bool Validated(Result<T> parsed, T* out, int* exit_code) {
   return true;
 }
 
-// Resolves --pin bindings into problem->allowed. Returns false (printing
-// the error) on a malformed pin or unknown variable/type name.
-bool ApplyPins(const CliArgs& args, const std::vector<std::string>& names,
-               EventTypeRegistry* registry, bool intern_types,
-               DiscoveryProblem* problem, int* exit_code) {
-  for (const std::string& pin : args.pins) {
-    std::size_t eq = pin.find('=');
-    if (eq == std::string::npos) {
-      std::fprintf(stderr, "bad --pin '%s' (expected VAR=TYPE)\n", pin.c_str());
-      *exit_code = 64;
-      return false;
-    }
-    std::string var = pin.substr(0, eq), type = pin.substr(eq + 1);
-    auto var_it = std::find(names.begin(), names.end(), var);
-    if (var_it == names.end()) {
-      std::fprintf(stderr, "unknown variable in --pin '%s'\n", pin.c_str());
-      *exit_code = 65;
-      return false;
-    }
-    std::optional<EventTypeId> type_id;
-    if (intern_types) {
-      type_id = registry->Intern(type);
-    } else {
-      type_id = registry->Find(type);
-      if (!type_id.has_value()) {
-        std::fprintf(stderr, "unknown type in --pin '%s'\n", pin.c_str());
-        *exit_code = 65;
-        return false;
-      }
-    }
-    problem->allowed[static_cast<std::size_t>(var_it - names.begin())] = {
-        *type_id};
+// Prints a service-layer CallResult the way the in-process subcommands
+// always rendered: errors and the legacy stats line to stderr (the stats
+// line only when no --log-out sink is open — the service already emitted
+// its structured twin), the report itself to stdout. Returns the exit code.
+int EmitResult(const server::CallResult& result) {
+  if (!result.err.empty()) std::fputs(result.err.c_str(), stderr);
+  if (!MachineLog() && !result.diag.empty()) {
+    std::fputs(result.diag.c_str(), stderr);
   }
-  return true;
+  if (!result.out.empty()) std::fputs(result.out.c_str(), stdout);
+  return result.exit_code;
 }
 
 int RunDemo();
 
+// The mine / check / dot / stream semantics live in the shared service
+// layer (granmine/server/service.h) so the TCP server serves the same
+// bytes; the CLI's job is reduced to reading files, packing the call
+// struct, and printing the rendered result.
 int RunMine(const CliArgs& args, const EngineFlags& engine_flags,
             Engine* engine) {
   auto structure_text = ReadFileToString(args.flags.at("structure"));
@@ -218,180 +192,21 @@ int RunMine(const CliArgs& args, const EngineFlags& engine_flags,
                                      .c_str());
     return 66;
   }
-  std::vector<std::string> names;
-  auto structure =
-      ParseEventStructure(*structure_text, engine->system(), &names);
-  if (!structure.ok()) {
-    std::fprintf(stderr, "structure: %s\n",
-                 structure.status().ToString().c_str());
-    return 65;
+  server::MineCall call;
+  call.structure_text = std::move(*structure_text);
+  call.events_text = std::move(*events_text);
+  call.reference = args.flags.at("reference");
+  if (args.flags.count("confidence")) {
+    call.confidence = args.flags.at("confidence");
   }
-  EventTypeRegistry registry;
-  auto sequence = ParseEventSequence(*events_text, &registry);
-  if (!sequence.ok()) {
-    std::fprintf(stderr, "events: %s\n", sequence.status().ToString().c_str());
-    return 65;
-  }
-  auto reference = registry.Find(args.flags.at("reference"));
-  if (!reference.has_value()) {
-    std::fprintf(stderr, "reference type '%s' does not occur\n",
-                 args.flags.at("reference").c_str());
-    return 65;
-  }
-  DiscoveryProblem problem;
-  problem.structure = &*structure;
-  problem.reference_type = *reference;
-  problem.min_confidence = 0.5;
-  int exit_code = 0;
-  if (args.flags.count("confidence") &&
-      !Validated(ParseConfidence("confidence", args.flags.at("confidence")),
-                 &problem.min_confidence, &exit_code)) {
-    return exit_code;
-  }
-  problem.allowed.assign(static_cast<std::size_t>(structure->variable_count()),
-                         {});
-  if (!ApplyPins(args, names, &registry, /*intern_types=*/false, &problem,
-                 &exit_code)) {
-    return exit_code;
-  }
-
-  MineRequest request;
-  request.problem = &problem;
-  request.sequence = &*sequence;
-  request.options = args.naive ? MinerOptions::Naive() : MinerOptions{};
-  if (args.flags.count("on-budget")) {
-    const std::string& policy = args.flags.at("on-budget");
-    if (policy == "abort") {
-      request.options.on_exhaustion = MinerOptions::ExhaustionPolicy::kAbort;
-    } else if (policy == "partial") {
-      request.options.on_exhaustion = MinerOptions::ExhaustionPolicy::kPartial;
-    } else {
-      std::fprintf(stderr,
-                   "--on-budget expects 'abort' or 'partial', got '%s'\n",
-                   policy.c_str());
-      return 64;
-    }
-  } else if (engine_flags.deadline_ms.has_value()) {
-    // A deadline without an explicit policy degrades gracefully: report
-    // whatever was decided instead of failing the whole run.
-    request.options.on_exhaustion = MinerOptions::ExhaustionPolicy::kPartial;
-  }
-  auto response = engine->Mine(request);
-  if (!response.ok()) {
-    std::fprintf(stderr, "mining: %s\n",
-                 response.status().ToString().c_str());
-    return 70;
-  }
-  const MiningReport& report = response->report;
-  // Diagnostics go to stderr (or the --log-out sink): stdout must stay
-  // byte-identical across --threads (docs/concurrency.md), and wall-clock
-  // never is.
-  {
-    const std::string stop =
-        std::string(StopCauseToString(report.completeness.stop));
-    const std::string elapsed = FormatDouble2(response->elapsed_ms);
-    const std::string steps = std::to_string(response->governor_steps);
-    CliDiag(obs::LogLevel::kInfo, "mine stats",
-            {{"stop_cause", stop}, {"elapsed_ms", elapsed},
-             {"governor_steps", steps}},
-            "stats: stop-cause " + stop + ", elapsed " + elapsed +
-                " ms, governor steps " + steps + "\n");
-  }
-  std::printf("events %zu (%zu after reduction), reference occurrences %zu "
-              "(%zu survive), candidates %llu -> %llu, TAG runs %llu\n",
-              report.events_before, report.events_after_reduction,
-              report.total_roots, report.roots_after_reduction,
-              static_cast<unsigned long long>(report.candidates_before),
-              static_cast<unsigned long long>(
-                  report.candidates_after_screening),
-              static_cast<unsigned long long>(report.tag_runs));
-  if (report.refuted_by_propagation) {
-    std::printf("structure is INCONSISTENT (refuted by propagation)\n");
-    return 0;
-  }
-  const MiningCompleteness& completeness = report.completeness;
-  if (!completeness.complete) {
-    // The structured copy of the PARTIAL summary rides alongside — never
-    // instead of — the stdout header: partial results must be visible in the
-    // report itself regardless of log routing (docs/robustness.md).
-    obs::EventLog::Global().Log(
-        nullptr, obs::LogLevel::kWarn, "cli", "partial result",
-        {{"stop_cause", std::string(StopCauseToString(completeness.stop))},
-         {"confirmed", std::to_string(completeness.confirmed)},
-         {"refuted", std::to_string(completeness.refuted)},
-         {"unknown", std::to_string(completeness.unknown)},
-         {"not_evaluated", std::to_string(completeness.not_evaluated)}});
-    std::printf(
-        "PARTIAL result (stopped by %s after %.2f ms, %llu step(s) "
-        "charged): %llu confirmed, %llu refuted, %llu unknown, "
-        "%llu not evaluated\n",
-        std::string(StopCauseToString(completeness.stop)).c_str(),
-        response->elapsed_ms,
-        static_cast<unsigned long long>(response->governor_steps),
-        static_cast<unsigned long long>(completeness.confirmed),
-        static_cast<unsigned long long>(completeness.refuted),
-        static_cast<unsigned long long>(completeness.unknown),
-        static_cast<unsigned long long>(completeness.not_evaluated));
-    for (const UnknownCandidate& unknown : report.unknown_sample) {
-      std::printf("  unknown (%s):",
-                  std::string(StopCauseToString(unknown.reason)).c_str());
-      for (std::size_t v = 0; v < unknown.assignment.size(); ++v) {
-        std::printf(" %s=%s", names[v].c_str(),
-                    registry.name(unknown.assignment[v]).c_str());
-      }
-      std::printf("\n");
-    }
-    if (completeness.unknown > report.unknown_sample.size()) {
-      std::printf("  ... and %llu more unknown candidate(s)\n",
-                  static_cast<unsigned long long>(
-                      completeness.unknown - report.unknown_sample.size()));
-    }
-  }
-  std::printf("%s%zu solution(s) with frequency > %.3f:\n",
-              completeness.complete ? "" : "at least ",
-              report.solutions.size(), problem.min_confidence);
-  for (const DiscoveredType& found : report.solutions) {
-    std::printf("  freq %.3f:", found.frequency);
-    for (std::size_t v = 0; v < found.assignment.size(); ++v) {
-      std::printf(" %s=%s", names[v].c_str(),
-                  registry.name(found.assignment[v]).c_str());
-    }
-    std::printf("\n");
-    if (args.explain) {
-      auto explanations = ExplainSolution(*structure, found,
-                                          problem.reference_type, *sequence,
-                                          /*max_explanations=*/2);
-      if (explanations.ok()) {
-        for (const Explanation& explanation : *explanations) {
-          std::printf("    occurrence:\n%s",
-                      FormatExplanation(*structure, explanation, *sequence,
-                                        registry)
-                          .c_str());
-        }
-      }
-    }
-  }
-  return 0;
-}
-
-void PrintStreamSnapshot(const MiningReport& report, const std::string& label,
-                         const OnlineMiner& miner,
-                         const std::vector<std::string>& names,
-                         const EventTypeRegistry& registry) {
-  std::printf("[%s] roots=%zu events=%zu resident-configs=%zu "
-              "solutions=%zu%s\n",
-              label.c_str(), report.total_roots,
-              report.events_before, miner.resident_configurations(),
-              report.solutions.size(),
-              report.completeness.complete ? "" : " (partial)");
-  for (const DiscoveredType& found : report.solutions) {
-    std::printf("  freq %.3f:", found.frequency);
-    for (std::size_t v = 0; v < found.assignment.size(); ++v) {
-      std::printf(" %s=%s", names[v].c_str(),
-                  registry.name(found.assignment[v]).c_str());
-    }
-    std::printf("\n");
-  }
+  if (args.flags.count("on-budget")) call.on_budget = args.flags.at("on-budget");
+  call.pins = args.pins;
+  call.naive = args.naive;
+  call.explain = args.explain;
+  // A deadline without an explicit --on-budget degrades gracefully: report
+  // whatever was decided instead of failing the whole run.
+  call.default_partial = engine_flags.deadline_ms.has_value();
+  return EmitResult(ServeMine(engine, call));
 }
 
 // Fills the "stream" block of a statusz snapshot from the live session:
@@ -424,78 +239,17 @@ int RunStream(const CliArgs& args, Engine* engine) {
     std::fprintf(stderr, "%s\n", structure_text.status().ToString().c_str());
     return 66;
   }
-  std::vector<std::string> names;
-  auto structure =
-      ParseEventStructure(*structure_text, engine->system(), &names);
-  if (!structure.ok()) {
-    std::fprintf(stderr, "structure: %s\n",
-                 structure.status().ToString().c_str());
-    return 65;
-  }
+  server::StreamOpenCall call;
+  call.structure_text = std::move(*structure_text);
+  call.reference = args.flags.at("reference");
+  call.window = args.flags.at("window");
+  call.slide = args.flags.at("slide");
+  if (args.flags.count("theta")) call.theta = args.flags.at("theta");
+  if (args.flags.count("types")) call.types = args.flags.at("types");
+  if (args.flags.count("tolerance")) call.tolerance = args.flags.at("tolerance");
+  call.pins = args.pins;
+
   int exit_code = 0;
-  StreamWindowArgs window;
-  {
-    const auto theta_it = args.flags.find("theta");
-    const std::string* theta =
-        theta_it == args.flags.end() ? nullptr : &theta_it->second;
-    if (!Validated(ParseStreamWindow(args.flags.at("window"),
-                                     args.flags.at("slide"), theta),
-                   &window, &exit_code)) {
-      return exit_code;
-    }
-  }
-
-  // The stream's type universe is declared up front: the reference type,
-  // every --pin target, and the shared --types pool for free variables.
-  EventTypeRegistry registry;
-  DiscoveryProblem problem;
-  problem.structure = &*structure;
-  problem.reference_type = registry.Intern(args.flags.at("reference"));
-  problem.min_confidence = window.theta;
-  problem.allowed.assign(static_cast<std::size_t>(structure->variable_count()),
-                         {});
-  std::vector<EventTypeId> shared_pool;
-  if (args.flags.count("types")) {
-    std::istringstream list(args.flags.at("types"));
-    std::string name;
-    while (std::getline(list, name, ',')) {
-      if (!name.empty()) shared_pool.push_back(registry.Intern(name));
-    }
-  }
-  if (!ApplyPins(args, names, &registry, /*intern_types=*/true, &problem,
-                 &exit_code)) {
-    return exit_code;
-  }
-  auto root = structure->FindRoot();
-  if (!root.ok()) {
-    std::fprintf(stderr, "structure: %s\n", root.status().ToString().c_str());
-    return 65;
-  }
-  for (VariableId v = 0; v < structure->variable_count(); ++v) {
-    if (v == *root || !problem.allowed[static_cast<std::size_t>(v)].empty()) {
-      continue;
-    }
-    if (shared_pool.empty()) {
-      std::fprintf(stderr,
-                   "variable '%s' has no candidate types: streaming cannot "
-                   "discover the type universe from the (unbounded) input, "
-                   "so bind it with --pin %s=TYPE or provide --types\n",
-                   names[static_cast<std::size_t>(v)].c_str(),
-                   names[static_cast<std::size_t>(v)].c_str());
-      return 64;
-    }
-    problem.allowed[static_cast<std::size_t>(v)] = shared_pool;
-  }
-
-  StreamRequest request;
-  request.problem = &problem;
-  request.options.retention = window.window;
-  if (args.flags.count("tolerance") &&
-      !Validated(ParseNonNegativeInt("tolerance", args.flags.at("tolerance")),
-                 &request.options.tolerance, &exit_code)) {
-    return exit_code;
-  }
-
   StreamCheckpointArgs checkpoint;
   if (!Validated(ParseStreamCheckpoint(args), &checkpoint, &exit_code)) {
     return exit_code;
@@ -522,16 +276,14 @@ int RunStream(const CliArgs& args, Engine* engine) {
       resume = true;
     }
   }
-  auto miner = resume ? engine->RestoreStream(request, checkpoint.path)
-                      : engine->OpenStream(request);
-  if (!miner.ok()) {
-    std::fprintf(stderr, "stream: %s\n", miner.status().ToString().c_str());
-    return 65;
-  }
+  auto opened = server::StreamSession::Open(
+      engine, call, resume ? checkpoint.path : std::string());
+  if (!opened.session) return EmitResult(opened.result);
+  server::StreamSession& session = *opened.session;
   if (resume) {
     std::fprintf(stderr, "resumed from checkpoint '%s' (watermark %s)\n",
                  checkpoint.path.c_str(),
-                 FormatTimePoint(miner->watermark()).c_str());
+                 FormatTimePoint(session.miner().watermark()).c_str());
   }
 
   const std::string events_path =
@@ -547,75 +299,58 @@ int RunStream(const CliArgs& args, Engine* engine) {
   std::istream& in = events_path == "-" ? std::cin : file;
 
   const auto wall_start = std::chrono::steady_clock::now();
-  std::string line;
-  std::size_t line_number = 0;
-  std::uint64_t dropped_late = 0;
-  std::uint64_t snapshots_taken = 0;
   std::uint64_t checkpoints_written = 0;
   std::int64_t accepted_since_checkpoint = 0;
   std::int64_t accepted_since_statusz = 0;
-  TimePoint next_snapshot = kInfinity;  // armed by the first event
+  // The checkpoint / statusz cadence stays CLI-owned: the session runs this
+  // hook after every accepted event, before that line's snapshot
+  // evaluation — the same point in the loop the inline code occupied.
+  auto after_accept = [&](OnlineMiner& miner) -> int {
+    if (checkpoint.every > 0 &&
+        ++accepted_since_checkpoint >= checkpoint.every) {
+      // Atomic temp-file-plus-rename: a crash mid-write leaves the previous
+      // checkpoint intact, never a torn file.
+      if (Status saved = persist::SaveStreamCheckpoint(miner, checkpoint.path);
+          !saved.ok()) {
+        std::fprintf(stderr, "checkpoint: %s\n", saved.ToString().c_str());
+        return 74;
+      }
+      accepted_since_checkpoint = 0;
+      ++checkpoints_written;
+    }
+    if (statusz_every > 0 && ++accepted_since_statusz >= statusz_every) {
+      accepted_since_statusz = 0;
+      const StatuszStream stream_status =
+          StreamStatus(miner, session.request(), checkpoints_written,
+                       accepted_since_checkpoint, checkpoint.every > 0);
+      std::fprintf(stderr, "%s\n",
+                   RenderStatuszJson(engine->Statusz(), &stream_status)
+                       .c_str());
+    }
+    return 0;
+  };
+
+  std::string line;
   while (std::getline(in, line)) {
-    ++line_number;
-    // Reuse the batch parser line-by-line: comments and blanks yield an
-    // empty sequence, malformed lines a Status with context.
-    auto parsed = ParseEventSequence(line, &registry);
-    if (!parsed.ok()) {
-      std::fprintf(stderr, "line %zu: %s\n", line_number,
-                   parsed.status().ToString().c_str());
-      return 65;
+    // One line per Ingest call keeps the session's line numbering (and so
+    // its parse / drop diagnostics) identical to the inline loop's. The
+    // appended newline matters: an empty chunk would not count a line.
+    auto outcome = session.Ingest(line + "\n", after_accept);
+    if (!outcome.result.err.empty()) {
+      std::fputs(outcome.result.err.c_str(), stderr);
     }
-    for (const Event& event : parsed->events()) {
-      Status status = miner->Ingest(event);
-      if (!status.ok()) {
-        ++dropped_late;
-        std::fprintf(stderr, "line %zu: dropped: %s\n", line_number,
-                     status.ToString().c_str());
-        continue;
-      }
-      if (next_snapshot == kInfinity) next_snapshot = event.time + window.slide;
-      if (checkpoint.every > 0 && ++accepted_since_checkpoint >=
-                                      checkpoint.every) {
-        // Atomic temp-file-plus-rename: a crash mid-write leaves the previous
-        // checkpoint intact, never a torn file.
-        if (Status saved = persist::SaveStreamCheckpoint(*miner,
-                                                         checkpoint.path);
-            !saved.ok()) {
-          std::fprintf(stderr, "checkpoint: %s\n", saved.ToString().c_str());
-          return 74;
-        }
-        accepted_since_checkpoint = 0;
-        ++checkpoints_written;
-      }
-      if (statusz_every > 0 && ++accepted_since_statusz >= statusz_every) {
-        accepted_since_statusz = 0;
-        const StatuszStream stream_status =
-            StreamStatus(*miner, request, checkpoints_written,
-                         accepted_since_checkpoint, checkpoint.every > 0);
-        std::fprintf(stderr, "%s\n",
-                     RenderStatuszJson(engine->Statusz(), &stream_status)
-                         .c_str());
-      }
+    if (!outcome.result.out.empty()) {
+      std::fputs(outcome.result.out.c_str(), stdout);
     }
-    while (miner->watermark() >= next_snapshot) {
-      auto report = miner->Snapshot();
-      if (!report.ok()) {
-        std::fprintf(stderr, "snapshot: %s\n",
-                     report.status().ToString().c_str());
-        return 70;
-      }
-      PrintStreamSnapshot(*report, FormatTimePoint(miner->watermark()),
-                          *miner, names, registry);
-      ++snapshots_taken;
-      next_snapshot += window.slide;
-    }
+    if (outcome.result.exit_code != 0) return outcome.result.exit_code;
   }
 
   // Flush a final checkpoint on clean end of input (before Seal, so the
   // saved session is still resumable): a graceful shutdown loses nothing;
   // only a crash can lose the events accepted since the last checkpoint.
   if (checkpoint.every > 0 && accepted_since_checkpoint > 0) {
-    if (Status saved = persist::SaveStreamCheckpoint(*miner, checkpoint.path);
+    if (Status saved = persist::SaveStreamCheckpoint(session.miner(),
+                                                     checkpoint.path);
         !saved.ok()) {
       std::fprintf(stderr, "checkpoint: %s\n", saved.ToString().c_str());
       return 74;
@@ -623,31 +358,20 @@ int RunStream(const CliArgs& args, Engine* engine) {
     ++checkpoints_written;
   }
 
-  miner->Seal();
-  auto report = miner->Snapshot();
-  if (!report.ok()) {
-    std::fprintf(stderr, "snapshot: %s\n", report.status().ToString().c_str());
-    return 70;
-  }
-  std::printf("final ");
-  PrintStreamSnapshot(*report, "end of stream", *miner, names, registry);
-  if (report->refuted_by_propagation) {
-    std::printf("structure is INCONSISTENT (refuted by propagation)\n");
-  }
-  std::printf("ingested %zu retained events, rejected %llu late arrival(s)\n",
-              report->events_before,
-              static_cast<unsigned long long>(dropped_late));
+  server::CallResult sealed = session.Seal();
+  if (!sealed.err.empty()) std::fputs(sealed.err.c_str(), stderr);
+  if (!sealed.out.empty()) std::fputs(sealed.out.c_str(), stdout);
+  if (sealed.exit_code != 0) return sealed.exit_code;
   // stderr (or the --log-out sink) for the same reason as `mine`: stdout is
   // diffed across --threads.
   {
-    const std::string stop =
-        std::string(StopCauseToString(report->completeness.stop));
+    const std::string stop = session.seal_stop_cause();
     const std::string elapsed =
         FormatDouble2(std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - wall_start)
                           .count());
-    const std::string snapshots = std::to_string(snapshots_taken + 1);
-    const std::string late = std::to_string(dropped_late);
+    const std::string snapshots = std::to_string(session.snapshots_taken() + 1);
+    const std::string late = std::to_string(session.dropped_late());
     const std::string checkpoints = std::to_string(checkpoints_written);
     CliDiag(obs::LogLevel::kInfo, "stream stats",
             {{"stop_cause", stop}, {"elapsed_ms", elapsed},
@@ -666,53 +390,10 @@ int RunCheck(const CliArgs& args, Engine* engine) {
     std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
     return 66;
   }
-  auto structure = ParseEventStructure(*text, engine->system());
-  if (!structure.ok()) {
-    std::fprintf(stderr, "structure: %s\n",
-                 structure.status().ToString().c_str());
-    return 65;
-  }
-  // Build phase over (the structure may have defined new granularities):
-  // freeze so the consistency checks run on the dense id-indexed caches.
-  if (Status frozen = engine->Freeze(); !frozen.ok()) {
-    std::fprintf(stderr, "freeze: %s\n", frozen.ToString().c_str());
-    return 70;
-  }
-  const GranularitySystem& system = *engine->system();
-  ConstraintPropagator propagator(&system.tables(), &system.coverage());
-  auto propagation = propagator.Propagate(*structure);
-  if (!propagation.ok()) {
-    std::fprintf(stderr, "propagation: %s\n",
-                 propagation.status().ToString().c_str());
-    return 70;
-  }
-  if (!propagation->consistent) {
-    std::printf("INCONSISTENT (refuted by approximate propagation)\n");
-    return 1;
-  }
-  std::printf("not refuted by approximate propagation (%d iterations)\n",
-              propagation->iterations);
-  if (args.exact) {
-    ExactConsistencyChecker checker(&system.tables(), &system.coverage());
-    auto result = checker.Check(*structure);
-    if (!result.ok()) {
-      std::fprintf(stderr, "exact: %s\n", result.status().ToString().c_str());
-      return 70;
-    }
-    if (result->consistent) {
-      std::printf("CONSISTENT (exact witness found, %llu nodes):\n",
-                  static_cast<unsigned long long>(result->nodes_explored));
-      for (VariableId v = 0; v < structure->variable_count(); ++v) {
-        std::printf("  %s = %s\n", structure->variable_name(v).c_str(),
-                    FormatTimePoint(result->witness[v]).c_str());
-      }
-    } else {
-      std::printf("INCONSISTENT (exact, %llu nodes)\n",
-                  static_cast<unsigned long long>(result->nodes_explored));
-      return 1;
-    }
-  }
-  return 0;
+  server::CheckCall call;
+  call.structure_text = std::move(*text);
+  call.exact = args.exact;
+  return EmitResult(ServeCheck(engine, call));
 }
 
 int RunDot(const CliArgs& args, Engine* engine) {
@@ -721,29 +402,10 @@ int RunDot(const CliArgs& args, Engine* engine) {
     std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
     return 66;
   }
-  std::vector<std::string> names;
-  auto structure = ParseEventStructure(*text, engine->system(), &names);
-  if (!structure.ok()) {
-    std::fprintf(stderr, "structure: %s\n",
-                 structure.status().ToString().c_str());
-    return 65;
-  }
-  if (args.tag) {
-    auto built = BuildTagForStructure(*structure);
-    if (!built.ok()) {
-      std::fprintf(stderr, "TAG: %s\n", built.status().ToString().c_str());
-      return 70;
-    }
-    std::fputs(TagToDot(built->tag,
-                        [&](Symbol s) {
-                          return names[static_cast<std::size_t>(s)];
-                        })
-                   .c_str(),
-               stdout);
-  } else {
-    std::fputs(EventStructureToDot(*structure).c_str(), stdout);
-  }
-  return 0;
+  server::DotCall call;
+  call.structure_text = std::move(*text);
+  call.tag = args.tag;
+  return EmitResult(ServeDot(engine, call));
 }
 
 int RunSave(const CliArgs& args, Engine* engine) {

@@ -1,0 +1,239 @@
+// granmine_client — run granmine_cli subcommands against a granmine_serve
+// instance (docs/serving.md).
+//
+//   granmine_client mine    --connect HOST:PORT --structure FILE
+//                           --events FILE --reference TYPE [--confidence C]
+//                           [--pin VAR=TYPE]... [--naive] [--explain]
+//                           [--on-budget abort|partial]
+//   granmine_client stream  --connect HOST:PORT --structure FILE
+//                           --reference TYPE --window SECS --slide SECS
+//                           [--theta C] [--events FILE|-]
+//                           [--types T1,T2,...] [--pin VAR=TYPE]...
+//                           [--tolerance SECS]
+//   granmine_client check   --connect HOST:PORT --structure FILE [--exact]
+//   granmine_client dot     --connect HOST:PORT --structure FILE [--tag]
+//   granmine_client statusz --connect HOST:PORT
+//   granmine_client ping    --connect HOST:PORT
+//
+// Files are read client-side and shipped in the request frame; the server
+// reads nothing from its own disk on behalf of a client. The reply carries
+// the subcommand's exit code plus its exact stdout / stderr / stats bytes,
+// which this binary replays verbatim — `granmine_client mine ...` and
+// `granmine_cli mine ...` against the same engine state are byte-identical
+// on stdout and exit with the same code (tests/server_test.cc pins this).
+//
+// A serving-layer error frame (admission shed, protocol violation) prints
+// its message to stderr and exits 75 (EX_TEMPFAIL) when the server marked
+// it retryable — re-run after the suggested backoff — or 70 otherwise.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "granmine/common/result.h"
+#include "granmine/io/cli_args.h"
+#include "granmine/server/client.h"
+
+using namespace granmine;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  granmine_client mine    --connect HOST:PORT --structure FILE "
+      "--events FILE --reference TYPE [--confidence C] [--pin VAR=TYPE]... "
+      "[--naive] [--explain] [--on-budget abort|partial]\n"
+      "  granmine_client stream  --connect HOST:PORT --structure FILE "
+      "--reference TYPE --window SECS --slide SECS [--theta C] "
+      "[--events FILE|-] [--types T1,T2,...] [--pin VAR=TYPE]... "
+      "[--tolerance SECS]\n"
+      "  granmine_client check   --connect HOST:PORT --structure FILE "
+      "[--exact]\n"
+      "  granmine_client dot     --connect HOST:PORT --structure FILE "
+      "[--tag]\n"
+      "  granmine_client statusz --connect HOST:PORT\n"
+      "  granmine_client ping    --connect HOST:PORT\n");
+  return 64;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// Replays one server response the way the local subcommand printed it.
+// A kErrorReply is a serving-layer failure, not a subcommand result.
+int EmitResponse(const server::Response& response) {
+  if (response.type == server::FrameType::kErrorReply) {
+    std::fprintf(stderr, "server error: %s%s\n",
+                 response.error.message.c_str(),
+                 response.error.retryable ? " (retryable)" : "");
+    return response.error.retryable ? 75 : 70;
+  }
+  if (!response.err.empty()) std::fputs(response.err.c_str(), stderr);
+  if (!response.diag.empty()) std::fputs(response.diag.c_str(), stderr);
+  if (!response.out.empty()) std::fputs(response.out.c_str(), stdout);
+  return response.exit_code;
+}
+
+int RunStream(server::Client& client, const CliArgs& args,
+              server::StreamOpenCall call) {
+  auto opened = client.StreamOpen(call);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+    return 70;
+  }
+  if (opened->type == server::FrameType::kErrorReply ||
+      opened->exit_code != 0) {
+    return EmitResponse(*opened);
+  }
+  const std::string events_path =
+      args.flags.count("events") ? args.flags.at("events") : "-";
+  std::ifstream file;
+  if (events_path != "-") {
+    file.open(events_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open '%s'\n", events_path.c_str());
+      return 66;
+    }
+  }
+  std::istream& in = events_path == "-" ? std::cin : file;
+  std::string line;
+  while (std::getline(in, line)) {
+    // One line per frame: the commit ack ordering then matches the local
+    // loop's diagnostics line for line. Batching lines into larger frames
+    // would also be correct (acks are deterministic per chunk), just
+    // coarser.
+    auto ack = client.StreamIngest(line + "\n");
+    if (!ack.ok()) {
+      std::fprintf(stderr, "%s\n", ack.status().ToString().c_str());
+      return 70;
+    }
+    if (int code = EmitResponse(*ack); code != 0) return code;
+  }
+  auto sealed = client.StreamSeal();
+  if (!sealed.ok()) {
+    std::fprintf(stderr, "%s\n", sealed.status().ToString().c_str());
+    return 70;
+  }
+  return EmitResponse(*sealed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = ParseCliArgs(argc, argv);
+  if (!args.ok() || !args->flags.count("connect")) return Usage();
+  const std::string& connect = args->flags.at("connect");
+  const std::size_t colon = connect.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "--connect expects HOST:PORT, got '%s'\n",
+                 connect.c_str());
+    return 64;
+  }
+  const std::string host = connect.substr(0, colon);
+  const int port = std::atoi(connect.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "--connect expects HOST:PORT, got '%s'\n",
+                 connect.c_str());
+    return 64;
+  }
+
+  auto client =
+      server::Client::Connect(host, static_cast<std::uint16_t>(port));
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
+    return 74;
+  }
+
+  auto need = [&](const char* flag) { return args->flags.count(flag) > 0; };
+  auto read_file = [&](const char* flag, std::string* out) -> bool {
+    auto text = ReadFileToString(args->flags.at(flag));
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return false;
+    }
+    *out = std::move(*text);
+    return true;
+  };
+
+  if (args->command == "ping") {
+    if (Status status = (*client)->Ping(); !status.ok()) {
+      std::fprintf(stderr, "ping: %s\n", status.ToString().c_str());
+      return 74;
+    }
+    std::printf("pong\n");
+    return 0;
+  }
+  if (args->command == "statusz") {
+    auto response = (*client)->Statusz();
+    if (!response.ok()) {
+      std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+      return 70;
+    }
+    return EmitResponse(*response);
+  }
+  if (args->command == "mine" && need("structure") && need("events") &&
+      need("reference")) {
+    server::MineCall call;
+    if (!read_file("structure", &call.structure_text) ||
+        !read_file("events", &call.events_text)) {
+      return 66;
+    }
+    call.reference = args->flags.at("reference");
+    if (need("confidence")) call.confidence = args->flags.at("confidence");
+    if (need("on-budget")) call.on_budget = args->flags.at("on-budget");
+    call.pins = args->pins;
+    call.naive = args->naive;
+    call.explain = args->explain;
+    auto response = (*client)->Mine(call);
+    if (!response.ok()) {
+      std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+      return 70;
+    }
+    return EmitResponse(*response);
+  }
+  if (args->command == "check" && need("structure")) {
+    server::CheckCall call;
+    if (!read_file("structure", &call.structure_text)) return 66;
+    call.exact = args->exact;
+    auto response = (*client)->Check(call);
+    if (!response.ok()) {
+      std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+      return 70;
+    }
+    return EmitResponse(*response);
+  }
+  if (args->command == "dot" && need("structure")) {
+    server::DotCall call;
+    if (!read_file("structure", &call.structure_text)) return 66;
+    call.tag = args->tag;
+    auto response = (*client)->Dot(call);
+    if (!response.ok()) {
+      std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+      return 70;
+    }
+    return EmitResponse(*response);
+  }
+  if (args->command == "stream" && need("structure") && need("reference") &&
+      need("window") && need("slide")) {
+    server::StreamOpenCall call;
+    if (!read_file("structure", &call.structure_text)) return 66;
+    call.reference = args->flags.at("reference");
+    call.window = args->flags.at("window");
+    call.slide = args->flags.at("slide");
+    if (need("theta")) call.theta = args->flags.at("theta");
+    if (need("types")) call.types = args->flags.at("types");
+    if (need("tolerance")) call.tolerance = args->flags.at("tolerance");
+    call.pins = args->pins;
+    return RunStream(**client, *args, std::move(call));
+  }
+  return Usage();
+}

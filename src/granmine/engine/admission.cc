@@ -2,11 +2,28 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdlib>
 #include <string>
 
 #include "granmine/obs/obs.h"
 
 namespace granmine {
+
+bool IsRetryableShed(const Status& status, double* backoff_ms) {
+  if (status.code() != StatusCode::kResourceExhausted) return false;
+  const std::string& message = status.message();
+  if (message.rfind("admission: ", 0) != 0) return false;
+  static constexpr std::string_view kHint = "suggested backoff ~";
+  const std::size_t hint = message.find(kHint);
+  if (hint == std::string::npos) return false;
+  if (backoff_ms != nullptr) {
+    const char* start = message.c_str() + hint + kHint.size();
+    char* end = nullptr;
+    const double parsed = std::strtod(start, &end);
+    *backoff_ms = (end == start || parsed <= 0) ? 1.0 : parsed;
+  }
+  return true;
+}
 
 std::string_view RequestClassToString(RequestClass cls) {
   switch (cls) {

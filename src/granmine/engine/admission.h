@@ -24,6 +24,15 @@ inline constexpr int kRequestClassCount = 3;
 /// Canonical lowercase name ("mine", "match", "stream").
 std::string_view RequestClassToString(RequestClass cls);
 
+/// Whether `status` is a retryable admission shed — a ResourceExhausted
+/// whose message carries the "admission:" prefix and the suggested-backoff
+/// hint Shed() stamps (docs/robustness.md, "retry contract"). Lives next to
+/// Shed so the message format has exactly one producer and one consumer;
+/// the serving layer uses it to mark error frames retryable. When
+/// `backoff_ms` is non-null it receives the suggested delay (1.0 if the
+/// hint cannot be parsed).
+bool IsRetryableShed(const Status& status, double* backoff_ms = nullptr);
+
 struct AdmissionOptions {
   /// Master switch. Off (the default) keeps the pre-overload-PR behavior:
   /// every request is served unconditionally, zero admission state exists on

@@ -252,6 +252,14 @@ class Engine {
   /// and post-mortem tooling.
   obs::FlightRecorder* flight_recorder() const { return recorder_.get(); }
 
+  /// Mints the next id from the engine-scoped request-id sequence. The
+  /// serving entry points call this internally; the network layer
+  /// (src/granmine/server) calls it at frame decode so connection-level
+  /// spans and log lines share the id space of engine-internal requests.
+  std::uint64_t MintRequestId() {
+    return next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
  private:
   Engine(std::unique_ptr<GranularitySystem> system, EngineOptions options);
 
@@ -263,9 +271,6 @@ class Engine {
     const ResourceGovernor* governor = nullptr;
   };
 
-  std::uint64_t MintRequestId() {
-    return next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
-  }
   void BeginRequest(std::uint64_t id, RequestClass cls);
   void SetRequestGovernor(std::uint64_t id, const ResourceGovernor* governor);
   void EndRequest(std::uint64_t id);

@@ -1,0 +1,554 @@
+#include "granmine/server/service.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "granmine/common/math.h"
+#include "granmine/constraint/exact.h"
+#include "granmine/constraint/propagation.h"
+#include "granmine/io/cli_args.h"
+#include "granmine/io/dot.h"
+#include "granmine/mining/explain.h"
+#include "granmine/obs/log.h"
+#include "granmine/tag/builder.h"
+
+namespace granmine::server {
+
+namespace {
+
+// printf-append into a string: the service renders with the CLI's exact
+// format strings, so the bytes match std::printf output by construction.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void AppendF(std::string* out, const char* fmt, ...) {
+  char stack[512];
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(stack, sizeof(stack), fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(copy);
+    return;
+  }
+  if (static_cast<std::size_t>(needed) < sizeof(stack)) {
+    out->append(stack, static_cast<std::size_t>(needed));
+  } else {
+    std::string big(static_cast<std::size_t>(needed) + 1, '\0');
+    std::vsnprintf(big.data(), big.size(), fmt, copy);
+    out->append(big.data(), static_cast<std::size_t>(needed));
+  }
+  va_end(copy);
+}
+
+std::string FormatDouble2(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", value);
+  return buffer;
+}
+
+// The service twin of the CLI's CliDiag: the structured record is emitted
+// here (component "cli", preserving the --log-out record shape), the legacy
+// stderr rendering is returned in CallResult::diag for the caller to print
+// or ship.
+void ServiceDiag(obs::LogLevel level, const char* message,
+                 std::initializer_list<obs::LogField> fields,
+                 const std::string& legacy, CallResult* result) {
+  obs::EventLog::Global().Log(nullptr, level, "cli", message, fields);
+  result->diag += legacy;
+}
+
+// Shared flag validation: renders the parse error and the CLI's usage exit
+// code into `result`.
+template <typename T>
+bool Validated(Result<T> parsed, T* out, CallResult* result) {
+  if (!parsed.ok()) {
+    result->err += parsed.status().ToString() + "\n";
+    result->exit_code = 64;
+    return false;
+  }
+  *out = std::move(*parsed);
+  return true;
+}
+
+// Resolves pin bindings into problem->allowed; on failure renders the CLI's
+// message and exit code.
+bool ApplyPins(const std::vector<std::string>& pins,
+               const std::vector<std::string>& names,
+               EventTypeRegistry* registry, bool intern_types,
+               DiscoveryProblem* problem, CallResult* result) {
+  for (const std::string& pin : pins) {
+    std::size_t eq = pin.find('=');
+    if (eq == std::string::npos) {
+      AppendF(&result->err, "bad --pin '%s' (expected VAR=TYPE)\n",
+              pin.c_str());
+      result->exit_code = 64;
+      return false;
+    }
+    std::string var = pin.substr(0, eq), type = pin.substr(eq + 1);
+    auto var_it = std::find(names.begin(), names.end(), var);
+    if (var_it == names.end()) {
+      AppendF(&result->err, "unknown variable in --pin '%s'\n", pin.c_str());
+      result->exit_code = 65;
+      return false;
+    }
+    std::optional<EventTypeId> type_id;
+    if (intern_types) {
+      type_id = registry->Intern(type);
+    } else {
+      type_id = registry->Find(type);
+      if (!type_id.has_value()) {
+        AppendF(&result->err, "unknown type in --pin '%s'\n", pin.c_str());
+        result->exit_code = 65;
+        return false;
+      }
+    }
+    problem->allowed[static_cast<std::size_t>(var_it - names.begin())] = {
+        *type_id};
+  }
+  return true;
+}
+
+void AppendStreamSnapshot(const MiningReport& report, const std::string& label,
+                          const OnlineMiner& miner,
+                          const std::vector<std::string>& names,
+                          const EventTypeRegistry& registry,
+                          std::string* out) {
+  AppendF(out,
+          "[%s] roots=%zu events=%zu resident-configs=%zu "
+          "solutions=%zu%s\n",
+          label.c_str(), report.total_roots, report.events_before,
+          miner.resident_configurations(), report.solutions.size(),
+          report.completeness.complete ? "" : " (partial)");
+  for (const DiscoveredType& found : report.solutions) {
+    AppendF(out, "  freq %.3f:", found.frequency);
+    for (std::size_t v = 0; v < found.assignment.size(); ++v) {
+      AppendF(out, " %s=%s", names[v].c_str(),
+              registry.name(found.assignment[v]).c_str());
+    }
+    out->append("\n");
+  }
+}
+
+}  // namespace
+
+CallResult ServeMine(Engine* engine, const MineCall& call) {
+  CallResult result;
+  std::vector<std::string> names;
+  auto structure =
+      ParseEventStructure(call.structure_text, engine->system(), &names);
+  if (!structure.ok()) {
+    result.err = "structure: " + structure.status().ToString() + "\n";
+    result.exit_code = 65;
+    return result;
+  }
+  EventTypeRegistry registry;
+  auto sequence = ParseEventSequence(call.events_text, &registry);
+  if (!sequence.ok()) {
+    result.err = "events: " + sequence.status().ToString() + "\n";
+    result.exit_code = 65;
+    return result;
+  }
+  auto reference = registry.Find(call.reference);
+  if (!reference.has_value()) {
+    AppendF(&result.err, "reference type '%s' does not occur\n",
+            call.reference.c_str());
+    result.exit_code = 65;
+    return result;
+  }
+  DiscoveryProblem problem;
+  problem.structure = &*structure;
+  problem.reference_type = *reference;
+  problem.min_confidence = 0.5;
+  if (!call.confidence.empty() &&
+      !Validated(ParseConfidence("confidence", call.confidence),
+                 &problem.min_confidence, &result)) {
+    return result;
+  }
+  problem.allowed.assign(static_cast<std::size_t>(structure->variable_count()),
+                         {});
+  if (!ApplyPins(call.pins, names, &registry, /*intern_types=*/false, &problem,
+                 &result)) {
+    return result;
+  }
+
+  MineRequest request;
+  request.problem = &problem;
+  request.sequence = &*sequence;
+  request.options = call.naive ? MinerOptions::Naive() : MinerOptions{};
+  if (!call.on_budget.empty()) {
+    if (call.on_budget == "abort") {
+      request.options.on_exhaustion = MinerOptions::ExhaustionPolicy::kAbort;
+    } else if (call.on_budget == "partial") {
+      request.options.on_exhaustion = MinerOptions::ExhaustionPolicy::kPartial;
+    } else {
+      AppendF(&result.err,
+              "--on-budget expects 'abort' or 'partial', got '%s'\n",
+              call.on_budget.c_str());
+      result.exit_code = 64;
+      return result;
+    }
+  } else if (call.default_partial) {
+    // A deadline without an explicit policy degrades gracefully: report
+    // whatever was decided instead of failing the whole run.
+    request.options.on_exhaustion = MinerOptions::ExhaustionPolicy::kPartial;
+  }
+  auto response = engine->Mine(request);
+  if (!response.ok()) {
+    result.engine_status = response.status();
+    result.err = "mining: " + response.status().ToString() + "\n";
+    result.exit_code = 70;
+    return result;
+  }
+  const MiningReport& report = response->report;
+  {
+    const std::string stop =
+        std::string(StopCauseToString(report.completeness.stop));
+    const std::string elapsed = FormatDouble2(response->elapsed_ms);
+    const std::string steps = std::to_string(response->governor_steps);
+    ServiceDiag(obs::LogLevel::kInfo, "mine stats",
+                {{"stop_cause", stop},
+                 {"elapsed_ms", elapsed},
+                 {"governor_steps", steps}},
+                "stats: stop-cause " + stop + ", elapsed " + elapsed +
+                    " ms, governor steps " + steps + "\n",
+                &result);
+  }
+  AppendF(&result.out,
+          "events %zu (%zu after reduction), reference occurrences %zu "
+          "(%zu survive), candidates %llu -> %llu, TAG runs %llu\n",
+          report.events_before, report.events_after_reduction,
+          report.total_roots, report.roots_after_reduction,
+          static_cast<unsigned long long>(report.candidates_before),
+          static_cast<unsigned long long>(report.candidates_after_screening),
+          static_cast<unsigned long long>(report.tag_runs));
+  if (report.refuted_by_propagation) {
+    result.out += "structure is INCONSISTENT (refuted by propagation)\n";
+    return result;
+  }
+  const MiningCompleteness& completeness = report.completeness;
+  if (!completeness.complete) {
+    // The structured copy of the PARTIAL summary rides alongside — never
+    // instead of — the stdout header: partial results must be visible in the
+    // report itself regardless of log routing (docs/robustness.md).
+    obs::EventLog::Global().Log(
+        nullptr, obs::LogLevel::kWarn, "cli", "partial result",
+        {{"stop_cause", std::string(StopCauseToString(completeness.stop))},
+         {"confirmed", std::to_string(completeness.confirmed)},
+         {"refuted", std::to_string(completeness.refuted)},
+         {"unknown", std::to_string(completeness.unknown)},
+         {"not_evaluated", std::to_string(completeness.not_evaluated)}});
+    AppendF(&result.out,
+            "PARTIAL result (stopped by %s after %.2f ms, %llu step(s) "
+            "charged): %llu confirmed, %llu refuted, %llu unknown, "
+            "%llu not evaluated\n",
+            std::string(StopCauseToString(completeness.stop)).c_str(),
+            response->elapsed_ms,
+            static_cast<unsigned long long>(response->governor_steps),
+            static_cast<unsigned long long>(completeness.confirmed),
+            static_cast<unsigned long long>(completeness.refuted),
+            static_cast<unsigned long long>(completeness.unknown),
+            static_cast<unsigned long long>(completeness.not_evaluated));
+    for (const UnknownCandidate& unknown : report.unknown_sample) {
+      AppendF(&result.out, "  unknown (%s):",
+              std::string(StopCauseToString(unknown.reason)).c_str());
+      for (std::size_t v = 0; v < unknown.assignment.size(); ++v) {
+        AppendF(&result.out, " %s=%s", names[v].c_str(),
+                registry.name(unknown.assignment[v]).c_str());
+      }
+      result.out += "\n";
+    }
+    if (completeness.unknown > report.unknown_sample.size()) {
+      AppendF(&result.out, "  ... and %llu more unknown candidate(s)\n",
+              static_cast<unsigned long long>(completeness.unknown -
+                                              report.unknown_sample.size()));
+    }
+  }
+  AppendF(&result.out, "%s%zu solution(s) with frequency > %.3f:\n",
+          completeness.complete ? "" : "at least ", report.solutions.size(),
+          problem.min_confidence);
+  for (const DiscoveredType& found : report.solutions) {
+    AppendF(&result.out, "  freq %.3f:", found.frequency);
+    for (std::size_t v = 0; v < found.assignment.size(); ++v) {
+      AppendF(&result.out, " %s=%s", names[v].c_str(),
+              registry.name(found.assignment[v]).c_str());
+    }
+    result.out += "\n";
+    if (call.explain) {
+      auto explanations =
+          ExplainSolution(*structure, found, problem.reference_type, *sequence,
+                          /*max_explanations=*/2);
+      if (explanations.ok()) {
+        for (const Explanation& explanation : *explanations) {
+          AppendF(&result.out, "    occurrence:\n%s",
+                  FormatExplanation(*structure, explanation, *sequence,
+                                    registry)
+                      .c_str());
+        }
+      }
+    }
+  }
+  return result;
+}
+
+CallResult ServeCheck(Engine* engine, const CheckCall& call) {
+  CallResult result;
+  auto structure = ParseEventStructure(call.structure_text, engine->system());
+  if (!structure.ok()) {
+    result.err = "structure: " + structure.status().ToString() + "\n";
+    result.exit_code = 65;
+    return result;
+  }
+  // Build phase over (the structure may have defined new granularities):
+  // freeze so the consistency checks run on the dense id-indexed caches.
+  if (Status frozen = engine->Freeze(); !frozen.ok()) {
+    result.engine_status = frozen;
+    result.err = "freeze: " + frozen.ToString() + "\n";
+    result.exit_code = 70;
+    return result;
+  }
+  const GranularitySystem& system = *engine->system();
+  ConstraintPropagator propagator(&system.tables(), &system.coverage());
+  auto propagation = propagator.Propagate(*structure);
+  if (!propagation.ok()) {
+    result.engine_status = propagation.status();
+    result.err = "propagation: " + propagation.status().ToString() + "\n";
+    result.exit_code = 70;
+    return result;
+  }
+  if (!propagation->consistent) {
+    result.out += "INCONSISTENT (refuted by approximate propagation)\n";
+    result.exit_code = 1;
+    return result;
+  }
+  AppendF(&result.out,
+          "not refuted by approximate propagation (%d iterations)\n",
+          propagation->iterations);
+  if (call.exact) {
+    ExactConsistencyChecker checker(&system.tables(), &system.coverage());
+    auto exact = checker.Check(*structure);
+    if (!exact.ok()) {
+      result.engine_status = exact.status();
+      result.err = "exact: " + exact.status().ToString() + "\n";
+      result.exit_code = 70;
+      return result;
+    }
+    if (exact->consistent) {
+      AppendF(&result.out, "CONSISTENT (exact witness found, %llu nodes):\n",
+              static_cast<unsigned long long>(exact->nodes_explored));
+      for (VariableId v = 0; v < structure->variable_count(); ++v) {
+        AppendF(&result.out, "  %s = %s\n",
+                structure->variable_name(v).c_str(),
+                FormatTimePoint(exact->witness[v]).c_str());
+      }
+    } else {
+      AppendF(&result.out, "INCONSISTENT (exact, %llu nodes)\n",
+              static_cast<unsigned long long>(exact->nodes_explored));
+      result.exit_code = 1;
+      return result;
+    }
+  }
+  return result;
+}
+
+CallResult ServeDot(Engine* engine, const DotCall& call) {
+  CallResult result;
+  std::vector<std::string> names;
+  auto structure =
+      ParseEventStructure(call.structure_text, engine->system(), &names);
+  if (!structure.ok()) {
+    result.err = "structure: " + structure.status().ToString() + "\n";
+    result.exit_code = 65;
+    return result;
+  }
+  if (call.tag) {
+    auto built = BuildTagForStructure(*structure);
+    if (!built.ok()) {
+      result.engine_status = built.status();
+      result.err = "TAG: " + built.status().ToString() + "\n";
+      result.exit_code = 70;
+      return result;
+    }
+    result.out += TagToDot(built->tag, [&](Symbol s) {
+      return names[static_cast<std::size_t>(s)];
+    });
+  } else {
+    result.out += EventStructureToDot(*structure);
+  }
+  return result;
+}
+
+StreamSession::OpenOutcome StreamSession::Open(Engine* engine,
+                                               const StreamOpenCall& call,
+                                               const std::string& resume_path) {
+  OpenOutcome outcome;
+  std::unique_ptr<StreamSession> session(new StreamSession());
+  CallResult& result = outcome.result;
+  auto structure = ParseEventStructure(call.structure_text, engine->system(),
+                                       &session->names_);
+  if (!structure.ok()) {
+    result.err = "structure: " + structure.status().ToString() + "\n";
+    result.exit_code = 65;
+    return outcome;
+  }
+  session->structure_.emplace(std::move(*structure));
+  StreamWindowArgs window;
+  {
+    const std::string* theta = call.theta.empty() ? nullptr : &call.theta;
+    if (!Validated(ParseStreamWindow(call.window, call.slide, theta), &window,
+                   &result)) {
+      return outcome;
+    }
+  }
+
+  // The stream's type universe is declared up front: the reference type,
+  // every pin target, and the shared types pool for free variables.
+  DiscoveryProblem& problem = session->problem_;
+  problem.structure = &*session->structure_;
+  problem.reference_type = session->registry_.Intern(call.reference);
+  problem.min_confidence = window.theta;
+  problem.allowed.assign(
+      static_cast<std::size_t>(session->structure_->variable_count()), {});
+  std::vector<EventTypeId> shared_pool;
+  if (!call.types.empty()) {
+    std::istringstream list(call.types);
+    std::string name;
+    while (std::getline(list, name, ',')) {
+      if (!name.empty()) shared_pool.push_back(session->registry_.Intern(name));
+    }
+  }
+  if (!ApplyPins(call.pins, session->names_, &session->registry_,
+                 /*intern_types=*/true, &problem, &result)) {
+    return outcome;
+  }
+  auto root = session->structure_->FindRoot();
+  if (!root.ok()) {
+    result.err += "structure: " + root.status().ToString() + "\n";
+    result.exit_code = 65;
+    return outcome;
+  }
+  for (VariableId v = 0; v < session->structure_->variable_count(); ++v) {
+    if (v == *root || !problem.allowed[static_cast<std::size_t>(v)].empty()) {
+      continue;
+    }
+    if (shared_pool.empty()) {
+      AppendF(&result.err,
+              "variable '%s' has no candidate types: streaming cannot "
+              "discover the type universe from the (unbounded) input, "
+              "so bind it with --pin %s=TYPE or provide --types\n",
+              session->names_[static_cast<std::size_t>(v)].c_str(),
+              session->names_[static_cast<std::size_t>(v)].c_str());
+      result.exit_code = 64;
+      return outcome;
+    }
+    problem.allowed[static_cast<std::size_t>(v)] = shared_pool;
+  }
+
+  session->request_.problem = &problem;
+  session->request_.options.retention = window.window;
+  if (!call.tolerance.empty() &&
+      !Validated(ParseNonNegativeInt("tolerance", call.tolerance),
+                 &session->request_.options.tolerance, &result)) {
+    return outcome;
+  }
+  session->slide_ = window.slide;
+  session->next_snapshot_ = kInfinity;  // armed by the first accepted event
+
+  auto miner = resume_path.empty()
+                   ? engine->OpenStream(session->request_)
+                   : engine->RestoreStream(session->request_, resume_path);
+  if (!miner.ok()) {
+    result.engine_status = miner.status();
+    result.err += "stream: " + miner.status().ToString() + "\n";
+    result.exit_code = 65;
+    return outcome;
+  }
+  session->miner_.emplace(std::move(*miner));
+  outcome.session = std::move(session);
+  return outcome;
+}
+
+StreamSession::IngestOutcome StreamSession::Ingest(
+    std::string_view chunk,
+    const std::function<int(OnlineMiner&)>& after_accept) {
+  IngestOutcome outcome;
+  CallResult& result = outcome.result;
+  std::istringstream in{std::string(chunk)};
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_number_;
+    // Reuse the batch parser line-by-line: comments and blanks yield an
+    // empty sequence, malformed lines a Status with context.
+    auto parsed = ParseEventSequence(line, &registry_);
+    if (!parsed.ok()) {
+      AppendF(&result.err, "line %zu: %s\n", line_number_,
+              parsed.status().ToString().c_str());
+      result.exit_code = 65;
+      return outcome;
+    }
+    for (const Event& event : parsed->events()) {
+      Status status = miner_->Ingest(event);
+      if (!status.ok()) {
+        ++dropped_late_;
+        ++outcome.rejected_late;
+        AppendF(&result.err, "line %zu: dropped: %s\n", line_number_,
+                status.ToString().c_str());
+        continue;
+      }
+      ++accepted_total_;
+      ++outcome.accepted;
+      if (next_snapshot_ == kInfinity) next_snapshot_ = event.time + slide_;
+      if (after_accept) {
+        if (int code = after_accept(*miner_); code != 0) {
+          result.exit_code = code;
+          return outcome;
+        }
+      }
+    }
+    while (miner_->watermark() >= next_snapshot_) {
+      auto report = miner_->Snapshot();
+      if (!report.ok()) {
+        result.engine_status = report.status();
+        result.err += "snapshot: " + report.status().ToString() + "\n";
+        result.exit_code = 70;
+        return outcome;
+      }
+      AppendStreamSnapshot(*report, FormatTimePoint(miner_->watermark()),
+                           *miner_, names_, registry_, &result.out);
+      ++snapshots_taken_;
+      next_snapshot_ += slide_;
+    }
+  }
+  return outcome;
+}
+
+CallResult StreamSession::Seal() {
+  CallResult result;
+  miner_->Seal();
+  auto report = miner_->Snapshot();
+  if (!report.ok()) {
+    result.engine_status = report.status();
+    result.err += "snapshot: " + report.status().ToString() + "\n";
+    result.exit_code = 70;
+    return result;
+  }
+  result.out += "final ";
+  AppendStreamSnapshot(*report, "end of stream", *miner_, names_, registry_,
+                       &result.out);
+  if (report->refuted_by_propagation) {
+    result.out += "structure is INCONSISTENT (refuted by propagation)\n";
+  }
+  AppendF(&result.out,
+          "ingested %zu retained events, rejected %llu late arrival(s)\n",
+          report->events_before,
+          static_cast<unsigned long long>(dropped_late_));
+  seal_stop_cause_ = std::string(StopCauseToString(report->completeness.stop));
+  return result;
+}
+
+}  // namespace granmine::server

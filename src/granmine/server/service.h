@@ -1,0 +1,125 @@
+#ifndef GRANMINE_SERVER_SERVICE_H_
+#define GRANMINE_SERVER_SERVICE_H_
+
+// The request service layer shared by granmine_cli and the TCP server: one
+// implementation of the mine / check / dot / stream subcommand semantics
+// that renders into strings instead of printing. The CLI prints the strings
+// verbatim and the server ships them in reply frames, which is what makes
+// the server's responses byte-identical to CLI stdout by construction
+// (tests/server_test.cc pins the differential).
+//
+// Diagnostics keep the CLI's split: `CallResult::out` is the stdout
+// contract (byte-diffable across thread counts, docs/concurrency.md),
+// `err` carries error messages, and `diag` carries the once-per-run legacy
+// stats rendering whose structured twin this layer logs directly
+// (component "cli", preserving the --log-out record shape the CLI always
+// emitted).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "granmine/common/result.h"
+#include "granmine/engine/engine.h"
+#include "granmine/io/text_format.h"
+#include "granmine/sequence/sequence.h"
+#include "granmine/server/wire.h"
+#include "granmine/stream/online_miner.h"
+
+namespace granmine::server {
+
+/// One served request's complete outcome. Exit codes follow the CLI's
+/// sysexits conventions (64 usage, 65 data, 70 software failure).
+struct CallResult {
+  int exit_code = 0;
+  std::string out;   ///< stdout bytes, byte-identical to granmine_cli
+  std::string err;   ///< stderr bytes (error messages, drop diagnostics)
+  std::string diag;  ///< legacy stats rendering (CLI: stderr unless --log-out)
+  /// The raw engine Status when an entry point failed — lets the server
+  /// distinguish a retryable admission shed (IsRetryableShed) from an
+  /// application error without re-parsing `err`.
+  Status engine_status = Status::OK();
+};
+
+CallResult ServeMine(Engine* engine, const MineCall& call);
+CallResult ServeCheck(Engine* engine, const CheckCall& call);
+CallResult ServeDot(Engine* engine, const DotCall& call);
+
+/// One live streaming session: the `granmine_cli stream` loop factored into
+/// open / ingest / seal steps so the CLI drives it from stdin and the
+/// server drives it from kStreamIngest frames, with identical bytes out.
+///
+/// Thread safety: externally synchronized, like OnlineMiner itself (the
+/// server funnels each connection's frames through one worker at a time).
+class StreamSession {
+ public:
+  struct OpenOutcome {
+    /// Null unless `result.exit_code == 0`.
+    std::unique_ptr<StreamSession> session;
+    CallResult result;
+  };
+
+  /// Validates the call (structure, window geometry, pins, type universe,
+  /// tolerance) exactly like the CLI flag order, then opens the engine
+  /// stream — from `resume_path`'s checkpoint when non-empty, cold
+  /// otherwise. Validation failures come back with the CLI's message and
+  /// exit code; an admission shed surfaces in `result.engine_status`.
+  static OpenOutcome Open(Engine* engine, const StreamOpenCall& call,
+                          const std::string& resume_path = "");
+
+  struct IngestOutcome {
+    CallResult result;
+    std::uint64_t accepted = 0;       ///< events accepted by this chunk
+    std::uint64_t rejected_late = 0;  ///< late arrivals rejected
+  };
+
+  /// Ingests one chunk of event-file lines ('\n'-separated; a chunk with no
+  /// trailing newline still counts its last line). Snapshot blocks fall out
+  /// in `result.out` exactly when the watermark crosses a slide boundary —
+  /// a pure function of the lines ingested, never of timing. `after_accept`
+  /// (may be empty) runs after each accepted event, before that line's
+  /// snapshot evaluation — the CLI's checkpoint/statusz cadence hook; a
+  /// non-zero return aborts the chunk with that exit code.
+  IngestOutcome Ingest(std::string_view chunk,
+                       const std::function<int(OnlineMiner&)>& after_accept =
+                           nullptr);
+
+  /// Seals the stream and renders the final snapshot block, the
+  /// INCONSISTENT line if refuted, and the ingest totals — the CLI's
+  /// end-of-input epilogue, byte for byte.
+  CallResult Seal();
+
+  OnlineMiner& miner() { return *miner_; }
+  const StreamRequest& request() const { return request_; }
+  const std::vector<std::string>& names() const { return names_; }
+  std::uint64_t accepted_total() const { return accepted_total_; }
+  std::uint64_t dropped_late() const { return dropped_late_; }
+  std::uint64_t snapshots_taken() const { return snapshots_taken_; }
+  /// Stop cause of the final snapshot, for the CLI's stats line ("" before
+  /// Seal).
+  const std::string& seal_stop_cause() const { return seal_stop_cause_; }
+
+ private:
+  StreamSession() = default;
+
+  EventTypeRegistry registry_;
+  std::vector<std::string> names_;
+  std::optional<EventStructure> structure_;
+  DiscoveryProblem problem_;
+  StreamRequest request_;
+  std::int64_t slide_ = 0;
+  std::optional<OnlineMiner> miner_;
+  std::size_t line_number_ = 0;
+  std::uint64_t accepted_total_ = 0;
+  std::uint64_t dropped_late_ = 0;
+  std::uint64_t snapshots_taken_ = 0;
+  TimePoint next_snapshot_ = 0;  // re-set to kInfinity in Open
+  std::string seal_stop_cause_;
+};
+
+}  // namespace granmine::server
+
+#endif  // GRANMINE_SERVER_SERVICE_H_

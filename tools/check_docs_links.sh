@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Verifies that the documentation's pointers into the repo resolve:
+#
+#  (a) every relative markdown link target ([text](path) with no URL
+#      scheme) exists, resolved against the linking file's directory
+#      (falling back to the repo root, so README-style `docs/foo.md`
+#      links work from either convention);
+#  (b) every backticked source reference (`src/...`, `docs/...`,
+#      `tests/...`, `bench/...`, `examples/...`, `tools/...`) names an
+#      existing file or directory, and a `path:LINE` suffix does not
+#      point past the end of the file.
+#
+# Stale docs fail ctest (the docs_links test runs this from the repo
+# root), not a reader. External links (http/https/mailto) and pure
+# #anchors are out of scope — nothing here touches the network.
+set -u
+
+fail=0
+err() {
+  echo "check_docs_links: $1" >&2
+  fail=1
+}
+
+docs=(README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/*.md)
+
+for doc in "${docs[@]}"; do
+  [ -f "$doc" ] || continue
+  dir=$(dirname "$doc")
+
+  # (a) markdown links.
+  while IFS= read -r target; do
+    case "$target" in
+      http://* | https://* | mailto:* | "#"*) continue ;;
+    esac
+    path="${target%%#*}" # a #fragment on a relative link is fine
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      err "$doc: broken link target '$target'"
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+
+  # (b) backticked source references, optionally with :LINE.
+  while IFS= read -r ref; do
+    path="${ref%%:*}"
+    line=""
+    [ "$ref" != "$path" ] && line="${ref#*:}"
+    if [ ! -e "$path" ]; then
+      # Extension-less references name build targets (`bench/bench_stream`,
+      # `examples/quickstart`); they resolve if the source file exists.
+      if [ -e "$path.cc" ] || [ -e "$path.cpp" ]; then
+        continue
+      fi
+      err "$doc: source reference '$ref' names a missing path"
+      continue
+    fi
+    if [ -n "$line" ] && [ -f "$path" ]; then
+      total=$(wc -l <"$path")
+      if [ "$line" -gt "$total" ]; then
+        err "$doc: '$ref' points past the end of $path ($total lines)"
+      fi
+    fi
+  done < <(grep -oE '`(src|docs|tests|bench|examples|tools)/[A-Za-z0-9_./-]+(:[0-9]+)?`' "$doc" | tr -d '\`')
+done
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "check_docs_links: all links and source references resolve"
