@@ -149,17 +149,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
     return 70;
   }
-  if (args->flags.count("structure")) {
-    auto text = ReadFileToString(args->flags.at("structure"));
+  // --structure is repeatable: each file is parsed for its granularity
+  // definitions only, like `save --structure`, and they all extend the
+  // family the server freezes at Start.
+  for (const std::string& structure_path : args->structures) {
+    auto text = ReadFileToString(structure_path);
     if (!text.ok()) {
       std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
       return 66;
     }
-    // Parsed for its granularity definitions only, like `save --structure`:
-    // they extend the family the server freezes at Start.
     auto structure = ParseEventStructure(*text, (*engine)->system());
     if (!structure.ok()) {
-      std::fprintf(stderr, "structure: %s\n",
+      std::fprintf(stderr, "structure %s: %s\n", structure_path.c_str(),
                    structure.status().ToString().c_str());
       return 65;
     }

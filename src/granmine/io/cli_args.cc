@@ -43,9 +43,15 @@ Result<CliArgs> ParseCliArgs(int argc, const char* const* argv) {
       args.pins.emplace_back(argv[++i]);
     } else if (flag.rfind("--", 0) == 0 && flag.find('=') != std::string::npos) {
       std::size_t eq = flag.find('=');
-      args.flags[flag.substr(2, eq - 2)] = flag.substr(eq + 1);
+      std::string name = flag.substr(2, eq - 2);
+      std::string value = flag.substr(eq + 1);
+      if (name == "structure") args.structures.push_back(value);
+      args.flags[std::move(name)] = std::move(value);
     } else if (flag.rfind("--", 0) == 0 && i + 1 < argc) {
-      args.flags[flag.substr(2)] = argv[++i];
+      std::string name = flag.substr(2);
+      std::string value = argv[++i];
+      if (name == "structure") args.structures.push_back(value);
+      args.flags[std::move(name)] = std::move(value);
     } else {
       return Status::Invalid("unknown flag '" + flag + "'");
     }

@@ -20,6 +20,11 @@ struct CliArgs {
   std::string command;
   std::map<std::string, std::string> flags;
   std::vector<std::string> pins;
+  /// Every `--structure FILE` occurrence, in order. `flags["structure"]`
+  /// holds only the last one (flags is a last-wins map; the single-file
+  /// subcommands read it) — consumers that document a repeatable
+  /// `--structure`, like granmine_serve, must read this vector instead.
+  std::vector<std::string> structures;
   bool naive = false;
   bool exact = false;
   bool tag = false;

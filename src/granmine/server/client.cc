@@ -68,7 +68,10 @@ Client::~Client() {
 Status Client::SendBytes(std::span<const std::uint8_t> bytes) {
   std::size_t sent = 0;
   while (sent < bytes.size()) {
-    const ssize_t n = ::write(fd_, bytes.data() + sent, bytes.size() - sent);
+    // MSG_NOSIGNAL: a server that closed the connection mid-send must
+    // surface as an EPIPE Status, not as a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Status::Internal(std::string("write: ") + std::strerror(errno));

@@ -116,6 +116,12 @@ struct Server::Impl {
     if (options_.max_payload_bytes == 0) {
       options_.max_payload_bytes = kMaxPayloadBytes;
     }
+    if (options_.max_pending_frames == 0) {
+      options_.max_pending_frames = ServerOptions{}.max_pending_frames;
+    }
+    if (options_.max_outbox_bytes == 0) {
+      options_.max_outbox_bytes = ServerOptions{}.max_outbox_bytes;
+    }
   }
 
   Engine* engine_;
@@ -153,6 +159,13 @@ struct Server::Impl {
   void EnqueueBytesLocked(Connection* conn,
                           const std::vector<std::uint8_t>& bytes) {
     for (std::uint8_t b : bytes) conn->outbox.push_back(b);
+    if (conn->outbox.size() > options_.max_outbox_bytes && !conn->dead) {
+      // A peer that pipelines requests but never drains its replies: drop
+      // the connection rather than buffer without bound. No error frame —
+      // the outbox is exactly what the peer has stopped reading.
+      conn->dead = true;
+      GM_COUNTER_ADD("granmine_server_overflow_disconnects_total", "", 1);
+    }
   }
 
   void SendFrame(Connection* conn, FrameType type, std::uint64_t corr_id,
@@ -182,19 +195,28 @@ struct Server::Impl {
 
   Status Start() {
     {
+      // Claim started_ inside the same critical section as the check: two
+      // concurrent Start() calls must not both pass it and double-build
+      // sockets and thread pools. Every failure path below rolls the claim
+      // back through FailStart.
       std::lock_guard<std::mutex> lock(mu_);
       if (started_) return Status::Invalid("server already started");
+      started_ = true;
+      stop_ = false;
     }
     // The network layer is a serve-phase artifact: freeze up front so
     // every worker parses structures against an immutable family (and the
     // multi-second Gregorian freeze is paid before the first request, not
     // inside it).
-    GM_RETURN_NOT_OK(engine_->Freeze());
+    if (Status frozen = engine_->Freeze(); !frozen.ok()) {
+      return FailStart(std::move(frozen));
+    }
 
     listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
                           0);
     if (listen_fd_ < 0) {
-      return Status::Internal(std::string("socket: ") + std::strerror(errno));
+      return FailStart(
+          Status::Internal(std::string("socket: ") + std::strerror(errno)));
     }
     int one = 1;
     ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -202,22 +224,18 @@ struct Server::Impl {
     addr.sin_family = AF_INET;
     addr.sin_port = htons(options_.port);
     if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
-      CloseStartupFds();
-      return Status::Invalid("bad listen address '" + options_.host + "'");
+      return FailStart(
+          Status::Invalid("bad listen address '" + options_.host + "'"));
     }
     if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
         0) {
-      Status status = Status::Internal(
+      return FailStart(Status::Internal(
           "bind " + options_.host + ":" + std::to_string(options_.port) +
-          ": " + std::strerror(errno));
-      CloseStartupFds();
-      return status;
+          ": " + std::strerror(errno)));
     }
     if (::listen(listen_fd_, 128) < 0) {
-      Status status =
-          Status::Internal(std::string("listen: ") + std::strerror(errno));
-      CloseStartupFds();
-      return status;
+      return FailStart(
+          Status::Internal(std::string("listen: ") + std::strerror(errno)));
     }
     sockaddr_in bound{};
     socklen_t bound_len = sizeof(bound);
@@ -226,19 +244,12 @@ struct Server::Impl {
 
     int pipe_fds[2];
     if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) < 0) {
-      Status status =
-          Status::Internal(std::string("pipe2: ") + std::strerror(errno));
-      CloseStartupFds();
-      return status;
+      return FailStart(
+          Status::Internal(std::string("pipe2: ") + std::strerror(errno)));
     }
     wake_r_ = pipe_fds[0];
     wake_w_ = pipe_fds[1];
 
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      stop_ = false;
-      started_ = true;
-    }
     const int workers = options_.workers > 0 ? options_.workers : 1;
     workers_.reserve(static_cast<std::size_t>(workers));
     for (int i = 0; i < workers; ++i) {
@@ -249,6 +260,13 @@ struct Server::Impl {
            {"host", options_.host}, {"port", std::to_string(port_)},
            {"workers", std::to_string(workers)});
     return Status::OK();
+  }
+
+  Status FailStart(Status status) {
+    CloseStartupFds();
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = false;
+    return status;
   }
 
   void CloseStartupFds() {
@@ -291,7 +309,12 @@ struct Server::Impl {
         if (stop_) return;
         for (auto& [fd, conn] : conns_) {
           short events = 0;
-          if (!conn->fatal && !conn->dead) events |= POLLIN;
+          // Backpressure: a connection at its pipelining cap stops being
+          // read — the kernel socket buffer fills and TCP flow control
+          // pushes back on the peer — until workers drain pending.
+          const bool stalled =
+              conn->pending.size() >= options_.max_pending_frames;
+          if (!conn->fatal && !conn->dead && !stalled) events |= POLLIN;
           if (!conn->outbox.empty()) events |= POLLOUT;
           if (events != 0) fds.push_back({fd, events, 0});
         }
@@ -310,6 +333,12 @@ struct Server::Impl {
         Connection* conn = it->second.get();
         if (fds[i].revents & (POLLIN | POLLERR | POLLHUP)) ReadFrom(conn);
         if (fds[i].revents & POLLOUT) FlushTo(conn);
+      }
+      // Frames that sat buffered while a connection was at its pipelining
+      // cap parse here, once workers drain pending (their Wake lands the
+      // loop back in this iteration).
+      for (auto& [fd, conn] : conns_) {
+        if (conn->parser.buffered() > 0) ParseFrames(conn.get());
       }
       ReapConnections();
     }
@@ -387,7 +416,10 @@ struct Server::Impl {
     while (true) {
       {
         std::lock_guard<std::mutex> lock(mu_);
-        if (conn->fatal) return;
+        if (conn->fatal || conn->dead) return;
+        // At the pipelining cap: leave the rest buffered; the loop retries
+        // once workers drain pending.
+        if (conn->pending.size() >= options_.max_pending_frames) return;
       }
       auto next = conn->parser.Next();
       if (!next.ok()) {
@@ -468,7 +500,9 @@ struct Server::Impl {
         for (std::size_t i = 0; i < staged; ++i) buf[i] = conn->outbox[i];
       }
       if (staged == 0) return;
-      const ssize_t written = ::write(conn->fd, buf, staged);
+      // MSG_NOSIGNAL: a peer that closed with replies still queued must
+      // surface as EPIPE here, not as a process-killing SIGPIPE.
+      const ssize_t written = ::send(conn->fd, buf, staged, MSG_NOSIGNAL);
       if (written > 0) {
         GM_COUNTER_ADD("granmine_server_bytes_written_total", "", written);
         std::lock_guard<std::mutex> lock(mu_);

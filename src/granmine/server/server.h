@@ -40,6 +40,16 @@ struct ServerOptions {
   int workers = 2;
   /// Per-frame payload bound; frames announcing more are protocol errors.
   std::uint64_t max_payload_bytes = 0;  ///< 0 = wire.h default
+  /// Per-connection pipelining depth: request frames parsed but not yet
+  /// dispatched. A peer that exceeds it stops being read (plain TCP
+  /// backpressure) until workers drain its queue, so pipelining many
+  /// max-size frames cannot grow the heap past
+  /// max_pending_frames * max_payload_bytes per connection.
+  std::size_t max_pending_frames = 16;
+  /// Per-connection cap on buffered response bytes. A peer that pipelines
+  /// requests but never reads its replies is disconnected when its outbox
+  /// crosses this bound instead of buffering without bound.
+  std::size_t max_outbox_bytes = 64ull * 1024 * 1024;
 };
 
 /// A running server. Start() freezes the engine (the network layer is a

@@ -30,6 +30,17 @@ TEST(ParseCliArgsTest, ParsesCommandFlagsPinsAndSwitches) {
   EXPECT_FALSE(args->exact);
 }
 
+TEST(ParseCliArgsTest, RepeatedStructureFlagsCollectInOrder) {
+  // flags is a last-wins map, so repeatable consumers (granmine_serve's
+  // `[--structure FILE]...`) read the structures vector instead.
+  auto args = Parse({"serve", "--structure", "a.txt", "--structure=b.txt",
+                     "--structure", "c.txt"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args->structures,
+            (std::vector<std::string>{"a.txt", "b.txt", "c.txt"}));
+  EXPECT_EQ(args->flags.at("structure"), "c.txt");
+}
+
 TEST(ParseCliArgsTest, RejectsMissingCommandAndUnknownFlags) {
   EXPECT_FALSE(Parse({}).ok());
   EXPECT_FALSE(Parse({"mine", "stray-positional"}).ok());

@@ -13,14 +13,24 @@
 //    a non-fatal kUnsupported reply and the connection keeps serving;
 //  - overload: an injected queue-full fault surfaces as a retryable error
 //    frame carrying the admission reason and a suggested backoff;
+//  - connection robustness: a client hanging up with replies queued does
+//    not SIGPIPE the process, pipelining past max_pending_frames stalls
+//    reads instead of growing the heap, an outbox past max_outbox_bytes
+//    drops the peer, and racing Start() calls admit exactly one winner;
 //  - concurrency: four clients soak the same server and every response
 //    stays byte-identical to the single-client expectation (run under the
 //    `sanitizer` label for the TSAN/ASAN gate).
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -114,11 +124,12 @@ CliRun RunCli(const std::string& args) {
 // need. The engine freezes at Start, like production.
 class ServerTest : public testing::Test {
  protected:
-  void StartServer(EngineOptions engine_options = {}) {
+  void StartServer(EngineOptions engine_options = {},
+                   ServerOptions server_options = {}) {
     auto engine = Engine::CreateGregorian(engine_options);
     ASSERT_TRUE(engine.ok()) << engine.status().ToString();
     engine_ = std::move(*engine);
-    srv_ = std::make_unique<Server>(engine_.get(), ServerOptions{});
+    srv_ = std::make_unique<Server>(engine_.get(), server_options);
     Status started = srv_->Start();
     ASSERT_TRUE(started.ok()) << started.ToString();
   }
@@ -531,6 +542,142 @@ TEST_F(ServerTest, AdmissionShedBecomesARetryableErrorFrame) {
   // A shed is not fatal: the connection still answers once the fault lifts.
   engine_->admission()->InstallFaultInjector(nullptr);
   EXPECT_TRUE(client->Ping().ok());
+}
+
+// --- Connection robustness -----------------------------------------------
+
+// A client that disconnects with a reply still in flight must not kill
+// the server. The crash shape: the peer stops reading mid-reply so the
+// flush stalls with POLLOUT armed, then aborts (RST); the next poll
+// reports POLLIN and POLLOUT together, the loop's read consumes the
+// pending socket error, and the flush right after it writes to a
+// clean-but-dead socket — which, without MSG_NOSIGNAL, raises SIGPIPE and
+// terminates the whole process (this test included) under the default
+// disposition.
+TEST_F(ServerTest, ClientVanishingMidResponseDoesNotKillTheServer) {
+  StartServer();
+  // A dot request over a 40k-edge chain of long-named events: the ~10 MB
+  // DOT reply overruns even a fully autotuned kernel send buffer
+  // (tcp_wmem maxes out at a few MB), so the flush is guaranteed to stall
+  // mid-reply with POLLOUT armed once we stop reading.
+  server::DotCall call;
+  call.structure_text.reserve(10u << 20);
+  const std::string pad(96, 'x');
+  for (int i = 0; i < 40000; ++i) {
+    call.structure_text += "e" + std::to_string(i) + pad + " -> e" +
+                           std::to_string(i + 1) + pad + " : [1,1] hour\n";
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  // A minimal receive window (set before connect), so the server can push
+  // only a few KB of the reply into the kernel before its flush stalls.
+  int tiny = 4096;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(srv_->port());
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::vector<std::uint8_t> bytes;
+  server::AppendPreamble(&bytes);
+  AppendFrame(&bytes, FrameType::kDot, 1, EncodeDotCall(call));
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0) << std::strerror(errno);
+    sent += static_cast<std::size_t>(n);
+  }
+  // Read just past the server's 12-byte preamble: one byte of the reply
+  // proves the flush has started — with megabytes still queued behind our
+  // tiny window — then never read again.
+  std::uint8_t sliver[server::kPreambleSize + 1];
+  std::size_t got = 0;
+  while (got < sizeof(sliver)) {
+    const ssize_t n = ::recv(fd, sliver + got, sizeof(sliver) - got, 0);
+    ASSERT_GT(n, 0) << std::strerror(errno);
+    got += static_cast<std::size_t>(n);
+  }
+  // Abort the connection: SO_LINGER{on, 0} turns close() into an
+  // immediate RST while the server's outbox is still megabytes deep.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  linger hard{1, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+  ::close(fd);
+  // Give the loop a beat to take the POLLIN|POLLOUT wakeup: read the RST,
+  // then flush into the dead socket.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  // The server survived the aborted connection and keeps serving.
+  auto alive = Connect();
+  ASSERT_NE(alive, nullptr);
+  EXPECT_TRUE(alive->Ping().ok());
+}
+
+// Pipelining far past the per-connection cap must not lose or reorder
+// frames: the loop stops reading the socket at max_pending_frames (plain
+// TCP backpressure) and resumes as workers drain the queue, so every
+// request is still answered, in order.
+TEST_F(ServerTest, PipeliningBeyondThePendingCapStallsAndResumes) {
+  ServerOptions tight;
+  tight.max_pending_frames = 2;
+  StartServer({}, tight);
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  constexpr std::uint64_t kRequests = 24;
+  std::vector<std::uint8_t> burst;
+  for (std::uint64_t corr = 1; corr <= kRequests; ++corr) {
+    AppendFrame(&burst, FrameType::kStatusz, corr, {});
+  }
+  ASSERT_TRUE(client->SendBytes(burst).ok());
+  for (std::uint64_t corr = 1; corr <= kRequests; ++corr) {
+    auto frame = client->ReadFrame();
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    EXPECT_EQ(frame->type, FrameType::kReply);
+    EXPECT_EQ(frame->corr_id, corr);
+  }
+}
+
+// A peer whose buffered replies cross max_outbox_bytes is disconnected
+// instead of growing the heap. The cap here is smaller than one statusz
+// reply, so the overflow trips deterministically at enqueue time; bytes
+// already staged may still flush, but the connection must not survive.
+TEST_F(ServerTest, OutboxOverflowDisconnectsInsteadOfBuffering) {
+  ServerOptions tight;
+  tight.max_outbox_bytes = 64;
+  StartServer({}, tight);
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  std::vector<std::uint8_t> request;
+  AppendFrame(&request, FrameType::kStatusz, 1, {});
+  ASSERT_TRUE(client->SendBytes(request).ok());
+  auto first = client->ReadFrame();
+  if (first.ok()) {
+    EXPECT_FALSE(client->ReadFrame().ok());
+  }
+}
+
+// Start() claims the server under one critical section: racing Start()
+// calls admit exactly one winner (no double-built sockets or thread
+// pools), and the winner leaves a fully serving server behind.
+TEST(ServerLifecycle, ConcurrentStartsAdmitExactlyOne) {
+  auto engine = Engine::CreateGregorian({});
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  Server server(engine->get(), ServerOptions{});
+  std::atomic<int> started{0};
+  std::vector<std::thread> racers;
+  racers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    racers.emplace_back([&] {
+      if (server.Start().ok()) started.fetch_add(1);
+    });
+  }
+  for (std::thread& racer : racers) racer.join();
+  EXPECT_EQ(started.load(), 1);
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_TRUE((*client)->Ping().ok());
+  server.Stop();
 }
 
 // --- Concurrency ---------------------------------------------------------
